@@ -1,0 +1,105 @@
+package mobileqoe
+
+// The benchmark harness: one testing.B benchmark per table and figure in
+// the paper's evaluation (plus the in-text analyses and ablations). Each
+// iteration regenerates the artifact's full data series at a reduced-effort
+// configuration; run with
+//
+//	go test -bench=. -benchmem
+//
+// and use `go run ./cmd/qoesim -run <id> -full` for paper-scale effort.
+
+import (
+	"testing"
+	"time"
+
+	"mobileqoe/internal/experiments"
+	"mobileqoe/internal/webpage"
+)
+
+// benchConfig trades corpus breadth for wall-clock speed; the series shapes
+// are unchanged.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Seed:          1,
+		Pages:         2,
+		ClipDuration:  20 * time.Second,
+		CallDuration:  10 * time.Second,
+		IperfDuration: time.Second,
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	// Corpus generation is memoized; pay it before timing.
+	webpage.Top50(1)
+	webpage.SportsTop20(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Run(id, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// Table 1 and Figure 1.
+func BenchmarkTable1Catalog(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig1Evolution(b *testing.B) { benchExperiment(b, "fig1") }
+
+// Figure 2: QoE across devices.
+func BenchmarkFig2aWebAcrossDevices(b *testing.B)       { benchExperiment(b, "fig2a") }
+func BenchmarkFig2bStreamingAcrossDevices(b *testing.B) { benchExperiment(b, "fig2b") }
+func BenchmarkFig2cTelephonyAcrossDevices(b *testing.B) { benchExperiment(b, "fig2c") }
+
+// Figure 3: Web browsing vs device parameters.
+func BenchmarkFig3aWebClock(b *testing.B)     { benchExperiment(b, "fig3a") }
+func BenchmarkFig3bWebMemory(b *testing.B)    { benchExperiment(b, "fig3b") }
+func BenchmarkFig3cWebCores(b *testing.B)     { benchExperiment(b, "fig3c") }
+func BenchmarkFig3dWebGovernors(b *testing.B) { benchExperiment(b, "fig3d") }
+
+// Figure 4: Video streaming vs device parameters.
+func BenchmarkFig4aStreamingClock(b *testing.B)     { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bStreamingMemory(b *testing.B)    { benchExperiment(b, "fig4b") }
+func BenchmarkFig4cStreamingCores(b *testing.B)     { benchExperiment(b, "fig4c") }
+func BenchmarkFig4dStreamingGovernors(b *testing.B) { benchExperiment(b, "fig4d") }
+
+// Figure 5: Video telephony vs device parameters.
+func BenchmarkFig5aTelephonyClock(b *testing.B)     { benchExperiment(b, "fig5a") }
+func BenchmarkFig5bTelephonyMemory(b *testing.B)    { benchExperiment(b, "fig5b") }
+func BenchmarkFig5cTelephonyCores(b *testing.B)     { benchExperiment(b, "fig5c") }
+func BenchmarkFig5dTelephonyGovernors(b *testing.B) { benchExperiment(b, "fig5d") }
+
+// Figure 6: second-order network effect.
+func BenchmarkFig6ThroughputClock(b *testing.B) { benchExperiment(b, "fig6") }
+
+// Figure 7: DSP offload.
+func BenchmarkFig7aOffloadDefault(b *testing.B)  { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bPowerCDF(b *testing.B)        { benchExperiment(b, "fig7b") }
+func BenchmarkFig7cOffloadLowClock(b *testing.B) { benchExperiment(b, "fig7c") }
+
+// In-text analyses.
+func BenchmarkCriticalPathDecomposition(b *testing.B) { benchExperiment(b, "text-crit") }
+func BenchmarkRegexShare(b *testing.B)                { benchExperiment(b, "text-regex") }
+func BenchmarkCategorySlowdown(b *testing.B)          { benchExperiment(b, "text-categories") }
+
+// Ablations (DESIGN.md §5).
+func BenchmarkAblationPacketCPU(b *testing.B) { benchExperiment(b, "abl-packetcpu") }
+func BenchmarkAblationPrefetch(b *testing.B)  { benchExperiment(b, "abl-prefetch") }
+func BenchmarkAblationHWDecoder(b *testing.B) { benchExperiment(b, "abl-hwdecoder") }
+func BenchmarkAblationRPCSweep(b *testing.B)  { benchExperiment(b, "abl-rpc") }
+func BenchmarkAblationEngines(b *testing.B)   { benchExperiment(b, "abl-engine") }
+func BenchmarkAblationBigLittle(b *testing.B) { benchExperiment(b, "abl-biglittle") }
+
+// Extensions (the paper's §6 future-work axes, built out).
+func BenchmarkExtensionTLS(b *testing.B)      { benchExperiment(b, "ext-tls") }
+func BenchmarkExtensionBrowsers(b *testing.B) { benchExperiment(b, "ext-browsers") }
+func BenchmarkExtensionJoint(b *testing.B)    { benchExperiment(b, "ext-joint") }
+func BenchmarkCoreUtilization(b *testing.B)   { benchExperiment(b, "text-coreuse") }
+
+func BenchmarkExtensionEnergy(b *testing.B) { benchExperiment(b, "ext-energy") }
+
+func BenchmarkExtensionHTTP2(b *testing.B) { benchExperiment(b, "ext-h2") }

@@ -1,0 +1,99 @@
+// Command pageload loads one synthetic page on a configured device and
+// prints the WProf-style waterfall, critical path, and compute breakdown —
+// the debugging view behind the paper's §3.1 analysis.
+//
+// Usage:
+//
+//	pageload                                   # news page on a Nexus4
+//	pageload -device "Google Pixel2"           # another catalog device
+//	pageload -mhz 384 -category sports         # pinned clock, category pick
+//	pageload -cores 1 -ram 512MB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mobileqoe/internal/browser"
+	"mobileqoe/internal/core"
+	"mobileqoe/internal/device"
+	"mobileqoe/internal/units"
+	"mobileqoe/internal/webpage"
+	"mobileqoe/internal/wprof"
+)
+
+func main() {
+	var (
+		dev      = flag.String("device", "Google Nexus4", "catalog device name")
+		mhz      = flag.Float64("mhz", 0, "pin the clock (userspace governor), MHz")
+		cores    = flag.Int("cores", 0, "online cores (0 = all)")
+		ramMB    = flag.Int("ram", 0, "RAM override in MB (0 = stock)")
+		category = flag.String("category", "news", "page category: news|sports|business|health|shopping")
+		seed     = flag.Uint64("seed", 1, "page generation seed")
+		trace    = flag.Bool("trace", false, "print the full activity waterfall")
+	)
+	flag.Parse()
+
+	spec, err := device.ByName(*dev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pageload:", err)
+		os.Exit(1)
+	}
+	var opts []core.Option
+	if *mhz > 0 {
+		opts = append(opts, core.WithClock(units.MHz(*mhz)))
+	}
+	if *cores > 0 {
+		opts = append(opts, core.WithCores(*cores))
+	}
+	if *ramMB > 0 {
+		opts = append(opts, core.WithRAM(units.ByteSize(*ramMB)*units.MB))
+	}
+
+	page := webpage.Generate(fmt.Sprintf("%s-cli.example", *category),
+		webpage.Category(*category), *seed)
+	fmt.Printf("loading %s (%s, %d resources, %s) on %s\n\n",
+		page.Name, page.Category, len(page.Resources), page.TotalBytes(), spec)
+
+	sys := core.NewSystem(spec, opts...)
+	res := sys.LoadPage(page)
+
+	fmt.Printf("PLT: %v\n\n", res.PLT.Round(time.Millisecond))
+
+	// Compute breakdown by activity kind.
+	byKind := map[browser.ActivityKind]time.Duration{}
+	counts := map[browser.ActivityKind]int{}
+	for _, a := range res.Activities {
+		byKind[a.Kind] += a.Duration()
+		counts[a.Kind]++
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	fmt.Println("activity totals:")
+	for _, k := range kinds {
+		kk := browser.ActivityKind(k)
+		fmt.Printf("  %-7s n=%-4d %v\n", k, counts[kk], byKind[kk].Round(time.Millisecond))
+	}
+
+	g := wprof.FromResult(res)
+	st := g.CriticalPath()
+	fmt.Printf("\ncritical path: total %v = network %v + compute %v (script %v)\n",
+		st.Total.Round(time.Millisecond), st.Network.Round(time.Millisecond),
+		st.Compute.Round(time.Millisecond), st.Script.Round(time.Millisecond))
+
+	if *trace {
+		fmt.Println("\nwaterfall:")
+		for _, a := range res.Activities {
+			bar := strings.Repeat(" ", int(a.Start/(50*time.Millisecond)))
+			fmt.Printf("%8.3fs %-7s %s%s %s\n", a.Start.Seconds(), a.Kind, bar,
+				strings.Repeat("#", 1+int(a.Duration()/(50*time.Millisecond))), a.Name)
+		}
+	}
+}

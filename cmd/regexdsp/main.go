@@ -1,0 +1,86 @@
+// Command regexdsp prices regular-expression workloads on the CPU's
+// backtracking engine versus the DSP's Pike VM — the §4.2 offload
+// prototype's microbenchmark view.
+//
+// Usage:
+//
+//	regexdsp                                  # built-in workload suite
+//	regexdsp -pattern '(ads|track)/' -input 'https://x.com/ads/unit.js' -repeat 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"mobileqoe/internal/dsp"
+	"mobileqoe/internal/rex"
+	"mobileqoe/internal/sim"
+	"mobileqoe/internal/units"
+)
+
+type workload struct {
+	name    string
+	pattern string
+	input   string
+}
+
+var suite = []workload{
+	{"url-classify", `/(ads|adserv|banner)/`, "https://cdn3.example-site.com/ads/unit/item-3.js"},
+	{"tracker-match", `(track|beacon|pixel)s?/`, "https://static.example.com/beacons/v2/e?id=1"},
+	{"query-extract", `sid=s[0-9]+`, "https://collect.example.com/e?v=1&sid=s219&t=pageview"},
+	{"responsive-rewrite", `w_[0-9]+,h_[0-9]+`, "https://media.example.com/photos/w_1200,h_800/item.jpg"},
+	{"long-scan", `quarterly[0-9]+`, strings.Repeat("market update index analysis ", 60) + "quarterly7"},
+	{"pathological", `(a+)+$`, strings.Repeat("a", 24) + "b"},
+}
+
+func main() {
+	var (
+		pattern = flag.String("pattern", "", "run a single pattern instead of the suite")
+		input   = flag.String("input", "", "input string for -pattern")
+		repeat  = flag.Float64("repeat", 400, "evaluations batched per offloaded RPC")
+		cpuMHz  = flag.Float64("cpu-mhz", 2457, "application core clock (MHz)")
+		cpuIPC  = flag.Float64("cpu-ipc", 1.9, "application core IPC")
+	)
+	flag.Parse()
+
+	work := suite
+	if *pattern != "" {
+		work = []workload{{"custom", *pattern, *input}}
+	}
+	d := dsp.New(sim.New(), dsp.Config{})
+	rate := units.MHz(*cpuMHz).Hz() * *cpuIPC
+
+	fmt.Printf("%-19s %-11s %-11s %-11s %-11s %s\n",
+		"workload", "bt-steps", "pike-steps", "cpu-time", "dsp-time", "winner")
+	for _, w := range work {
+		prog, err := rex.Compile(w.pattern)
+		if err != nil {
+			fmt.Printf("%-19s compile error: %v\n", w.name, err)
+			continue
+		}
+		pr := prog.Run(w.input)
+		br, btErr := prog.RunBacktrack(w.input, 0)
+
+		cpuCycles := dsp.CPUCycles(br.Steps) * *repeat
+		cpuTime := units.DurationFor(cpuCycles, units.Freq(rate))
+		dspTime := d.ServiceTime(int64(float64(pr.Steps)**repeat)) +
+			d.Config().RPCOverhead +
+			time.Duration(float64(len(w.input))**repeat/1024*float64(d.Config().MarshalPerKB))
+
+		btSteps := fmt.Sprintf("%d", br.Steps)
+		if btErr != nil {
+			btSteps += "!"
+		}
+		winner := "CPU"
+		if dspTime < cpuTime {
+			winner = "DSP"
+		}
+		fmt.Printf("%-19s %-11s %-11d %-11s %-11s %s\n",
+			w.name, btSteps, pr.Steps,
+			cpuTime.Round(time.Microsecond), dspTime.Round(time.Microsecond), winner)
+	}
+	fmt.Printf("\n(batch=%0.f evaluations/RPC; '!' = backtracking step limit hit; DSP %s @ %.2f cyc/step, RPC %v)\n",
+		*repeat, d.Config().Freq, dsp.DSPCyclesPerStep, d.Config().RPCOverhead)
+}

@@ -1,0 +1,96 @@
+// Command wprofreplay replays a serialized WProf dependency graph under
+// what-if conditions — the offline half of the paper's §4.2 methodology.
+//
+// Export a graph first:
+//
+//	wprofreplay -export trace.json -category sports -mhz 1512
+//
+// then replay it under different assumptions, without re-simulating:
+//
+//	wprofreplay -replay trace.json -rate-mhz 384
+//	wprofreplay -replay trace.json -rate-mhz 384 -offload
+//	wprofreplay -replay trace.json -rate-mhz 1512 -netscale 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mobileqoe/internal/core"
+	"mobileqoe/internal/device"
+	"mobileqoe/internal/dsp"
+	"mobileqoe/internal/sim"
+	"mobileqoe/internal/units"
+	"mobileqoe/internal/webpage"
+	"mobileqoe/internal/wprof"
+)
+
+func main() {
+	var (
+		export   = flag.String("export", "", "trace a page load and write its graph to this file")
+		replay   = flag.String("replay", "", "read a graph from this file and re-evaluate it")
+		category = flag.String("category", "sports", "page category for -export")
+		seed     = flag.Uint64("seed", 1, "page seed for -export")
+		mhz      = flag.Float64("mhz", 1512, "device clock for -export (Nexus4)")
+		rateMHz  = flag.Float64("rate-mhz", 1512, "effective CPU rate for -replay (MHz x IPC 1.0)")
+		offload  = flag.Bool("offload", false, "replay with regex work offloaded to the DSP")
+		netscale = flag.Float64("netscale", 1, "scale fetch durations during -replay")
+	)
+	flag.Parse()
+
+	switch {
+	case *export != "":
+		page := webpage.Generate(fmt.Sprintf("%s-replay.example", *category),
+			webpage.Category(*category), *seed)
+		sys := core.NewSystem(device.Nexus4(), core.WithClock(units.MHz(*mhz)))
+		res := sys.LoadPage(page)
+		g := wprof.FromResult(res)
+		f, err := os.Create(*export)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := g.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("traced %s: PLT %v, %d activities -> %s\n",
+			page.Name, res.PLT.Round(time.Millisecond), len(g.Nodes), *export)
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		g, err := wprof.ReadJSON(f)
+		if err != nil {
+			fatal(err)
+		}
+		opts := wprof.EvalOptions{
+			EffectiveRate: *rateMHz * 1e6,
+			NetworkScale:  *netscale,
+		}
+		if *offload {
+			opts.Offload = true
+			opts.DSP = dsp.New(sim.New(), dsp.Config{})
+		}
+		st := g.CriticalPath()
+		fmt.Printf("graph: %d nodes; measured critical path %v (net %v, compute %v)\n",
+			len(g.Nodes), st.Total.Round(time.Millisecond),
+			st.Network.Round(time.Millisecond), st.Compute.Round(time.Millisecond))
+		fmt.Printf("ePLT at %.0f MHz (offload=%v, netscale=%.1f): %v\n",
+			*rateMHz, *offload, *netscale,
+			g.EPLT(opts).Round(time.Millisecond))
+
+	default:
+		fmt.Fprintln(os.Stderr, "wprofreplay: need -export <file> or -replay <file>")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wprofreplay:", err)
+	os.Exit(1)
+}

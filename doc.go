@@ -1,0 +1,19 @@
+// Package mobileqoe is a from-scratch Go reproduction of "Impact of Device
+// Performance on Mobile Internet QoE" (Dasari et al., IMC 2018) as a
+// deterministic discrete-event simulation: a multicore DVFS phone model, a
+// packet-level WiFi/TCP testbed whose packet processing costs CPU cycles, a
+// browser with a real mini-JavaScript interpreter and a from-scratch regex
+// engine, a DASH-like streaming player, an interactive video-call pipeline,
+// and a Hexagon-style DSP offload model with FastRPC costs and an energy
+// meter.
+//
+// Entry points:
+//
+//   - internal/core: the library facade (build a device, run a workload)
+//   - internal/experiments: regenerates every table and figure in the paper
+//   - cmd/qoesim: CLI over the experiments
+//   - examples/: runnable tours of the API
+//
+// See DESIGN.md for the system inventory and the hardware-substitution
+// rationale, and EXPERIMENTS.md for paper-vs-measured results.
+package mobileqoe

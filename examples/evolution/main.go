@@ -1,0 +1,41 @@
+// Evolution regenerates the paper's motivating Figure 1 — eight years of
+// improving phones losing ground to faster-growing page complexity — and
+// lets you ask counterfactuals the mined dataset cannot: what if pages had
+// stopped growing, or devices had stopped improving?
+package main
+
+import (
+	"fmt"
+
+	"mobileqoe/internal/history"
+	"mobileqoe/internal/units"
+)
+
+func main() {
+	fmt.Println("— Fig. 1: page performance vs device evolution (480 synthetic specs) —")
+	fmt.Printf("%-6s %-8s %-9s %-10s %-7s %-6s %s\n",
+		"year", "plt", "page", "clock", "ram", "cores", "os")
+	for _, y := range history.Evolution(1, 480) {
+		fmt.Printf("%-6d %-8.2f %-9s %-10.2f %-7.1f %-6.1f %.1f\n",
+			y.Year, y.EstPLT.Seconds(), y.PageGrade.Size,
+			y.AvgClock.GHz(), y.AvgRAMGB, y.AvgCores, y.AvgOS)
+	}
+
+	// Counterfactual 1: freeze the page at 2011 weight, let devices improve.
+	fmt.Println("\n— counterfactual: 2011-era pages on each year's devices —")
+	for _, year := range []int{2011, 2014, 2018} {
+		d := history.DeviceRecord{
+			Year:  2011, // page/complexity of 2011...
+			Clock: units.GHz(1.0 + 0.2*float64(year-2011)),
+			Cores: 2 + (year-2011)/2,
+			RAM:   units.ByteSize(float64(year-2010)) * units.GB,
+		}
+		fmt.Printf("%d-class device: %.2fs\n", year, history.EstimatePLT(d).Seconds())
+	}
+
+	// Counterfactual 2: 2018 pages on a 2011 flagship.
+	fmt.Println("\n— counterfactual: 2018 pages on a 2011 flagship —")
+	old := history.DeviceRecord{Year: 2018, Clock: units.GHz(1.2), Cores: 2, RAM: units.GB}
+	fmt.Printf("estimated PLT: %.1fs (the low-end-phone experience the paper measures)\n",
+		history.EstimatePLT(old).Seconds())
+}

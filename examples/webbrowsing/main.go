@@ -1,0 +1,60 @@
+// Webbrowsing reproduces the paper's core Web finding interactively: PLT
+// across all seven devices (Fig. 2a) and across the Nexus4 clock sweep
+// (Fig. 3a), with a WProf critical-path decomposition showing *why* —
+// scripting dominates compute, and compute dominates the page load at low
+// clocks.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mobileqoe/internal/core"
+	"mobileqoe/internal/device"
+	"mobileqoe/internal/stats"
+	"mobileqoe/internal/units"
+	"mobileqoe/internal/webpage"
+	"mobileqoe/internal/wprof"
+)
+
+func pages() []*webpage.Page {
+	// A small mixed-category sample of the Alexa-like corpus.
+	all := webpage.Top50(1)
+	return []*webpage.Page{all[0], all[10], all[20], all[30], all[40]}
+}
+
+func main() {
+	sample := pages()
+
+	fmt.Println("— PLT across devices (cf. Fig. 2a) —")
+	for _, spec := range device.Catalog() {
+		var s stats.Sample
+		for _, p := range sample {
+			sys := core.NewSystem(spec)
+			s.Add(sys.LoadPage(p).PLT.Seconds())
+		}
+		fmt.Printf("%-16s $%-4d  %5.2f ± %.2f s\n", spec.Name, spec.CostUSD, s.Mean(), s.Std())
+	}
+
+	fmt.Println("\n— PLT across the Nexus4 clock sweep (cf. Fig. 3a) —")
+	for _, f := range device.Nexus4FreqSteps() {
+		var s stats.Sample
+		for _, p := range sample {
+			sys := core.NewSystem(device.Nexus4(), core.WithClock(f))
+			s.Add(sys.LoadPage(p).PLT.Seconds())
+		}
+		fmt.Printf("%8s  %5.2f s\n", f, s.Mean())
+	}
+
+	fmt.Println("\n— why: the WProf critical path at both ends of the sweep —")
+	page := sample[0]
+	for _, mhz := range []float64{1512, 384} {
+		sys := core.NewSystem(device.Nexus4(), core.WithClock(units.MHz(mhz)))
+		res := sys.LoadPage(page)
+		st := wprof.FromResult(res).CriticalPath()
+		fmt.Printf("%5.0f MHz: path %-8v = network %-8v + compute %-8v (scripting %v, %.0f%% of compute)\n",
+			mhz, st.Total.Round(10*time.Millisecond), st.Network.Round(10*time.Millisecond),
+			st.Compute.Round(10*time.Millisecond), st.Script.Round(10*time.Millisecond),
+			100*float64(st.Script)/float64(st.Compute))
+	}
+}

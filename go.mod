@@ -1,0 +1,3 @@
+module mobileqoe
+
+go 1.22

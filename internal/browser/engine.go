@@ -1,0 +1,46 @@
+package browser
+
+// Engine captures a browser implementation's cost profile. The paper ran
+// Chrome 63 as the primary browser and reports that Firefox and Opera Mini
+// behave "qualitatively the same"; Engine profiles make that comparison —
+// and the paper's future-work "browser version" software axis — a first-
+// class treatment variable.
+type Engine struct {
+	Name string
+	// Multipliers over the Chrome-calibrated cycle constants.
+	ParseScale  float64
+	ScriptScale float64
+	LayoutScale float64
+	// BytesScale scales transfer sizes (proxy browsers recompress content).
+	BytesScale float64
+	// ProxyRendered marks Opera-Mini-style server-side rendering: scripts
+	// execute on the proxy and the client only applies a pre-laid-out
+	// binary page, so client scripting nearly vanishes — along with
+	// interactivity.
+	ProxyRendered bool
+}
+
+// The studied browsers.
+var (
+	// Chrome63 is the paper's measurement browser and the calibration
+	// baseline.
+	Chrome63 = Engine{Name: "chrome63", ParseScale: 1, ScriptScale: 1, LayoutScale: 1, BytesScale: 1}
+	// Firefox57 is the era's Gecko: slightly cheaper layout, slightly
+	// costlier scripting, same architecture — hence the paper's
+	// "qualitatively the same" finding.
+	Firefox57 = Engine{Name: "firefox57", ParseScale: 1.1, ScriptScale: 1.15, LayoutScale: 0.9, BytesScale: 1}
+	// OperaMini renders on a proxy and ships compressed OBML to the phone.
+	OperaMini = Engine{Name: "operamini", ParseScale: 0.5, ScriptScale: 0.05, LayoutScale: 0.7,
+		BytesScale: 0.35, ProxyRendered: true}
+)
+
+// Engines returns the studied browser profiles.
+func Engines() []Engine { return []Engine{Chrome63, Firefox57, OperaMini} }
+
+// orDefault returns Chrome63 for the zero value.
+func (e Engine) orDefault() Engine {
+	if e.Name == "" {
+		return Chrome63
+	}
+	return e
+}

@@ -1,0 +1,72 @@
+package browser
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace export — the simulated analogue of saving a DevTools/WProf trace,
+// so external tooling (spreadsheets, plotting) can consume load waterfalls.
+
+// WriteCSV emits the activity trace as CSV (one row per activity).
+func (r Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "id,kind,name,resource,start_ms,end_ms,duration_ms,cycles,bytes,main_thread,deps"); err != nil {
+		return err
+	}
+	for _, a := range r.Activities {
+		deps := ""
+		for i, d := range a.Deps {
+			if i > 0 {
+				deps += ";"
+			}
+			deps += fmt.Sprintf("%d", d)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s,%q,%d,%.3f,%.3f,%.3f,%.0f,%d,%t,%s\n",
+			a.ID, a.Kind, a.Name, a.Resource,
+			float64(a.Start)/1e6, float64(a.End)/1e6, float64(a.Duration())/1e6,
+			a.Cycles, a.Bytes, a.MainThread, deps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonActivity is the export schema for one activity.
+type jsonActivity struct {
+	ID         int     `json:"id"`
+	Kind       string  `json:"kind"`
+	Name       string  `json:"name"`
+	Resource   int     `json:"resource"`
+	StartMs    float64 `json:"start_ms"`
+	EndMs      float64 `json:"end_ms"`
+	Cycles     float64 `json:"cycles,omitempty"`
+	Bytes      int64   `json:"bytes,omitempty"`
+	MainThread bool    `json:"main_thread"`
+	Deps       []int   `json:"deps,omitempty"`
+}
+
+type jsonTrace struct {
+	Page       string         `json:"page"`
+	PLTMs      float64        `json:"plt_ms"`
+	Activities []jsonActivity `json:"activities"`
+}
+
+// WriteJSON emits the full trace as a single JSON document.
+func (r Result) WriteJSON(w io.Writer) error {
+	t := jsonTrace{PLTMs: float64(r.PLT) / 1e6}
+	if r.Page != nil {
+		t.Page = r.Page.Name
+	}
+	for _, a := range r.Activities {
+		t.Activities = append(t.Activities, jsonActivity{
+			ID: a.ID, Kind: string(a.Kind), Name: a.Name, Resource: a.Resource,
+			StartMs: float64(a.Start) / 1e6, EndMs: float64(a.End) / 1e6,
+			Cycles: a.Cycles, Bytes: int64(a.Bytes), MainThread: a.MainThread,
+			Deps: a.Deps,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}

@@ -1,0 +1,252 @@
+// Package core is the library's front door: it assembles a complete
+// simulated mobile device — multicore DVFS CPU, memory, WiFi testbed
+// network, energy meter, and optional DSP coprocessor — and runs the
+// paper's three applications against it with one call each.
+//
+// A System corresponds to one configured phone on the paper's LAN testbed.
+// Configure it with options that mirror the paper's treatment variables:
+//
+//	sys := core.NewSystem(device.Nexus4(),
+//	    core.WithGovernor(cpu.Userspace),
+//	    core.WithClock(units.MHz(384)),
+//	)
+//	res := sys.LoadPage(page)            // Web browsing   (Fig. 2a, 3)
+//	met := sys.StreamVideo(streamCfg)    // YouTube-like   (Fig. 2b, 4)
+//	call := sys.PlaceCall(callCfg)       // Skype-like     (Fig. 2c, 5)
+//	tput := sys.Iperf(10 * time.Second)  // iperf          (Fig. 6)
+//
+// Each call runs the discrete-event simulation to completion and returns
+// measured metrics. Runs are deterministic for a given configuration.
+package core
+
+import (
+	"time"
+
+	"mobileqoe/internal/browser"
+	"mobileqoe/internal/cpu"
+	"mobileqoe/internal/device"
+	"mobileqoe/internal/dsp"
+	"mobileqoe/internal/energy"
+	"mobileqoe/internal/mem"
+	"mobileqoe/internal/netsim"
+	"mobileqoe/internal/sim"
+	"mobileqoe/internal/telephony"
+	"mobileqoe/internal/units"
+	"mobileqoe/internal/video"
+	"mobileqoe/internal/webpage"
+	"mobileqoe/internal/wprof"
+)
+
+// Option configures a System.
+type Option func(*options)
+
+type options struct {
+	engine     browser.Engine
+	governor   cpu.GovernorKind
+	clock      units.Freq
+	cores      int
+	ram        units.ByteSize
+	netCfg     netsim.Config
+	dspCfg     *dsp.Config
+	forceSWDec bool
+	noPrefetch bool
+	noABR      bool
+}
+
+// WithGovernor selects the cpufreq governor (default: Interactive, the
+// Android default on the studied phones).
+func WithGovernor(g cpu.GovernorKind) Option { return func(o *options) { o.governor = g } }
+
+// WithClock pins the clock via the userspace governor, the paper's sweep
+// mechanism. Implies WithGovernor(cpu.Userspace).
+func WithClock(f units.Freq) Option {
+	return func(o *options) {
+		o.governor = cpu.Userspace
+		o.clock = f
+	}
+}
+
+// WithCores hotplugs the device down to n online cores.
+func WithCores(n int) Option { return func(o *options) { o.cores = n } }
+
+// WithRAM overrides the device's memory capacity (the paper's RAM-disk
+// squeeze).
+func WithRAM(b units.ByteSize) Option { return func(o *options) { o.ram = b } }
+
+// WithNetwork overrides the testbed network (default: the paper's 72 Mbps
+// AP, 10 ms RTT, 0% loss, packet processing charged to the CPU).
+func WithNetwork(cfg netsim.Config) Option { return func(o *options) { o.netCfg = cfg } }
+
+// WithoutPacketCPUCharge is the §4.1 ablation: packet processing becomes
+// free and the network no longer feels the clock.
+func WithoutPacketCPUCharge() Option {
+	return func(o *options) { o.netCfg.ChargeCPU = false }
+}
+
+// WithTLS terminates every connection with a TLS handshake and symmetric
+// record processing — the paper's §6 future-work software axis.
+func WithTLS() Option { return func(o *options) { o.netCfg.TLS = true } }
+
+// WithHTTP2 multiplexes requests over one connection per origin with
+// compressed headers, as Chrome 63 negotiated with h2-capable origins.
+func WithHTTP2() Option { return func(o *options) { o.netCfg.HTTP2 = true } }
+
+// WithEngine selects the browser implementation profile (default Chrome 63;
+// see browser.Engines).
+func WithEngine(e browser.Engine) Option { return func(o *options) { o.engine = e } }
+
+// WithDSP attaches a DSP coprocessor with the given configuration
+// (zero-value Config selects the Hexagon-like defaults).
+func WithDSP(cfg dsp.Config) Option { return func(o *options) { o.dspCfg = &cfg } }
+
+// WithoutHardwareDecoder is the streaming/telephony counterfactual ablation.
+func WithoutHardwareDecoder() Option { return func(o *options) { o.forceSWDec = true } }
+
+// WithoutPrefetch disables the streaming read-ahead buffer.
+func WithoutPrefetch() Option { return func(o *options) { o.noPrefetch = true } }
+
+// WithoutABR pins calls at their top resolution.
+func WithoutABR() Option { return func(o *options) { o.noABR = true } }
+
+// System is one simulated device on the testbed.
+type System struct {
+	Spec  device.Spec
+	Sim   *sim.Sim
+	CPU   *cpu.CPU
+	Net   *netsim.Network
+	Mem   *mem.Memory
+	Meter *energy.Meter
+	DSP   *dsp.DSP
+
+	opts options
+}
+
+// NewSystem builds a device. The zero option set is the paper's default
+// configuration: interactive governor, all cores, stock RAM, LAN testbed.
+func NewSystem(spec device.Spec, opts ...Option) *System {
+	o := options{
+		governor: cpu.Interactive,
+		netCfg:   netsim.Config{ChargeCPU: true},
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s := sim.New()
+	meter := energy.NewMeter(s.Now)
+	ccfg := cpu.FromSpec(spec, o.governor)
+	ccfg.Meter = meter
+	if o.clock > 0 {
+		ccfg.UserspaceFreq = o.clock
+	}
+	c := cpu.New(s, ccfg)
+	if o.cores > 0 {
+		c.SetOnlineCores(o.cores)
+	}
+	ram := o.ram
+	if ram == 0 {
+		ram = spec.RAM
+	}
+	sys := &System{
+		Spec:  spec,
+		Sim:   s,
+		CPU:   c,
+		Net:   netsim.New(s, c, o.netCfg),
+		Mem:   mem.New(mem.Config{RAM: ram}),
+		Meter: meter,
+		opts:  o,
+	}
+	if o.dspCfg != nil {
+		cfg := *o.dspCfg
+		cfg.Meter = meter
+		sys.DSP = dsp.New(s, cfg)
+	} else if spec.Has(device.DSP) {
+		sys.DSP = dsp.New(s, dsp.Config{Meter: meter})
+	}
+	return sys
+}
+
+// run drives the simulation until the workload completes or the virtual
+// deadline passes, then drains straggler events. It deliberately does not
+// advance the clock past the last event, so time-integrated measurements
+// (energy) reflect only the workload.
+func (sys *System) run(deadline time.Duration, done *bool) {
+	limit := sys.Sim.Now() + deadline
+	for !*done && sys.Sim.Now() <= limit && sys.Sim.Step() {
+	}
+	sys.CPU.Stop()
+	sys.Sim.Run()
+	if !*done {
+		panic("core: simulation deadline exceeded before the workload finished")
+	}
+}
+
+// LoadPage loads a page in the simulated browser and returns the trace.
+func (sys *System) LoadPage(page *webpage.Page) browser.Result {
+	var res browser.Result
+	done := false
+	browser.Load(browser.Config{Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem,
+		Engine: sys.opts.engine},
+		page, func(r browser.Result) {
+			res = r
+			done = true
+			sys.CPU.Stop()
+		})
+	sys.run(30*time.Minute, &done)
+	return res
+}
+
+// Analyze builds the WProf dependency graph for a load result.
+func (sys *System) Analyze(res browser.Result) *wprof.Graph {
+	return wprof.FromResult(res)
+}
+
+// StreamVideo plays a clip and returns the streaming QoE metrics.
+func (sys *System) StreamVideo(sc video.StreamConfig) video.Metrics {
+	var m video.Metrics
+	done := false
+	video.Stream(video.Config{
+		Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem, Spec: sys.Spec,
+		ForceSoftwareDecode: sys.opts.forceSWDec,
+		DisablePrefetch:     sys.opts.noPrefetch,
+	}, sc, func(got video.Metrics) {
+		m = got
+		done = true
+		sys.CPU.Stop()
+	})
+	sys.run(4*time.Hour, &done)
+	return m
+}
+
+// PlaceCall runs a video call and returns the telephony QoE metrics.
+func (sys *System) PlaceCall(cc telephony.CallConfig) telephony.Metrics {
+	var m telephony.Metrics
+	done := false
+	telephony.Call(telephony.Config{
+		Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem, Spec: sys.Spec,
+		DisableABR:         sys.opts.noABR,
+		ForceSoftwareCodec: sys.opts.forceSWDec,
+	}, cc, func(got telephony.Metrics) {
+		m = got
+		done = true
+		sys.CPU.Stop()
+	})
+	sys.run(4*time.Hour, &done)
+	return m
+}
+
+// Iperf measures bulk TCP goodput for the given duration (§4.1).
+func (sys *System) Iperf(duration time.Duration) netsim.IperfResult {
+	var r netsim.IperfResult
+	done := false
+	sys.Net.Iperf(duration, func(got netsim.IperfResult) {
+		r = got
+		done = true
+		sys.CPU.Stop()
+	})
+	sys.run(duration+time.Minute, &done)
+	return r
+}
+
+// EffectiveRate returns the foreground cycles/second of the current
+// configuration — the rate the wprof ePLT re-evaluations use.
+func (sys *System) EffectiveRate() float64 { return sys.CPU.EffectiveRate(true) }

@@ -1,0 +1,267 @@
+// Package device describes the smartphones under study. It reproduces the
+// paper's Table 1 catalog (seven devices spanning $60–$880) and attaches the
+// microarchitectural parameters the simulators need: per-cluster frequency
+// tables, relative IPC, big.LITTLE topology and scheduling policy, RAM, and
+// the coprocessor inventory (hardware video codec, DSP) that drives the
+// paper's central finding.
+package device
+
+import (
+	"fmt"
+
+	"mobileqoe/internal/units"
+)
+
+// Coprocessor identifies a fixed-function or programmable accelerator.
+type Coprocessor string
+
+// Coprocessors present on the studied devices. Even the low-end phones ship
+// HWDecoder/HWEncoder — that asymmetry versus the CPU is the paper's core
+// observation.
+const (
+	HWDecoder Coprocessor = "hw-video-decoder"
+	HWEncoder Coprocessor = "hw-video-encoder"
+	DSP       Coprocessor = "dsp"
+	GPU       Coprocessor = "gpu"
+)
+
+// Cluster describes one CPU cluster (all cores in a cluster share a clock,
+// as on the studied SoCs).
+type Cluster struct {
+	Cores int
+	FMin  units.Freq
+	FMax  units.Freq
+	Steps []units.Freq // available operating points, ascending; nil = derive
+	IPC   float64      // instructions-per-cycle relative to the Nexus4 Krait core
+}
+
+// Spec is a device's hardware description, mirroring the paper's Table 1
+// plus the modelling parameters.
+type Spec struct {
+	Name      string
+	Processor string
+	OSVersion string
+	GPUType   string
+	RAM       units.ByteSize
+	Release   string
+	CostUSD   int
+
+	Big    Cluster  // the (only) cluster for non-big.LITTLE parts
+	Little *Cluster // nil when the SoC is not big.LITTLE
+
+	// MediaPipelineScale multiplies per-frame media-processing costs
+	// (camera/ISP readout, memory-bus copies, display path) relative to the
+	// Nexus4 reference. Cheap SoCs pair adequate CPUs with slow memory and
+	// camera paths, which is what keeps their video-call frame rates low
+	// (Fig. 2c) even when raw CPU capacity looks sufficient. Zero means 1.0.
+	MediaPipelineScale float64
+
+	// ForegroundOnBig reports whether the vendor's scheduler places
+	// latency-sensitive foreground threads on the big cluster. The paper
+	// attributes the Pixel2-vs-S6-edge "outlier" (cheaper phone wins) to
+	// exactly this policy difference.
+	ForegroundOnBig bool
+
+	Coprocessors []Coprocessor
+}
+
+// TotalCores returns the number of cores across clusters.
+func (s Spec) TotalCores() int {
+	n := s.Big.Cores
+	if s.Little != nil {
+		n += s.Little.Cores
+	}
+	return n
+}
+
+// Has reports whether the device carries the given coprocessor.
+func (s Spec) Has(c Coprocessor) bool {
+	for _, x := range s.Coprocessors {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxFreq returns the device's highest clock across clusters.
+func (s Spec) MaxFreq() units.Freq { return s.Big.FMax }
+
+// MediaScale returns MediaPipelineScale with the zero value defaulted to 1.
+func (s Spec) MediaScale() float64 {
+	if s.MediaPipelineScale == 0 {
+		return 1
+	}
+	return s.MediaPipelineScale
+}
+
+// MinFreq returns the device's lowest clock across clusters.
+func (s Spec) MinFreq() units.Freq {
+	f := s.Big.FMin
+	if s.Little != nil && s.Little.FMin < f {
+		f = s.Little.FMin
+	}
+	return f
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s (%s, %d cores, %s-%s, %s RAM, $%d)",
+		s.Name, s.Processor, s.TotalCores(), s.MinFreq(), s.MaxFreq(), s.RAM, s.CostUSD)
+}
+
+// FreqTable returns the cluster's operating points, deriving an evenly
+// spaced 12-step table between FMin and FMax when Steps is nil (that is the
+// granularity of the paper's clock sweeps).
+func (c Cluster) FreqTable() []units.Freq {
+	if len(c.Steps) > 0 {
+		out := make([]units.Freq, len(c.Steps))
+		copy(out, c.Steps)
+		return out
+	}
+	const n = 12
+	out := make([]units.Freq, n)
+	for i := 0; i < n; i++ {
+		out[i] = c.FMin + units.Freq(float64(i)/(n-1)*(c.FMax.Hz()-c.FMin.Hz()))
+	}
+	return out
+}
+
+// Nexus4FreqSteps is the Nexus 4 cpufreq operating-point table the paper
+// sweeps in Figs. 3–6 (MHz): 384 … 1512 in 108 MHz steps.
+func Nexus4FreqSteps() []units.Freq {
+	mhz := []float64{384, 486, 594, 702, 810, 918, 1026, 1134, 1242, 1350, 1458, 1512}
+	out := make([]units.Freq, len(mhz))
+	for i, m := range mhz {
+		out[i] = units.MHz(m)
+	}
+	return out
+}
+
+// DSPFreqSteps is the aDSP operating-point table swept in Fig. 7c (MHz).
+func DSPFreqSteps() []units.Freq {
+	mhz := []float64{300, 441, 595, 748, 883}
+	out := make([]units.Freq, len(mhz))
+	for i, m := range mhz {
+		out[i] = units.MHz(m)
+	}
+	return out
+}
+
+// stdCoprocs is the accelerator set present on every studied device: the
+// paper stresses that hardware video codecs ship even on $60 phones.
+var stdCoprocs = []Coprocessor{HWDecoder, HWEncoder, GPU}
+
+// Catalog returns the seven devices of Table 1 in the paper's order
+// (cheapest first, matching Fig. 2's x-axis).
+func Catalog() []Spec {
+	return []Spec{
+		IntexAmaze(),
+		GioneeF103(),
+		Nexus4(),
+		GalaxyS2Tab(),
+		PixelC(),
+		Pixel2(),
+		GalaxyS6Edge(),
+	}
+}
+
+// ByName returns the catalog device with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("device: unknown device %q", name)
+}
+
+// IntexAmaze is the $60 low-end phone (Spreadtrum SC9832A).
+func IntexAmaze() Spec {
+	return Spec{
+		Name: "Intex Amaze+", Processor: "Spreadtrum SC9832A", OSVersion: "6.0",
+		GPUType: "Mali-400", RAM: 1 * units.GB, Release: "Jan 2017", CostUSD: 60,
+		Big:                Cluster{Cores: 4, FMin: units.MHz(300), FMax: units.MHz(1300), IPC: 0.62},
+		MediaPipelineScale: 2.2,
+		ForegroundOnBig:    true,
+		Coprocessors:       stdCoprocs,
+	}
+}
+
+// GioneeF103 is the $150 phone (MediaTek MT6735).
+func GioneeF103() Spec {
+	return Spec{
+		Name: "Gionee F103", Processor: "MediaTek MT6735", OSVersion: "5.0",
+		GPUType: "Mali-T720", RAM: 2 * units.GB, Release: "Oct 2015", CostUSD: 150,
+		Big:                Cluster{Cores: 4, FMin: units.MHz(300), FMax: units.MHz(1300), IPC: 0.80},
+		MediaPipelineScale: 1.6,
+		ForegroundOnBig:    true,
+		Coprocessors:       stdCoprocs,
+	}
+}
+
+// Nexus4 is the medium-end reference device for the parameter sweeps
+// (Snapdragon S4 Pro, Krait).
+func Nexus4() Spec {
+	return Spec{
+		Name: "Google Nexus4", Processor: "Snapdragon S4 Pro", OSVersion: "5.1.1",
+		GPUType: "Adreno 320", RAM: 2 * units.GB, Release: "Nov 2012", CostUSD: 200,
+		Big: Cluster{Cores: 4, FMin: units.MHz(384), FMax: units.MHz(1512),
+			Steps: Nexus4FreqSteps(), IPC: 1.00},
+		ForegroundOnBig: true,
+		Coprocessors:    stdCoprocs,
+	}
+}
+
+// GalaxyS2Tab is the Samsung Galaxy Tab S2 (Exynos 5433, big.LITTLE).
+func GalaxyS2Tab() Spec {
+	return Spec{
+		Name: "Galaxy S2-Tab", Processor: "Exynos 5433", OSVersion: "5.0.2",
+		GPUType: "Mali-T760", RAM: 3 * units.GB, Release: "Sept 2015", CostUSD: 450,
+		Big:                Cluster{Cores: 4, FMin: units.MHz(400), FMax: units.MHz(1300), IPC: 1.35},
+		Little:             &Cluster{Cores: 4, FMin: units.MHz(400), FMax: units.MHz(1300), IPC: 0.85},
+		MediaPipelineScale: 0.9,
+		ForegroundOnBig:    true,
+		Coprocessors:       stdCoprocs,
+	}
+}
+
+// PixelC is the Google Pixel C tablet (Tegra X1).
+func PixelC() Spec {
+	return Spec{
+		Name: "Google Pixel C", Processor: "Tegra X1", OSVersion: "8.0.0",
+		GPUType: "Maxwell", RAM: 3 * units.GB, Release: "Dec 2015", CostUSD: 600,
+		Big:                Cluster{Cores: 4, FMin: units.MHz(204), FMax: units.MHz(1912), IPC: 1.45},
+		MediaPipelineScale: 0.85,
+		ForegroundOnBig:    true,
+		Coprocessors:       stdCoprocs,
+	}
+}
+
+// Pixel2 is the high-end reference device (Snapdragon 835 with the Hexagon
+// aDSP used by the offload prototype).
+func Pixel2() Spec {
+	return Spec{
+		Name: "Google Pixel2", Processor: "Snapdragon 835", OSVersion: "8.0.0",
+		GPUType: "Adreno 540", RAM: 4 * units.GB, Release: "Oct 2017", CostUSD: 700,
+		Big:                Cluster{Cores: 4, FMin: units.MHz(300), FMax: units.MHz(2457), IPC: 1.90},
+		Little:             &Cluster{Cores: 4, FMin: units.MHz(300), FMax: units.MHz(1900), IPC: 1.10},
+		MediaPipelineScale: 0.7,
+		ForegroundOnBig:    true,
+		Coprocessors:       append([]Coprocessor{DSP}, stdCoprocs...),
+	}
+}
+
+// GalaxyS6Edge is the most expensive device in the study; its power-biased
+// big.LITTLE scheduler keeps foreground work on the little cluster, which is
+// why the cheaper Pixel2 beats it (the paper's noted outlier).
+func GalaxyS6Edge() Spec {
+	return Spec{
+		Name: "Galaxy S6-edge", Processor: "Exynos 7420", OSVersion: "6.0.1",
+		GPUType: "Mali-T760", RAM: 3 * units.GB, Release: "April 2015", CostUSD: 880,
+		Big:                Cluster{Cores: 4, FMin: units.MHz(400), FMax: units.MHz(2100), IPC: 1.55},
+		Little:             &Cluster{Cores: 4, FMin: units.MHz(400), FMax: units.MHz(1500), IPC: 0.95},
+		MediaPipelineScale: 0.75,
+		ForegroundOnBig:    false,
+		Coprocessors:       stdCoprocs,
+	}
+}

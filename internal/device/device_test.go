@@ -1,0 +1,157 @@
+package device
+
+import (
+	"testing"
+
+	"mobileqoe/internal/units"
+)
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 7 {
+		t.Fatalf("catalog has %d devices, want 7", len(cat))
+	}
+	// Spot-check the Table 1 rows the paper quotes in the text.
+	tests := []struct {
+		name  string
+		cores int
+		fmax  units.Freq
+		ram   units.ByteSize
+		cost  int
+	}{
+		{"Intex Amaze+", 4, units.MHz(1300), 1 * units.GB, 60},
+		{"Gionee F103", 4, units.MHz(1300), 2 * units.GB, 150},
+		{"Google Nexus4", 4, units.MHz(1512), 2 * units.GB, 200},
+		{"Galaxy S2-Tab", 8, units.MHz(1300), 3 * units.GB, 450},
+		{"Google Pixel C", 4, units.MHz(1912), 3 * units.GB, 600},
+		{"Google Pixel2", 8, units.MHz(2457), 4 * units.GB, 700},
+		{"Galaxy S6-edge", 8, units.MHz(2100), 3 * units.GB, 880},
+	}
+	for _, tt := range tests {
+		s, err := ByName(tt.name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", tt.name, err)
+		}
+		if s.TotalCores() != tt.cores {
+			t.Errorf("%s cores = %d, want %d", tt.name, s.TotalCores(), tt.cores)
+		}
+		if s.MaxFreq() != tt.fmax {
+			t.Errorf("%s fmax = %v, want %v", tt.name, s.MaxFreq(), tt.fmax)
+		}
+		if s.RAM != tt.ram {
+			t.Errorf("%s RAM = %v, want %v", tt.name, s.RAM, tt.ram)
+		}
+		if s.CostUSD != tt.cost {
+			t.Errorf("%s cost = %d, want %d", tt.name, s.CostUSD, tt.cost)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("iPhone X"); err == nil {
+		t.Fatal("expected error for unknown device")
+	}
+}
+
+func TestAllDevicesHaveHardwareCodec(t *testing.T) {
+	// The paper's core observation: hardware video codecs ship on every
+	// device, including the $60 phone.
+	for _, s := range Catalog() {
+		if !s.Has(HWDecoder) || !s.Has(HWEncoder) {
+			t.Errorf("%s missing hardware codec", s.Name)
+		}
+	}
+}
+
+func TestOnlyPixel2HasExposedDSP(t *testing.T) {
+	for _, s := range Catalog() {
+		want := s.Name == "Google Pixel2"
+		if got := s.Has(DSP); got != want {
+			t.Errorf("%s Has(DSP) = %v, want %v", s.Name, got, want)
+		}
+	}
+}
+
+func TestNexus4FreqSteps(t *testing.T) {
+	steps := Nexus4FreqSteps()
+	if len(steps) != 12 {
+		t.Fatalf("got %d steps, want 12", len(steps))
+	}
+	if steps[0] != units.MHz(384) || steps[11] != units.MHz(1512) {
+		t.Fatalf("endpoints = %v, %v", steps[0], steps[11])
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] <= steps[i-1] {
+			t.Fatal("steps not ascending")
+		}
+	}
+}
+
+func TestFreqTableDerived(t *testing.T) {
+	c := Cluster{Cores: 4, FMin: units.MHz(300), FMax: units.MHz(1300), IPC: 1}
+	table := c.FreqTable()
+	if len(table) != 12 {
+		t.Fatalf("derived table has %d entries", len(table))
+	}
+	if table[0] != units.MHz(300) || table[len(table)-1] != units.MHz(1300) {
+		t.Fatalf("derived endpoints wrong: %v %v", table[0], table[len(table)-1])
+	}
+}
+
+func TestFreqTableCopies(t *testing.T) {
+	n4 := Nexus4()
+	tab := n4.Big.FreqTable()
+	tab[0] = units.GHz(99)
+	if Nexus4().Big.FreqTable()[0] == units.GHz(99) {
+		t.Fatal("FreqTable aliases internal state")
+	}
+}
+
+func TestBigLittleTopology(t *testing.T) {
+	p2 := Pixel2()
+	if p2.Little == nil {
+		t.Fatal("Pixel2 should be big.LITTLE")
+	}
+	if !p2.ForegroundOnBig {
+		t.Fatal("Pixel2 scheduler should prefer big cores for foreground")
+	}
+	s6 := GalaxyS6Edge()
+	if s6.ForegroundOnBig {
+		t.Fatal("S6-edge models the power-biased scheduler (foreground on little)")
+	}
+	if s6.CostUSD <= p2.CostUSD {
+		t.Fatal("the outlier requires S6 to cost more than Pixel2")
+	}
+	n4 := Nexus4()
+	if n4.Little != nil {
+		t.Fatal("Nexus4 is single-cluster")
+	}
+}
+
+func TestMinFreqAcrossClusters(t *testing.T) {
+	p2 := Pixel2()
+	if p2.MinFreq() != units.MHz(300) {
+		t.Fatalf("Pixel2 min freq = %v", p2.MinFreq())
+	}
+	if p2.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestDSPFreqSteps(t *testing.T) {
+	steps := DSPFreqSteps()
+	if len(steps) != 5 || steps[0] != units.MHz(300) || steps[4] != units.MHz(883) {
+		t.Fatalf("DSP steps = %v", steps)
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// Catalog is presented cheapest-first except the S6 outlier at the end,
+	// matching Fig. 2's x-axis ordering.
+	cat := Catalog()
+	for i := 1; i < len(cat)-1; i++ {
+		if cat[i].CostUSD < cat[i-1].CostUSD {
+			t.Fatalf("catalog not cost-ordered at %s", cat[i].Name)
+		}
+	}
+}

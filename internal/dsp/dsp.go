@@ -1,0 +1,153 @@
+// Package dsp models the Qualcomm Hexagon-style aDSP coprocessor and the
+// FastRPC path the paper's §4.2 prototype uses to offload regular-expression
+// evaluation from the CPU.
+//
+// The model has three parts:
+//
+//   - a service model: the DSP is a single-context engine at a fixed clock
+//     that serves offloaded calls FIFO, each costing RPC overhead (marshal,
+//     context switch, interrupt) plus vectorized NFA execution time derived
+//     from real rex step counts;
+//   - an energy model: the DSP draws a small active power versus the
+//     application core's ≈1.2 W, which is where the paper's 4× energy win
+//     comes from; and
+//   - a cost mapping for the CPU baseline: backtracking-engine steps to
+//     application-core cycles, so the same workload can be priced on either
+//     side.
+package dsp
+
+import (
+	"time"
+
+	"mobileqoe/internal/energy"
+	"mobileqoe/internal/sim"
+	"mobileqoe/internal/units"
+)
+
+// Step-to-cycle calibration.
+const (
+	// CPUCyclesPerStep prices one backtracking-engine step on an application
+	// core (interpreter dispatch, pointer chasing).
+	CPUCyclesPerStep = 8.0
+	// DSPCyclesPerStep prices one Pike-VM step on the DSP. HVX-style vector
+	// scanning retires several NFA threads per cycle, which is how a
+	// sub-GHz DSP beats a 2.4 GHz core on this workload.
+	DSPCyclesPerStep = 0.55
+)
+
+// Config describes the coprocessor.
+type Config struct {
+	Freq        units.Freq    // DSP clock; default 800 MHz
+	RPCOverhead time.Duration // fixed FastRPC round-trip cost; default 100 µs
+	// MarshalPerKB is the added RPC latency per KiB of input shipped across
+	// the SMMU boundary (ION shared buffers make this cheap); default
+	// 500 ns/KiB.
+	MarshalPerKB time.Duration
+	ActiveWatts  float64       // power while serving; default 0.22 W
+	IdleWatts    float64       // leakage; default 0.005 W
+	Meter        *energy.Meter // optional; component "dsp"
+}
+
+func (c *Config) setDefaults() {
+	if c.Freq == 0 {
+		c.Freq = units.MHz(800)
+	}
+	if c.RPCOverhead == 0 {
+		c.RPCOverhead = 100 * time.Microsecond
+	}
+	if c.MarshalPerKB == 0 {
+		c.MarshalPerKB = 500 * time.Nanosecond
+	}
+	if c.ActiveWatts == 0 {
+		c.ActiveWatts = 0.22
+	}
+	if c.IdleWatts == 0 {
+		c.IdleWatts = 0.005
+	}
+}
+
+// DSP is a simulated coprocessor.
+type DSP struct {
+	s         *sim.Sim
+	cfg       Config
+	busyUntil time.Duration
+	calls     int64
+	busyTotal time.Duration
+}
+
+// New constructs a DSP on the simulator.
+func New(s *sim.Sim, cfg Config) *DSP {
+	cfg.setDefaults()
+	d := &DSP{s: s, cfg: cfg}
+	if cfg.Meter != nil {
+		cfg.Meter.SetPower("dsp", cfg.IdleWatts)
+	}
+	return d
+}
+
+// Config returns the effective configuration.
+func (d *DSP) Config() Config { return d.cfg }
+
+// Calls returns the number of served calls.
+func (d *DSP) Calls() int64 { return d.calls }
+
+// BusyTime returns total service time so far.
+func (d *DSP) BusyTime() time.Duration { return d.busyTotal }
+
+// ServiceTime returns the execution-only time for a call of the given Pike
+// step count (no RPC or queueing).
+func (d *DSP) ServiceTime(pikeSteps int64) time.Duration {
+	return units.DurationFor(float64(pikeSteps)*DSPCyclesPerStep, d.cfg.Freq)
+}
+
+// CallLatency returns the end-to-end latency a caller would observe for a
+// call issued now: RPC overhead, input marshaling, FIFO queueing behind
+// earlier calls, and service.
+func (d *DSP) CallLatency(pikeSteps int64, inputBytes int) time.Duration {
+	lat := d.rpcCost(inputBytes) + d.ServiceTime(pikeSteps)
+	if q := d.busyUntil - d.s.Now(); q > 0 {
+		lat += q
+	}
+	return lat
+}
+
+func (d *DSP) rpcCost(inputBytes int) time.Duration {
+	return d.cfg.RPCOverhead +
+		time.Duration(float64(inputBytes)/1024*float64(d.cfg.MarshalPerKB))
+}
+
+// Call submits an offloaded execution; done runs when the result returns to
+// the caller. The calling thread is assumed blocked (FastRPC is
+// synchronous), which is exactly why offload frees the CPU core.
+func (d *DSP) Call(pikeSteps int64, inputBytes int, done func()) {
+	now := d.s.Now()
+	start := now + d.rpcCost(inputBytes)/2 // request marshal before service
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	service := d.ServiceTime(pikeSteps)
+	d.busyUntil = start + service
+	d.calls++
+	d.busyTotal += service
+	if d.cfg.Meter != nil {
+		m := d.cfg.Meter
+		d.s.At(start, func() { m.SetPower("dsp", d.cfg.ActiveWatts) })
+		end := d.busyUntil
+		d.s.At(end, func() {
+			// Only drop to idle if no later call extended the busy window.
+			if d.busyUntil <= end {
+				m.SetPower("dsp", d.cfg.IdleWatts)
+			}
+		})
+	}
+	finish := d.busyUntil + d.rpcCost(0)/2 // response unmarshal
+	d.s.At(finish, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// CPUCycles prices a backtracking run of the given step count in reference
+// CPU cycles (the non-offloaded baseline).
+func CPUCycles(btSteps int64) float64 { return float64(btSteps) * CPUCyclesPerStep }

@@ -1,0 +1,144 @@
+// Package energy models power draw and accumulated energy for the device
+// components the paper measures: CPU cores at a frequency-dependent voltage,
+// the DSP coprocessor, and fixed-function accelerators. A Meter integrates
+// piecewise-constant power over virtual time, which is exactly how the
+// paper's Monsoon-style traces are summarized (median power, total joules).
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mobileqoe/internal/units"
+)
+
+// Meter integrates per-component power over virtual time. Components are
+// identified by name ("cpu", "dsp", "decoder", ...). The zero value is not
+// usable; construct with NewMeter.
+type Meter struct {
+	now   func() time.Duration
+	comps map[string]*component
+}
+
+type component struct {
+	watts  float64
+	since  time.Duration
+	joules float64
+}
+
+// NewMeter returns a meter that reads virtual time through now (typically
+// Sim.Now).
+func NewMeter(now func() time.Duration) *Meter {
+	if now == nil {
+		panic("energy: nil clock")
+	}
+	return &Meter{now: now, comps: map[string]*component{}}
+}
+
+// SetPower sets the instantaneous power draw of a component, accruing energy
+// for the interval since the last change. Negative power panics.
+func (m *Meter) SetPower(name string, watts float64) {
+	if watts < 0 {
+		panic(fmt.Sprintf("energy: negative power %f for %s", watts, name))
+	}
+	t := m.now()
+	c, ok := m.comps[name]
+	if !ok {
+		c = &component{since: t}
+		m.comps[name] = c
+	}
+	c.joules += c.watts * (t - c.since).Seconds()
+	c.watts = watts
+	c.since = t
+}
+
+// Power returns the current power draw of a component (0 if never set).
+func (m *Meter) Power(name string) float64 {
+	if c, ok := m.comps[name]; ok {
+		return c.watts
+	}
+	return 0
+}
+
+// TotalPower returns the current total power across all components.
+func (m *Meter) TotalPower() float64 {
+	t := 0.0
+	for _, c := range m.comps {
+		t += c.watts
+	}
+	return t
+}
+
+// Energy returns the energy in joules accrued by a component up to now.
+func (m *Meter) Energy(name string) float64 {
+	c, ok := m.comps[name]
+	if !ok {
+		return 0
+	}
+	return c.joules + c.watts*(m.now()-c.since).Seconds()
+}
+
+// TotalEnergy returns the total energy in joules across all components.
+func (m *Meter) TotalEnergy() float64 {
+	t := 0.0
+	for name := range m.comps {
+		t += m.Energy(name)
+	}
+	return t
+}
+
+// Components returns the known component names in sorted order.
+func (m *Meter) Components() []string {
+	names := make([]string, 0, len(m.comps))
+	for n := range m.comps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// VoltageCurve maps core clock frequency to supply voltage. Mobile SoCs run
+// roughly linear V-f curves between their minimum and maximum operating
+// points; that is what makes the powersave governor's energy/performance
+// trade-off non-trivial (P_dyn ∝ f·V²).
+type VoltageCurve struct {
+	FMin, FMax units.Freq
+	VMin, VMax float64 // volts at FMin and FMax
+}
+
+// DefaultVoltageCurve is a typical mobile core curve (0.70 V at the floor,
+// 1.25 V at the ceiling).
+func DefaultVoltageCurve(fmin, fmax units.Freq) VoltageCurve {
+	return VoltageCurve{FMin: fmin, FMax: fmax, VMin: 0.70, VMax: 1.25}
+}
+
+// VoltsAt returns the supply voltage at frequency f, clamped to the curve's
+// endpoints.
+func (v VoltageCurve) VoltsAt(f units.Freq) float64 {
+	if v.FMax <= v.FMin {
+		return v.VMax
+	}
+	if f <= v.FMin {
+		return v.VMin
+	}
+	if f >= v.FMax {
+		return v.VMax
+	}
+	frac := (f.Hz() - v.FMin.Hz()) / (v.FMax.Hz() - v.FMin.Hz())
+	return v.VMin + frac*(v.VMax-v.VMin)
+}
+
+// DynamicPower returns the switching power C_eff·f·V² in watts for an
+// effective capacitance in farads.
+func DynamicPower(ceff float64, f units.Freq, volts float64) float64 {
+	return ceff * f.Hz() * volts * volts
+}
+
+// CoreCeff is the effective switching capacitance used for application cores.
+// It is calibrated so that a busy core at 1512 MHz / 1.25 V draws ≈1.2 W,
+// matching the CPU curve in the paper's Fig. 7b.
+const CoreCeff = 5.1e-10
+
+// CoreIdleWatts is the leakage/idle floor per online core.
+const CoreIdleWatts = 0.018

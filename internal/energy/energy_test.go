@@ -1,0 +1,137 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mobileqoe/internal/units"
+)
+
+type fakeClock struct{ t time.Duration }
+
+func (c *fakeClock) now() time.Duration { return c.t }
+
+func TestMeterIntegration(t *testing.T) {
+	c := &fakeClock{}
+	m := NewMeter(c.now)
+	m.SetPower("cpu", 2)
+	c.t = 3 * time.Second
+	if e := m.Energy("cpu"); math.Abs(e-6) > 1e-9 {
+		t.Fatalf("energy = %v, want 6 J", e)
+	}
+	m.SetPower("cpu", 0.5)
+	c.t = 5 * time.Second
+	if e := m.Energy("cpu"); math.Abs(e-7) > 1e-9 {
+		t.Fatalf("energy = %v, want 7 J", e)
+	}
+}
+
+func TestMeterMultipleComponents(t *testing.T) {
+	c := &fakeClock{}
+	m := NewMeter(c.now)
+	m.SetPower("cpu", 1)
+	m.SetPower("dsp", 0.25)
+	c.t = 4 * time.Second
+	if e := m.TotalEnergy(); math.Abs(e-5) > 1e-9 {
+		t.Fatalf("total = %v, want 5 J", e)
+	}
+	if p := m.TotalPower(); math.Abs(p-1.25) > 1e-9 {
+		t.Fatalf("power = %v, want 1.25 W", p)
+	}
+	comps := m.Components()
+	if len(comps) != 2 || comps[0] != "cpu" || comps[1] != "dsp" {
+		t.Fatalf("components = %v", comps)
+	}
+}
+
+func TestMeterUnknownComponent(t *testing.T) {
+	m := NewMeter((&fakeClock{}).now)
+	if m.Energy("nope") != 0 || m.Power("nope") != 0 {
+		t.Fatal("unknown component should read zero")
+	}
+}
+
+func TestNegativePowerPanics(t *testing.T) {
+	m := NewMeter((&fakeClock{}).now)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative power did not panic")
+		}
+	}()
+	m.SetPower("cpu", -1)
+}
+
+func TestNilClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil clock did not panic")
+		}
+	}()
+	NewMeter(nil)
+}
+
+func TestVoltageCurve(t *testing.T) {
+	v := DefaultVoltageCurve(units.MHz(384), units.MHz(1512))
+	if got := v.VoltsAt(units.MHz(384)); got != 0.70 {
+		t.Fatalf("VMin = %v", got)
+	}
+	if got := v.VoltsAt(units.MHz(1512)); got != 1.25 {
+		t.Fatalf("VMax = %v", got)
+	}
+	mid := v.VoltsAt(units.MHz(948)) // midpoint
+	if math.Abs(mid-0.975) > 1e-9 {
+		t.Fatalf("midpoint volts = %v, want 0.975", mid)
+	}
+	// Clamping.
+	if v.VoltsAt(units.MHz(100)) != 0.70 || v.VoltsAt(units.GHz(3)) != 1.25 {
+		t.Fatal("clamping failed")
+	}
+	// Degenerate curve.
+	d := VoltageCurve{FMin: units.MHz(500), FMax: units.MHz(500), VMin: 0.7, VMax: 1.0}
+	if d.VoltsAt(units.MHz(500)) != 1.0 {
+		t.Fatal("degenerate curve should return VMax")
+	}
+}
+
+func TestDynamicPowerCalibration(t *testing.T) {
+	// A busy core at 1512 MHz / 1.25 V should draw on the order of 1.2 W,
+	// matching the CPU power the paper reports during JS execution.
+	p := DynamicPower(CoreCeff, units.MHz(1512), 1.25)
+	if p < 1.0 || p > 1.5 {
+		t.Fatalf("calibrated core power = %v W, want ~1.2 W", p)
+	}
+	// Power at the frequency floor should be dramatically lower.
+	low := DynamicPower(CoreCeff, units.MHz(384), 0.70)
+	if low > p/5 {
+		t.Fatalf("low-clock power %v W not < 1/5 of high-clock %v W", low, p)
+	}
+}
+
+// Property: energy is non-negative and non-decreasing in time for
+// non-negative power schedules.
+func TestEnergyMonotoneProperty(t *testing.T) {
+	f := func(powers []uint8, gaps []uint8) bool {
+		c := &fakeClock{}
+		m := NewMeter(c.now)
+		last := 0.0
+		n := len(powers)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		for i := 0; i < n; i++ {
+			m.SetPower("x", float64(powers[i])/10)
+			c.t += time.Duration(gaps[i]) * time.Millisecond
+			e := m.Energy("x")
+			if e < last-1e-12 {
+				return false
+			}
+			last = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

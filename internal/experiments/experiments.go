@@ -1,0 +1,167 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulation stack, one registered runner per artifact.
+// Each runner returns a Table whose rows correspond to the points the paper
+// plots, so `qoesim -run fig3a` prints the series behind Fig. 3a.
+//
+// The experiment IDs follow the paper: table1, fig1, fig2a–fig2c, fig3a–d,
+// fig4a–d, fig5a–d, fig6, fig7a–c, plus the in-text analyses (text-crit,
+// text-regex) and the ablations DESIGN.md §5 calls out (abl-*).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config scales experiment effort. The defaults favor quick runs; the paper
+// used 20 trials of the full corpus and 5-minute clips, which Full() selects.
+type Config struct {
+	Seed          uint64        // corpus seed; default 1
+	Pages         int           // pages per web measurement; default 6
+	ClipDuration  time.Duration // streaming clip length; default 60 s
+	CallDuration  time.Duration // call media length; default 30 s
+	IperfDuration time.Duration // bulk-transfer length; default 3 s
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Pages == 0 {
+		c.Pages = 6
+	}
+	if c.ClipDuration == 0 {
+		c.ClipDuration = 60 * time.Second
+	}
+	if c.CallDuration == 0 {
+		c.CallDuration = 30 * time.Second
+	}
+	if c.IperfDuration == 0 {
+		c.IperfDuration = 3 * time.Second
+	}
+	return c
+}
+
+// Full returns the paper-scale configuration (slow: full corpus, 5-minute
+// clips).
+func Full() Config {
+	return Config{Pages: 50, ClipDuration: 5 * time.Minute,
+		CallDuration: time.Minute, IperfDuration: 10 * time.Second}
+}
+
+// Table is one regenerated artifact.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // calibration/shape caveats worth printing
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders an aligned ASCII table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner produces a table under a configuration.
+type Runner func(Config) *Table
+
+type entry struct {
+	fn   Runner
+	desc string
+}
+
+var registry = map[string]entry{}
+
+func register(id, desc string, fn Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = entry{fn: fn, desc: desc}
+}
+
+// IDs returns all experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns an experiment's one-line description.
+func Describe(id string) string { return registry[id].desc }
+
+// Run executes one experiment.
+func Run(id string, cfg Config) (*Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return e.fn(cfg.withDefaults()), nil
+}
+
+// Formatting helpers shared by the runners.
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+func ratio(v float64) string      { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string        { return fmt.Sprintf("%.1f%%", v*100) }
+func fps(v float64) string        { return fmt.Sprintf("%.1f", v) }
+func mbps(v float64) string       { return fmt.Sprintf("%.1f", v) }
+func watts(v float64) string      { return fmt.Sprintf("%.2f", v) }
+func meanStd(m, s float64) string { return fmt.Sprintf("%.2f±%.2f", m, s) }

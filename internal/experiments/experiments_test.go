@@ -1,0 +1,429 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick is a fast configuration for tests.
+func quick() Config {
+	return Config{Seed: 1, Pages: 3, ClipDuration: 40 * time.Second,
+		CallDuration: 15 * time.Second, IperfDuration: 2 * time.Second}
+}
+
+// cell parses the leading float of a table cell ("3.42±0.50" -> 3.42).
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	s := tab.Rows[row][col]
+	if i := strings.IndexAny(s, "±%"); i >= 0 {
+		s = s[:i]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("cell %d,%d of %s = %q not numeric: %v", row, col, tab.ID, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func mustRun(t *testing.T, id string) *Table {
+	t.Helper()
+	tab, err := Run(id, quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tab
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig1", "fig2a", "fig2b", "fig2c",
+		"fig3a", "fig3b", "fig3c", "fig3d",
+		"fig4a", "fig4b", "fig4c", "fig4d",
+		"fig5a", "fig5b", "fig5c", "fig5d",
+		"fig6", "fig7a", "fig7b", "fig7c",
+		"text-crit", "text-regex", "text-categories",
+		"abl-packetcpu", "abl-prefetch", "abl-hwdecoder", "abl-rpc", "abl-engine", "abl-biglittle",
+		"ext-tls", "ext-browsers", "ext-joint", "ext-energy", "ext-h2", "text-coreuse",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+		if Describe(id) == "" {
+			t.Errorf("experiment %s has no description", id)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", quick()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTable1MatchesCatalog(t *testing.T) {
+	tab := mustRun(t, "table1")
+	if len(tab.Rows) != 7 {
+		t.Fatalf("%d devices", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "Intex Amaze+" || tab.Rows[5][0] != "Google Pixel2" {
+		t.Fatalf("catalog order wrong: %v", tab.Rows)
+	}
+}
+
+func TestFig1PLTRises(t *testing.T) {
+	tab := mustRun(t, "fig1")
+	first := cell(t, tab, 0, 1)
+	last := cell(t, tab, len(tab.Rows)-1, 1)
+	if r := last / first; r < 2.5 || r > 7 {
+		t.Fatalf("fig1 PLT growth = %.2f, want ~4x", r)
+	}
+}
+
+func TestFig2aShape(t *testing.T) {
+	tab := mustRun(t, "fig2a")
+	byName := map[string]float64{}
+	for i, row := range tab.Rows {
+		byName[row[0]] = cell(t, tab, i, 2)
+	}
+	if r := byName["Intex Amaze+"] / byName["Google Pixel2"]; r < 3 || r > 8 {
+		t.Fatalf("Intex/Pixel2 = %.2f, want ~5x", r)
+	}
+	if byName["Google Pixel2"] >= byName["Galaxy S6-edge"] {
+		t.Fatal("Pixel2 should beat the S6-edge")
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	tab := mustRun(t, "fig3a")
+	if len(tab.Rows) != 12 {
+		t.Fatalf("%d clock steps, want 12", len(tab.Rows))
+	}
+	lowest := cell(t, tab, 0, 1)
+	highest := cell(t, tab, len(tab.Rows)-1, 1)
+	if r := lowest / highest; r < 3 || r > 5.5 {
+		t.Fatalf("fig3a 384/1512 ratio = %.2f, want ~4x", r)
+	}
+	// Monotone non-increasing as the clock rises (small tolerance).
+	prev := lowest
+	for i := 1; i < len(tab.Rows); i++ {
+		v := cell(t, tab, i, 1)
+		if v > prev*1.05 {
+			t.Fatalf("PLT not decreasing with clock at row %d", i)
+		}
+		prev = v
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	tab := mustRun(t, "fig3b")
+	if r := cell(t, tab, 0, 1) / cell(t, tab, len(tab.Rows)-1, 1); r < 1.4 || r > 2.8 {
+		t.Fatalf("fig3b 512MB/2GB = %.2f, want ~2x", r)
+	}
+}
+
+func TestFig3cShape(t *testing.T) {
+	tab := mustRun(t, "fig3c")
+	if r := cell(t, tab, 0, 1) / cell(t, tab, 3, 1); r < 1.02 || r > 1.9 {
+		t.Fatalf("fig3c 1-core/4-core = %.2f, want modest", r)
+	}
+}
+
+func TestFig3dShape(t *testing.T) {
+	tab := mustRun(t, "fig3d")
+	vals := map[string]float64{}
+	for i, row := range tab.Rows {
+		vals[row[0]] = cell(t, tab, i, 1)
+	}
+	if r := vals["PW"] / vals["PF"]; r < 1.3 {
+		t.Fatalf("powersave/performance = %.2f, want >= 1.3", r)
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	tab := mustRun(t, "fig4a")
+	if len(tab.Rows) != 12 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// Startup grows, stalls stay ~0.
+	if r := cell(t, tab, 0, 1) / cell(t, tab, 11, 1); r < 1.8 {
+		t.Fatalf("startup ratio = %.2f, want ~3x", r)
+	}
+	for i := range tab.Rows {
+		if st := cell(t, tab, i, 2); st > 0.03 {
+			t.Fatalf("stall ratio at row %d = %.3f, want ~0", i, st)
+		}
+	}
+}
+
+func TestFig4cSingleCoreStalls(t *testing.T) {
+	tab := mustRun(t, "fig4c")
+	one := cell(t, tab, 0, 2)
+	four := cell(t, tab, 3, 2)
+	if one < 0.04 {
+		t.Fatalf("1-core stall = %.3f, want ~0.15", one)
+	}
+	if four > 0.02 {
+		t.Fatalf("4-core stall = %.3f, want ~0", four)
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	tab := mustRun(t, "fig5a")
+	setupLow, setupHigh := cell(t, tab, 0, 1), cell(t, tab, 11, 1)
+	if setupLow-setupHigh < 12 {
+		t.Fatalf("setup delta = %.1fs, want ~18s", setupLow-setupHigh)
+	}
+	fpsLow, fpsHigh := cell(t, tab, 0, 2), cell(t, tab, 11, 2)
+	if fpsHigh < 28 || fpsLow > 24 || fpsLow < 12 {
+		t.Fatalf("fps %0.f->%0.f, want 30->~17", fpsHigh, fpsLow)
+	}
+	// ABR stepped the resolution down at the lowest clock.
+	if tab.Rows[0][3] == "720p" {
+		t.Fatal("low clock should reduce resolution")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tab := mustRun(t, "fig6")
+	low := cell(t, tab, 0, 1)
+	high := cell(t, tab, 11, 1)
+	if high < 43 || high > 50 {
+		t.Fatalf("throughput at 1512 = %.1f, want ~46-48", high)
+	}
+	if low < 28 || low > 36 {
+		t.Fatalf("throughput at 384 = %.1f, want ~32", low)
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	tab := mustRun(t, "fig7a")
+	cpuScript, dspScript := cell(t, tab, 0, 1), cell(t, tab, 1, 1)
+	if dspScript >= cpuScript {
+		t.Fatal("DSP scripting should be faster")
+	}
+	gain := cell(t, tab, 2, 2) / 100
+	if gain < 0.08 || gain > 0.35 {
+		t.Fatalf("ePLT gain = %.1f%%, want ~18%%", gain*100)
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	tab := mustRun(t, "fig7b")
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "median-ratio" {
+		t.Fatalf("missing median ratio row: %v", last)
+	}
+	r := cell(t, tab, len(tab.Rows)-1, 1)
+	if r < 3 || r > 8 {
+		t.Fatalf("median power ratio = %.1f, want ~4-6x", r)
+	}
+	// CPU power exceeds DSP power at every percentile.
+	for i := 0; i < len(tab.Rows)-1; i++ {
+		if cell(t, tab, i, 1) <= cell(t, tab, i, 2) {
+			t.Fatalf("CPU power not above DSP at row %d", i)
+		}
+	}
+}
+
+func TestFig7cShape(t *testing.T) {
+	tab := mustRun(t, "fig7c")
+	firstGain := cell(t, tab, 0, 3) / 100              // 300 MHz
+	lastGain := cell(t, tab, len(tab.Rows)-1, 3) / 100 // 883 MHz
+	if firstGain <= lastGain {
+		t.Fatalf("gain should shrink with clock: %.2f -> %.2f", firstGain, lastGain)
+	}
+	if firstGain < 0.12 || firstGain > 0.45 {
+		t.Fatalf("300 MHz gain = %.1f%%, want ~25%%", firstGain*100)
+	}
+}
+
+func TestTextCritShape(t *testing.T) {
+	tab := mustRun(t, "text-crit")
+	// Row 0 = 1512 MHz, row 1 = 384 MHz.
+	if cell(t, tab, 1, 1) <= cell(t, tab, 0, 1) {
+		t.Fatal("critical path should lengthen at low clock")
+	}
+	if cell(t, tab, 1, 2) <= cell(t, tab, 0, 2) {
+		t.Fatal("network time should inflate at low clock")
+	}
+	if cell(t, tab, 1, 3) <= cell(t, tab, 0, 3) {
+		t.Fatal("compute time should inflate at low clock")
+	}
+	share := cell(t, tab, 0, 5)
+	if share < 35 || share > 75 {
+		t.Fatalf("scripting share = %.0f%%, want ~51-60%%", share)
+	}
+}
+
+func TestTextRegexShape(t *testing.T) {
+	tab := mustRun(t, "text-regex")
+	vals := map[string]float64{}
+	for i, row := range tab.Rows {
+		vals[row[0]] = cell(t, tab, i, 1)
+	}
+	if v := vals["regex share of scripting (corpus)"]; v < 10 || v > 35 {
+		t.Fatalf("corpus regex share = %.1f%%, want ~20%%", v)
+	}
+	if v := vals["regex energy ratio CPU/DSP"]; v < 2.5 || v > 10 {
+		t.Fatalf("energy ratio = %.1f, want ~4x", v)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, id := range []string{"abl-packetcpu", "abl-hwdecoder", "abl-rpc", "abl-engine", "abl-biglittle"} {
+		tab := mustRun(t, id)
+		if len(tab.Rows) < 2 {
+			t.Errorf("%s too small: %v", id, tab.Rows)
+		}
+	}
+}
+
+func TestAblEngineBlowup(t *testing.T) {
+	tab := mustRun(t, "abl-engine")
+	var btRatio, dfaRatio float64
+	for _, row := range tab.Rows {
+		r, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			continue
+		}
+		switch row[0] {
+		case "(a+)+$ on a^26 b":
+			btRatio = r
+		case "(a+)+$ lazy-DFA":
+			dfaRatio = r
+		}
+	}
+	if btRatio < 50 {
+		t.Fatalf("catastrophic backtracking ratio = %v, want >> 1", btRatio)
+	}
+	if dfaRatio <= 0 || dfaRatio > 20 {
+		t.Fatalf("DFA should stay linear on the pathological case: ratio %v", dfaRatio)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := mustRun(t, "table1")
+	s := tab.String()
+	if !strings.Contains(s, "Intex Amaze+") || !strings.Contains(s, "==") {
+		t.Fatalf("bad rendering:\n%s", s)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "device,processor") {
+		t.Fatalf("bad CSV header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if len(strings.Split(strings.TrimSpace(csv), "\n")) != 8 {
+		t.Fatal("CSV row count wrong")
+	}
+}
+
+func TestExtensionsRun(t *testing.T) {
+	// TLS cost grows as the clock drops.
+	tls := mustRun(t, "ext-tls")
+	first := cell(t, tls, 0, 3)              // 1512 MHz overhead %
+	last := cell(t, tls, len(tls.Rows)-1, 3) // 384 MHz overhead %
+	if last <= first {
+		t.Fatalf("TLS overhead should grow at low clock: %.1f%% -> %.1f%%", first, last)
+	}
+	for i := range tls.Rows {
+		if cell(t, tls, i, 2) <= cell(t, tls, i, 1) {
+			t.Fatalf("TLS should cost something at row %d", i)
+		}
+	}
+
+	// Chrome and Firefox degrade alike; Opera Mini sidesteps the clock.
+	br := mustRun(t, "ext-browsers")
+	byName := map[string][2]float64{}
+	for i, row := range br.Rows {
+		byName[row[0]] = [2]float64{cell(t, br, i, 1), cell(t, br, i, 3)}
+	}
+	if r := byName["firefox57"][1] / byName["chrome63"][1]; r < 0.75 || r > 1.3 {
+		t.Fatalf("firefox slowdown should track chrome: ratio %.2f", r)
+	}
+	if byName["operamini"][1] >= byName["chrome63"][1]*0.8 {
+		t.Fatalf("opera mini should feel the clock less: %.2f vs %.2f",
+			byName["operamini"][1], byName["chrome63"][1])
+	}
+	if byName["operamini"][0] >= byName["chrome63"][0] {
+		t.Fatal("opera mini should be faster at full clock")
+	}
+
+	// Joint sweep: the device effect shrinks as the network worsens.
+	joint := mustRun(t, "ext-joint")
+	firstEff := cell(t, joint, 0, 5)                // LAN
+	lastEff := cell(t, joint, len(joint.Rows)-1, 5) // 3G
+	if lastEff >= firstEff {
+		t.Fatalf("device effect should shrink on slow networks: %.2f -> %.2f", firstEff, lastEff)
+	}
+}
+
+func TestCoreUseShape(t *testing.T) {
+	tab := mustRun(t, "text-coreuse")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	webTop2 := cell(t, tab, 0, 5)
+	vidTop2 := cell(t, tab, 1, 5)
+	if webTop2 < 75 {
+		t.Fatalf("web top-2 share = %.0f%%, want >= 80%% (browser uses <= 2 cores)", webTop2)
+	}
+	if vidTop2 >= webTop2 {
+		t.Fatalf("video should spread wider than web: %.0f%% vs %.0f%%", vidTop2, webTop2)
+	}
+}
+
+func TestExtEnergyShape(t *testing.T) {
+	tab := mustRun(t, "ext-energy")
+	vals := map[string][2]float64{}
+	for i, row := range tab.Rows {
+		vals[row[0]] = [2]float64{cell(t, tab, i, 1), cell(t, tab, i, 2)} // plt, joules
+	}
+	pf, pw := vals["PF"], vals["PW"]
+	if pw[0] <= pf[0]*2 {
+		t.Fatalf("powersave PLT should be several times PF: %.2f vs %.2f", pw[0], pf[0])
+	}
+	if pw[1] >= pf[1] {
+		t.Fatalf("powersave should spend fewer joules: %.2f vs %.2f", pw[1], pf[1])
+	}
+	// Average power during the load is in the plausible 0.1-3 W band.
+	for name, v := range vals {
+		w := v[1] / v[0]
+		if w < 0.05 || w > 3.5 {
+			t.Fatalf("%s average power %.2f W implausible", name, w)
+		}
+	}
+}
+
+func TestExtH2Shape(t *testing.T) {
+	tab := mustRun(t, "ext-h2")
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	for i := range tab.Rows {
+		h1, h2 := cell(t, tab, i, 2), cell(t, tab, i, 3)
+		if h2 <= 0 || h1 <= 0 {
+			t.Fatal("missing PLT")
+		}
+		// Multiplexing must never be catastrophically worse and at most a
+		// moderate win on this sharded corpus.
+		if r := h2 / h1; r < 0.7 || r > 1.1 {
+			t.Fatalf("h2/h1 ratio = %.2f at row %d, want ~1", r, i)
+		}
+	}
+}
+
+func TestHTTP2OptionEndToEnd(t *testing.T) {
+	// Requests multiplex over a single connection per origin and all bytes
+	// still arrive exactly once.
+	tab := mustRun(t, "ext-h2")
+	_ = tab // table construction above is the end-to-end exercise
+}

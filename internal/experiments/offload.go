@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mobileqoe/internal/core"
+	"mobileqoe/internal/cpu"
+	"mobileqoe/internal/device"
+	"mobileqoe/internal/dsp"
+	"mobileqoe/internal/energy"
+	"mobileqoe/internal/sim"
+	"mobileqoe/internal/stats"
+	"mobileqoe/internal/units"
+	"mobileqoe/internal/webpage"
+	"mobileqoe/internal/wprof"
+)
+
+func init() {
+	register("fig7a", "Scripting time and ePLT, CPU vs DSP offload (Fig. 7a)", fig7a)
+	register("fig7b", "Power CDF during regex execution, CPU vs DSP (Fig. 7b)", fig7b)
+	register("fig7c", "ePLT at low clocks, CPU vs DSP offload (Fig. 7c)", fig7c)
+	register("text-regex", "Regex share of scripting and offload summary (§4.2)", textRegex)
+}
+
+// sportsPages returns the §4.2 workload subset.
+func sportsPages(cfg Config) []*webpage.Page {
+	all := webpage.SportsTop20(cfg.Seed)
+	n := cfg.Pages
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// defaultGovernorDuty is the fraction of peak clock a flagship sustains
+// under the default governor during a real page load: thermal limits and
+// the governor's ramp cycles keep the Snapdragon 835 well below its 2.46 GHz
+// burst clock for sustained work. The paper's Fig. 7a scripting times imply
+// exactly such a mid-frequency operating point.
+const defaultGovernorDuty = 0.55
+
+// sportsGraphs traces the sports pages on a Pixel2 at the default governor
+// and returns the WProf graphs plus the default-governor effective CPU rate
+// used for the ePLT re-evaluations.
+func sportsGraphs(cfg Config) ([]*wprof.Graph, float64) {
+	var graphs []*wprof.Graph
+	for _, p := range sportsPages(cfg) {
+		sys := core.NewSystem(device.Pixel2())
+		res := sys.LoadPage(p)
+		graphs = append(graphs, wprof.FromResult(res))
+	}
+	spec := device.Pixel2()
+	rate := spec.Big.FMax.Hz() * spec.Big.IPC * defaultGovernorDuty
+	return graphs, rate
+}
+
+func newDSP() *dsp.DSP { return dsp.New(sim.New(), dsp.Config{}) }
+
+func fig7a(cfg Config) *Table {
+	t := &Table{ID: "fig7a", Title: "Javascript execution and ePLT, top sports pages on the Pixel2",
+		Columns: []string{"engine", "script_time_s(avg/script)", "eplt_s(avg)"}}
+	graphs, rate := sportsGraphs(cfg)
+	d := newDSP()
+	var cpuScript, dspScript, cpuEPLT, dspEPLT stats.Sample
+	for _, g := range graphs {
+		base := wprof.EvalOptions{EffectiveRate: rate}
+		off := wprof.EvalOptions{EffectiveRate: rate, Offload: true, DSP: d}
+		ct, n := g.ScriptStats(base)
+		dt, _ := g.ScriptStats(off)
+		if n > 0 {
+			cpuScript.Add(ct.Seconds() / float64(n))
+			dspScript.Add(dt.Seconds() / float64(n))
+		}
+		cpuEPLT.Add(g.EPLT(base).Seconds())
+		dspEPLT.Add(g.EPLT(off).Seconds())
+	}
+	t.AddRow("CPU", ratio(cpuScript.Mean()), ratio(cpuEPLT.Mean()))
+	t.AddRow("DSP", ratio(dspScript.Mean()), ratio(dspEPLT.Mean()))
+	gain := 1 - dspEPLT.Mean()/cpuEPLT.Mean()
+	t.AddRow("gain", pct(1-dspScript.Mean()/cpuScript.Mean()), pct(gain))
+	t.Notes = append(t.Notes, "paper shape: ≈18% ePLT improvement at the default governor")
+	return t
+}
+
+func fig7b(cfg Config) *Table {
+	t := &Table{ID: "fig7b", Title: "Power during regex evaluation, CPU vs DSP (Pixel2)",
+		Columns: []string{"percentile", "cpu_watts", "dsp_watts"}}
+	cpuCDF := powerCDF(cfg, false)
+	dspCDF := powerCDF(cfg, true)
+	for _, p := range []float64{0.10, 0.25, 0.50, 0.75, 0.90} {
+		t.AddRow(fmt.Sprintf("p%.0f", p*100),
+			watts(cpuCDF.Quantile(p)), watts(dspCDF.Quantile(p)))
+	}
+	r := cpuCDF.Quantile(0.5) / dspCDF.Quantile(0.5)
+	t.AddRow("median-ratio", ratio(r), "")
+	t.Notes = append(t.Notes, "paper shape: ~4x lower median power on the DSP")
+	return t
+}
+
+// powerCDF replays the sports regex workload on the CPU or the DSP of a
+// Pixel2 and samples total device power every 10 ms during execution.
+func powerCDF(cfg Config, onDSP bool) *stats.CDF {
+	s := sim.New()
+	meter := energy.NewMeter(s.Now)
+	ccfg := cpu.FromSpec(device.Pixel2(), cpu.Interactive)
+	ccfg.Meter = meter
+	c := cpu.New(s, ccfg)
+	d := dsp.New(s, dsp.Config{Meter: meter})
+	var samples stats.Sample
+	done := false
+	ticker := s.NewTicker(10*time.Millisecond, func() {
+		if !done {
+			samples.Add(meter.TotalPower())
+		}
+	})
+	th := c.NewThread("regex", true)
+	pages := sportsPages(cfg)
+	var queue []func()
+	step := func() {
+		if len(queue) == 0 {
+			done = true
+			ticker.Stop()
+			c.Stop()
+			return
+		}
+		next := queue[0]
+		queue = queue[1:]
+		next()
+	}
+	for _, p := range pages {
+		for i := range p.Resources {
+			r := &p.Resources[i]
+			if r.Type != webpage.JS || r.Profile.NumRegexCalls() == 0 {
+				continue
+			}
+			prof := r.Profile
+			if onDSP {
+				var steps int64
+				bytes := 0
+				for _, call := range prof.Calls {
+					steps += int64(float64(call.PikeSteps) * webpage.RegexRepeat)
+					bytes += int(float64(call.InputLen) * webpage.RegexRepeat)
+				}
+				queue = append(queue, func() { d.Call(steps, bytes, step) })
+			} else {
+				cycles := prof.RegexCPUCycles()
+				queue = append(queue, func() { th.Exec("regex", cycles, step) })
+			}
+		}
+	}
+	step()
+	s.RunUntil(10 * time.Minute)
+	c.Stop()
+	s.Run()
+	return stats.NewCDF(&samples)
+}
+
+func fig7c(cfg Config) *Table {
+	t := &Table{ID: "fig7c", Title: "ePLT at low clock frequencies, CPU vs DSP (Pixel2 big cluster)",
+		Columns: []string{"clock_mhz", "eplt_cpu_s", "eplt_dsp_s", "improvement"}}
+	graphs, _ := sportsGraphs(cfg)
+	d := newDSP()
+	ipc := device.Pixel2().Big.IPC
+	for _, f := range device.DSPFreqSteps() {
+		rate := f.Hz() * ipc
+		var cpuE, dspE stats.Sample
+		for _, g := range graphs {
+			cpuE.Add(g.EPLT(wprof.EvalOptions{EffectiveRate: rate}).Seconds())
+			dspE.Add(g.EPLT(wprof.EvalOptions{EffectiveRate: rate, Offload: true, DSP: d}).Seconds())
+		}
+		t.AddRow(fmt.Sprintf("%.0f", f.MHz()), ratio(cpuE.Mean()), ratio(dspE.Mean()),
+			pct(1-dspE.Mean()/cpuE.Mean()))
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: improvement is largest (up to ~25%) at the slowest clocks")
+	return t
+}
+
+func textRegex(cfg Config) *Table {
+	t := &Table{ID: "text-regex", Title: "Regex offload summary (§4.2)",
+		Columns: []string{"metric", "value"}}
+	graphs, rate := sportsGraphs(cfg)
+	var share stats.Sample
+	for _, g := range graphs {
+		share.Add(g.RegexShare())
+	}
+	// Corpus-wide share for the "20% of scripting" claim.
+	var corpusShare stats.Sample
+	for _, p := range corpus(cfg) {
+		var regex, all float64
+		for _, r := range p.Resources {
+			if r.Type != webpage.JS {
+				continue
+			}
+			regex += r.Profile.RegexCPUCycles()
+			all += r.Profile.TotalCPUCycles()
+		}
+		if all > 0 {
+			corpusShare.Add(regex / all)
+		}
+	}
+	d := newDSP()
+	var gain stats.Sample
+	for _, g := range graphs {
+		base := g.EPLT(wprof.EvalOptions{EffectiveRate: rate})
+		off := g.EPLT(wprof.EvalOptions{EffectiveRate: rate, Offload: true, DSP: d})
+		gain.Add(1 - off.Seconds()/base.Seconds())
+	}
+	// Energy: the same regex workload priced on a busy core vs the DSP.
+	var cpuJ, dspJ float64
+	for _, p := range sportsPages(cfg) {
+		for _, r := range p.Resources {
+			if r.Type != webpage.JS {
+				continue
+			}
+			cpuCycles := r.Profile.RegexCPUCycles()
+			cpuTime := units.DurationFor(cpuCycles, units.Freq(rate))
+			// Power at the sustained default-governor operating point.
+			spec := device.Pixel2()
+			f := units.Freq(spec.Big.FMax.Hz() * defaultGovernorDuty)
+			volts := energy.DefaultVoltageCurve(spec.Big.FMin, spec.Big.FMax).VoltsAt(f)
+			corePower := energy.DynamicPower(energy.CoreCeff, f, volts)
+			cpuJ += corePower * cpuTime.Seconds()
+			// The offloaded side pays the DSP's active power plus the rest of
+			// the platform idling while the caller blocks in FastRPC.
+			idle := float64(device.Pixel2().TotalCores()) * energy.CoreIdleWatts
+			dspJ += (d.Config().ActiveWatts + idle) * r.Profile.RegexDSPTime(d).Seconds()
+		}
+	}
+	t.AddRow("regex share of scripting (corpus)", pct(corpusShare.Mean()))
+	t.AddRow("regex share of scripting (sports pages)", pct(share.Mean()))
+	t.AddRow("ePLT gain from offload (default governor)", pct(gain.Mean()))
+	t.AddRow("regex energy ratio CPU/DSP", ratio(cpuJ/dspJ))
+	t.Notes = append(t.Notes,
+		"paper: ≈20% corpus regex share, 18% ePLT gain, ~4x energy reduction")
+	return t
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mobileqoe/internal/core"
+	"mobileqoe/internal/cpu"
+	"mobileqoe/internal/device"
+	"mobileqoe/internal/stats"
+	"mobileqoe/internal/units"
+	"mobileqoe/internal/webpage"
+	"mobileqoe/internal/wprof"
+)
+
+func init() {
+	register("fig2a", "Web PLT across the seven devices (Fig. 2a)", fig2a)
+	register("fig3a", "Web PLT vs clock frequency on the Nexus4 (Fig. 3a)", fig3a)
+	register("fig3b", "Web PLT vs memory capacity (Fig. 3b)", fig3b)
+	register("fig3c", "Web PLT vs number of cores (Fig. 3c)", fig3c)
+	register("fig3d", "Web PLT vs Android governor (Fig. 3d)", fig3d)
+	register("text-crit", "Critical-path decomposition at 1512 vs 384 MHz (§3.1)", textCrit)
+	register("text-categories", "PLT slowdown by page category at low clock (§3.1)", textCategories)
+}
+
+// corpus returns the experiment's page subset, spread across categories.
+func corpus(cfg Config) []*webpage.Page {
+	all := webpage.Top50(cfg.Seed)
+	if cfg.Pages >= len(all) {
+		return all
+	}
+	stride := len(all) / cfg.Pages
+	var out []*webpage.Page
+	for i := 0; i < cfg.Pages; i++ {
+		out = append(out, all[i*stride])
+	}
+	return out
+}
+
+// takePages returns at most n pages from the experiment's corpus subset.
+func takePages(cfg Config, n int) []*webpage.Page {
+	pages := corpus(cfg)
+	if len(pages) > n {
+		pages = pages[:n]
+	}
+	return pages
+}
+
+// avgPLTOn loads each page on a freshly configured system and aggregates
+// PLT seconds across the subset.
+func avgPLTOn(spec device.Spec, pages []*webpage.Page, opts ...core.Option) *stats.Sample {
+	var s stats.Sample
+	for _, p := range pages {
+		sys := core.NewSystem(spec, opts...)
+		res := sys.LoadPage(p)
+		s.Add(res.PLT.Seconds())
+	}
+	return &s
+}
+
+func fig2a(cfg Config) *Table {
+	t := &Table{ID: "fig2a", Title: "Web browsing PLT across devices (default governor)",
+		Columns: []string{"device", "cost$", "plt_s(mean±std)"}}
+	pages := corpus(cfg)
+	for _, spec := range device.Catalog() {
+		s := avgPLTOn(spec, pages)
+		t.AddRow(spec.Name, fmt.Sprintf("%d", spec.CostUSD), meanStd(s.Mean(), s.Std()))
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: Intex ≈5x and Gionee ≈3x the Pixel2; Pixel2 beats the pricier S6-edge")
+	return t
+}
+
+func fig3a(cfg Config) *Table {
+	t := &Table{ID: "fig3a", Title: "Web PLT vs clock frequency (Nexus4, userspace governor)",
+		Columns: []string{"clock_mhz", "plt_s(mean±std)"}}
+	pages := corpus(cfg)
+	for _, f := range device.Nexus4FreqSteps() {
+		s := avgPLTOn(device.Nexus4(), pages, core.WithClock(f))
+		t.AddRow(fmt.Sprintf("%.0f", f.MHz()), meanStd(s.Mean(), s.Std()))
+	}
+	t.Notes = append(t.Notes, "paper shape: ~4-5x PLT growth from 1512 to 384 MHz")
+	return t
+}
+
+func fig3b(cfg Config) *Table {
+	t := &Table{ID: "fig3b", Title: "Web PLT vs memory capacity (Nexus4)",
+		Columns: []string{"ram_gb", "plt_s(mean±std)"}}
+	pages := corpus(cfg)
+	for _, ram := range []units.ByteSize{512 * units.MB, 1 * units.GB, 3 * units.GB / 2, 2 * units.GB} {
+		s := avgPLTOn(device.Nexus4(), pages,
+			core.WithGovernor(cpu.Performance), core.WithRAM(ram))
+		t.AddRow(fmt.Sprintf("%.1f", ram.GBf()), meanStd(s.Mean(), s.Std()))
+	}
+	t.Notes = append(t.Notes, "paper shape: ~2x PLT at 512 MB vs 2 GB, mild above 1 GB")
+	return t
+}
+
+func fig3c(cfg Config) *Table {
+	t := &Table{ID: "fig3c", Title: "Web PLT vs online cores (Nexus4)",
+		Columns: []string{"cores", "plt_s(mean±std)"}}
+	pages := corpus(cfg)
+	for cores := 1; cores <= 4; cores++ {
+		s := avgPLTOn(device.Nexus4(), pages,
+			core.WithGovernor(cpu.Performance), core.WithCores(cores))
+		t.AddRow(fmt.Sprintf("%d", cores), meanStd(s.Mean(), s.Std()))
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: only modest change — the browser uses no more than two cores")
+	return t
+}
+
+func fig3d(cfg Config) *Table {
+	t := &Table{ID: "fig3d", Title: "Web PLT vs Android governor (Nexus4)",
+		Columns: []string{"governor", "plt_s(mean±std)"}}
+	pages := corpus(cfg)
+	for _, gov := range cpu.Governors() {
+		s := avgPLTOn(device.Nexus4(), pages, core.WithGovernor(gov))
+		t.AddRow(string(gov), meanStd(s.Mean(), s.Std()))
+	}
+	t.Notes = append(t.Notes, "paper shape: powersave ≈ +50% over the others")
+	return t
+}
+
+func textCrit(cfg Config) *Table {
+	t := &Table{ID: "text-crit", Title: "WProf critical-path decomposition (Nexus4)",
+		Columns: []string{"clock_mhz", "path_total_s", "network_s", "compute_s", "script_s", "script_share"}}
+	pages := corpus(cfg)
+	for _, mhz := range []float64{1512, 384} {
+		var total, network, compute, script stats.Sample
+		for _, p := range pages {
+			sys := core.NewSystem(device.Nexus4(), core.WithClock(units.MHz(mhz)))
+			res := sys.LoadPage(p)
+			st := wprof.FromResult(res).CriticalPath()
+			total.Add(st.Total.Seconds())
+			network.Add(st.Network.Seconds())
+			compute.Add(st.Compute.Seconds())
+			script.Add(st.Script.Seconds())
+		}
+		t.AddRow(fmt.Sprintf("%.0f", mhz), ratio(total.Mean()), ratio(network.Mean()),
+			ratio(compute.Mean()), ratio(script.Mean()),
+			pct(script.Mean()/compute.Mean()))
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: both components inflate at 384 MHz, compute faster than network;",
+		"scripting ≈51% of compute at high clock, ≈60% at low clock")
+	return t
+}
+
+func textCategories(cfg Config) *Table {
+	t := &Table{ID: "text-categories", Title: "Per-category PLT slowdown, 1512→384 MHz (Nexus4)",
+		Columns: []string{"category", "plt_1512_s", "plt_384_s", "slowdown"}}
+	for _, cat := range webpage.Categories() {
+		var pages []*webpage.Page
+		for i := 0; i < 2; i++ {
+			pages = append(pages,
+				webpage.Generate(fmt.Sprintf("%s-cat-%d.example", cat, i), cat, cfg.Seed))
+		}
+		hi := avgPLTOn(device.Nexus4(), pages, core.WithClock(units.MHz(1512)))
+		lo := avgPLTOn(device.Nexus4(), pages, core.WithClock(units.MHz(384)))
+		t.AddRow(string(cat), ratio(hi.Mean()), ratio(lo.Mean()), ratio(lo.Mean()/hi.Mean()))
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: news and sports degrade the most (heaviest scripting)")
+	return t
+}

@@ -1,0 +1,96 @@
+package history
+
+import (
+	"testing"
+	"time"
+
+	"mobileqoe/internal/units"
+)
+
+func TestDevicesDeterministicAndSpread(t *testing.T) {
+	a := Devices(1, 480)
+	b := Devices(1, 480)
+	if len(a) != 480 {
+		t.Fatalf("got %d records", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	years := map[int]int{}
+	for _, r := range a {
+		if r.Year < FirstYear || r.Year > LastYear {
+			t.Fatalf("year %d out of window", r.Year)
+		}
+		if r.Cores < 1 || r.Clock <= 0 || r.RAM <= 0 {
+			t.Fatalf("invalid record %+v", r)
+		}
+		years[r.Year]++
+	}
+	for y := FirstYear; y <= LastYear; y++ {
+		if years[y] == 0 {
+			t.Fatalf("no devices in %d", y)
+		}
+	}
+}
+
+func TestTrendsMatchFig1(t *testing.T) {
+	ev := Evolution(1, 480)
+	if len(ev) != 8 {
+		t.Fatalf("got %d years", len(ev))
+	}
+	first, last := ev[0], ev[len(ev)-1]
+	// Device capability grows...
+	if last.AvgClock <= first.AvgClock || last.AvgCores <= first.AvgCores ||
+		last.AvgRAMGB <= first.AvgRAMGB || last.AvgOS <= first.AvgOS {
+		t.Fatalf("device trends not increasing: %+v -> %+v", first, last)
+	}
+	// ...page weight grows ~10x (0.2 -> 2 MB)...
+	if first.PageGrade.Size > 300*units.KB || last.PageGrade.Size < 18*units.MB/10 {
+		t.Fatalf("page growth wrong: %v -> %v", first.PageGrade.Size, last.PageGrade.Size)
+	}
+	// ...and PLT still gets ~4x worse (the paper's Fig. 1 punchline).
+	ratio := float64(last.EstPLT) / float64(first.EstPLT)
+	if ratio < 2.5 || ratio > 7 {
+		t.Fatalf("PLT growth = %.2fx (%v -> %v), want ~4x", ratio, first.EstPLT, last.EstPLT)
+	}
+	if first.EstPLT < time.Second || first.EstPLT > 12*time.Second {
+		t.Fatalf("2011 PLT = %v, want a few seconds", first.EstPLT)
+	}
+}
+
+func TestPLTMonotoneAcrossYearsOnAverage(t *testing.T) {
+	ev := Evolution(2, 480)
+	worse := 0
+	for i := 1; i < len(ev); i++ {
+		if ev[i].EstPLT > ev[i-1].EstPLT {
+			worse++
+		}
+	}
+	if worse < 5 {
+		t.Fatalf("PLT should trend upward; only %d/7 transitions increased", worse)
+	}
+}
+
+func TestBetterDeviceLoadsFasterWithinYear(t *testing.T) {
+	slow := DeviceRecord{Year: 2015, Clock: units.GHz(1.0), Cores: 2, RAM: units.GB}
+	fast := DeviceRecord{Year: 2015, Clock: units.GHz(2.2), Cores: 8, RAM: 4 * units.GB}
+	if EstimatePLT(fast) >= EstimatePLT(slow) {
+		t.Fatal("faster device should load faster")
+	}
+}
+
+func TestSingleCoreHurts(t *testing.T) {
+	one := DeviceRecord{Year: 2013, Clock: units.GHz(1.5), Cores: 1}
+	two := DeviceRecord{Year: 2013, Clock: units.GHz(1.5), Cores: 2}
+	four := DeviceRecord{Year: 2013, Clock: units.GHz(1.5), Cores: 4}
+	if EstimatePLT(one) <= EstimatePLT(two) {
+		t.Fatal("1 core should be slower than 2")
+	}
+	// Beyond two cores the browser gains little.
+	d2, d4 := EstimatePLT(two), EstimatePLT(four)
+	if float64(d2)/float64(d4) > 1.35 {
+		t.Fatalf("cores beyond 2 help too much: %v vs %v", d2, d4)
+	}
+}

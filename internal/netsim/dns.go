@@ -1,0 +1,74 @@
+package netsim
+
+import "time"
+
+// DNS resolution model. The paper's methodology clears the DNS cache before
+// every page load, so each origin's first connection pays a lookup. The
+// model keeps a per-Network cache (one "browsing session"), charges a small
+// CPU cost for the stub resolver, and serializes concurrent lookups for the
+// same name behind one query, like a real resolver cache does.
+
+const (
+	// dnsServerDelay is resolver processing beyond the RTT (cache hit at the
+	// AP's forwarder; the paper's LAN has no upstream latency).
+	dnsServerDelay = 8 * time.Millisecond
+	dnsCPUCycles   = 250e3 // stub resolver + socket round trip
+)
+
+type dnsState struct {
+	cache   map[string]bool
+	pending map[string][]func()
+}
+
+// Resolve invokes fn once the name is resolved. The first lookup for a name
+// costs one round trip plus resolver processing; later lookups are cache
+// hits and fire synchronously. Lookups are skipped entirely when the
+// network was configured with DNS disabled.
+func (n *Network) Resolve(name string, fn func()) {
+	if !n.cfg.DNS {
+		fn()
+		return
+	}
+	if n.dns.cache == nil {
+		n.dns.cache = map[string]bool{}
+		n.dns.pending = map[string][]func(){}
+	}
+	if n.dns.cache[name] {
+		fn()
+		return
+	}
+	n.dns.pending[name] = append(n.dns.pending[name], fn)
+	if len(n.dns.pending[name]) > 1 {
+		return // a query for this name is already in flight
+	}
+	n.txCharge(80, func() {
+		n.up.deliver(80, func() {
+			n.s.After(dnsServerDelay, func() {
+				n.down.deliver(200, func() {
+					n.rxCharge(200, func() {
+						if n.cfg.ChargeCPU && n.softirq != nil {
+							n.softirq.Exec("dns", dnsCPUCycles, func() { n.dnsDone(name) })
+							return
+						}
+						n.dnsDone(name)
+					})
+				})
+			})
+		})
+	})
+}
+
+func (n *Network) dnsDone(name string) {
+	n.dns.cache[name] = true
+	waiters := n.dns.pending[name]
+	delete(n.dns.pending, name)
+	for _, w := range waiters {
+		w()
+	}
+}
+
+// FlushDNS clears the resolver cache (the paper's between-loads hygiene).
+func (n *Network) FlushDNS() {
+	n.dns.cache = nil
+	n.dns.pending = nil
+}

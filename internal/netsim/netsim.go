@@ -1,0 +1,526 @@
+// Package netsim simulates the paper's LAN testbed: an access point with a
+// 72 Mbps link, 10 ms RTT and 0% loss, carrying TCP connections between a
+// fast desktop server and the phone under test.
+//
+// The defining feature — and the mechanism behind the paper's Fig. 6 — is
+// that every packet the phone receives or sends costs CPU cycles on a
+// simulated softirq thread. TCP is self-clocked by ACKs, so when the clock
+// frequency drops, packet processing lags, ACKs go out late, and measured
+// throughput falls even though the radio link is unchanged. Setting
+// Config.ChargeCPU to false removes the charge and is the ablation switch
+// for that finding.
+//
+// The TCP model is packet-level: slow start, congestion avoidance, delayed
+// ACKs, a shared FIFO bottleneck at the AP, and an optional Bernoulli loss
+// process with halved-window recovery. Datagram (UDP-like) flows are
+// provided for the telephony media path.
+package netsim
+
+import (
+	"time"
+
+	"mobileqoe/internal/cpu"
+	"mobileqoe/internal/sim"
+	"mobileqoe/internal/stats"
+	"mobileqoe/internal/units"
+)
+
+// Calibration constants for the per-packet CPU cost on the device side.
+// They stand in for the full interrupt → driver → netfilter → TCP → socket
+// wakeup path of the Android kernels under study; the values are chosen so
+// an iperf run reproduces Fig. 6 (≈48 Mbps at 1512 MHz falling to ≈32 Mbps
+// at 384 MHz on the Nexus4).
+const (
+	rxFixedCycles   = 36000 // per received data segment
+	rxPerByteCycles = 65.0  // copy/checksum cost per payload byte
+	txFixedCycles   = 17000 // per transmitted segment (incl. ACKs)
+	txPerByteCycles = 20.0
+)
+
+// Config describes the testbed network.
+type Config struct {
+	Rate units.BitRate  // radio PHY rate (the paper's 72 Mbps)
+	RTT  time.Duration  // base round-trip time (10 ms)
+	Loss float64        // Bernoulli segment loss probability (paper: 0)
+	MSS  units.ByteSize // TCP segment payload; default 1460 B
+
+	// MACEfficiency is the PHY-to-goodput ratio of the WiFi link (contention,
+	// preambles, MAC ACKs). The default 0.67 turns a 72 Mbps PHY into the
+	// ≈48 Mbps TCP ceiling the paper measures at full clock.
+	MACEfficiency float64
+
+	// ChargeCPU controls whether device-side packet processing costs CPU
+	// cycles (true reproduces the paper; false is the ablation).
+	ChargeCPU bool
+
+	// TLS adds a TLS-1.2-style handshake to every connection and symmetric
+	// record processing to every received segment (the paper's §6
+	// future-work extension; see tls.go).
+	TLS bool
+
+	// DNS makes the first connection to each name pay a resolver lookup
+	// (the paper clears the DNS cache before every load; see dns.go).
+	DNS bool
+
+	// HTTP2 multiplexes concurrent requests as streams over one connection
+	// (header compression included), instead of HTTP/1.1's one-at-a-time
+	// delivery per connection. Chrome 63 negotiated h2 with most origins;
+	// the protocol is one of the paper's "software parameter" axes.
+	HTTP2 bool
+
+	RNG *stats.RNG // loss randomness; default seeded deterministically
+}
+
+func (c *Config) setDefaults() {
+	if c.Rate == 0 {
+		c.Rate = units.Mbps(72)
+	}
+	if c.RTT == 0 {
+		c.RTT = 10 * time.Millisecond
+	}
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.MACEfficiency == 0 {
+		c.MACEfficiency = 0.67
+	}
+	if c.RNG == nil {
+		c.RNG = stats.NewRNG(0xC0FFEE)
+	}
+}
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	SegmentsDelivered int64
+	SegmentsLost      int64
+	BytesDelivered    int64
+	AcksSent          int64
+}
+
+// Network is one device's view of the testbed.
+type Network struct {
+	s       *sim.Sim
+	cfg     Config
+	cpu     *cpu.CPU
+	softirq *cpu.Thread
+	down    *link // AP -> device
+	up      *link // device -> AP
+	dns     dnsState
+	stats   Stats
+}
+
+// New builds a network attached to the given device CPU. The softirq thread
+// is created as a background thread so that big.LITTLE policies place it
+// like Android does.
+func New(s *sim.Sim, c *cpu.CPU, cfg Config) *Network {
+	cfg.setDefaults()
+	n := &Network{s: s, cfg: cfg, cpu: c}
+	eff := units.BitRate(float64(cfg.Rate) * cfg.MACEfficiency)
+	n.down = &link{s: s, rate: eff, oneWay: cfg.RTT / 2}
+	n.up = &link{s: s, rate: eff, oneWay: cfg.RTT / 2}
+	if c != nil {
+		n.softirq = c.NewThread("softirq", false)
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Config returns the effective configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// rxCharge runs fn after charging the device CPU for receiving a segment of
+// the given payload size.
+func (n *Network) rxCharge(payload units.ByteSize, fn func()) {
+	if !n.cfg.ChargeCPU || n.softirq == nil {
+		fn()
+		return
+	}
+	cycles := rxFixedCycles + rxPerByteCycles*float64(payload) + n.tlsRecordCycles(payload)
+	n.softirq.Exec("rx", cycles, fn)
+}
+
+// txCharge runs fn after charging the device CPU for building and sending a
+// segment.
+func (n *Network) txCharge(payload units.ByteSize, fn func()) {
+	if !n.cfg.ChargeCPU || n.softirq == nil {
+		fn()
+		return
+	}
+	cycles := txFixedCycles + txPerByteCycles*float64(payload)
+	n.softirq.Exec("tx", cycles, fn)
+}
+
+// link is a half-duplex FIFO pipe: serialization at the bottleneck rate,
+// then fixed propagation.
+type link struct {
+	s         *sim.Sim
+	rate      units.BitRate
+	oneWay    time.Duration
+	busyUntil time.Duration
+}
+
+// headerBytes approximates TCP/IP/MAC framing per segment.
+const headerBytes = 66 * units.Byte
+
+func (l *link) deliver(payload units.ByteSize, fn func()) {
+	now := l.s.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	ser := l.rate.TimeToSend(payload + headerBytes)
+	l.busyUntil = start + ser
+	l.s.At(l.busyUntil+l.oneWay, fn)
+}
+
+// queueDelay reports how long a packet enqueued now would wait before
+// serialization begins.
+func (l *link) queueDelay() time.Duration {
+	d := l.busyUntil - l.s.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ----- TCP connections -----
+
+// TCP parameters (Linux-ish defaults, simplified).
+const (
+	initCwnd     = 10
+	initSsthresh = 64
+	maxCwnd      = 512
+	ackEvery     = 2
+)
+
+// Conn is a TCP connection between the device and the LAN server. HTTP-style
+// usage: Connect once (or let the first Request connect implicitly), then
+// issue Requests. Under HTTP/1.1 (the default) at most one transfer is
+// active at a time; with Config.HTTP2 concurrent requests multiplex as
+// streams sharing the connection's congestion window.
+type Conn struct {
+	net  *Network
+	name string
+
+	established  bool
+	connecting   bool
+	cwnd         float64 // segments
+	ssthresh     float64
+	inflight     int
+	acksSinceACK int
+	rr           int // round-robin cursor over active streams
+
+	actives []*transfer
+	pending []*transfer
+	waiters []func() // callbacks waiting for connection establishment
+}
+
+// maxStreams is the concurrent-transfer limit: 1 for HTTP/1.1, h2-like 8
+// otherwise.
+func (c *Conn) maxStreams() int {
+	if c.net.cfg.HTTP2 {
+		return 8
+	}
+	return 1
+}
+
+type transfer struct {
+	name      string
+	upBytes   units.ByteSize // request payload (device -> server)
+	think     time.Duration  // server processing before the response
+	downBytes units.ByteSize // response payload (server -> device)
+	remaining units.ByteSize // response bytes not yet handed to the app
+	unsent    units.ByteSize // response bytes the server has not yet sent
+	started   time.Duration
+	serving   bool // the server has the request and is streaming the response
+	done      func()
+}
+
+// NewConn creates an idle connection.
+func (n *Network) NewConn(name string) *Conn {
+	return &Conn{net: n, name: name}
+}
+
+// Connect performs the three-way handshake; fn runs once the connection is
+// established. Calling Connect on an established connection invokes fn
+// immediately; concurrent connects coalesce.
+func (c *Conn) Connect(fn func()) {
+	if c.established {
+		if fn != nil {
+			fn()
+		}
+		return
+	}
+	if fn != nil {
+		c.waiters = append(c.waiters, fn)
+	}
+	if c.connecting {
+		return
+	}
+	c.connecting = true
+	n := c.net
+	// SYN out (device CPU builds it), SYN-ACK back, ACK processing.
+	n.txCharge(0, func() {
+		n.up.deliver(0, func() {
+			n.down.deliver(0, func() {
+				n.rxCharge(0, func() {
+					finish := func() {
+						c.established = true
+						c.connecting = false
+						c.cwnd = initCwnd
+						c.ssthresh = initSsthresh
+						ws := c.waiters
+						c.waiters = nil
+						for _, w := range ws {
+							w()
+						}
+					}
+					if n.cfg.TLS {
+						c.tlsHandshake(finish)
+						return
+					}
+					finish()
+				})
+			})
+		})
+	})
+}
+
+// Request issues an HTTP-like exchange: upload upBytes, wait think at the
+// server, then download downBytes. done runs when the full response has been
+// delivered to the application.
+func (c *Conn) Request(name string, upBytes, downBytes units.ByteSize, think time.Duration, done func()) {
+	t := &transfer{name: name, upBytes: upBytes, downBytes: downBytes,
+		remaining: downBytes, unsent: downBytes, think: think, done: done}
+	c.pending = append(c.pending, t)
+	c.Connect(func() { c.startNext() })
+}
+
+func (c *Conn) startNext() {
+	for len(c.actives) < c.maxStreams() && len(c.pending) > 0 {
+		t := c.pending[0]
+		c.pending = c.pending[1:]
+		c.actives = append(c.actives, t)
+		t.started = c.net.s.Now()
+		c.sendRequest(t)
+	}
+}
+
+func (c *Conn) sendRequest(t *transfer) {
+	n := c.net
+	up := t.upBytes
+	if n.cfg.HTTP2 {
+		// HPACK-style header compression.
+		up = units.ByteSize(float64(up) * 0.3)
+	}
+	// Upload the request (single logical burst; request bodies in the paper's
+	// workloads are small).
+	n.txCharge(up, func() {
+		n.up.deliver(up, func() {
+			n.s.After(t.think, func() {
+				if t.downBytes == 0 {
+					c.finish(t)
+					return
+				}
+				t.serving = true
+				c.pump()
+			})
+		})
+	})
+}
+
+// pump has the server send as many segments as the congestion window
+// allows, round-robining across active streams (h2 frame interleaving; with
+// HTTP/1.1 there is at most one stream).
+func (c *Conn) pump() {
+	n := c.net
+	for c.inflight < int(c.cwnd) && c.inflight < maxCwnd {
+		t := c.nextSendable()
+		if t == nil {
+			return
+		}
+		seg := n.cfg.MSS
+		if t.unsent < seg {
+			seg = t.unsent
+		}
+		t.unsent -= seg
+		c.inflight++
+		c.sendSegment(t, seg)
+	}
+}
+
+// nextSendable returns the next active stream with bytes left to send.
+func (c *Conn) nextSendable() *transfer {
+	for i := 0; i < len(c.actives); i++ {
+		t := c.actives[(c.rr+i)%len(c.actives)]
+		if t.serving && t.unsent > 0 {
+			c.rr = (c.rr + i + 1) % len(c.actives)
+			return t
+		}
+	}
+	return nil
+}
+
+func (c *Conn) sendSegment(t *transfer, seg units.ByteSize) {
+	n := c.net
+	if n.cfg.Loss > 0 && n.cfg.RNG.Float64() < n.cfg.Loss {
+		// Lost in the air: recover after an RTO-ish delay with a halved window.
+		n.stats.SegmentsLost++
+		n.s.After(n.cfg.RTT*2+10*time.Millisecond, func() {
+			c.ssthresh = c.cwnd / 2
+			if c.ssthresh < 2 {
+				c.ssthresh = 2
+			}
+			c.cwnd = c.ssthresh
+			c.sendSegment(t, seg) // retransmit
+		})
+		return
+	}
+	n.down.deliver(seg, func() {
+		n.rxCharge(seg, func() { c.onSegment(t, seg) })
+	})
+}
+
+// onSegment runs after the device CPU has processed a received segment.
+func (c *Conn) onSegment(t *transfer, seg units.ByteSize) {
+	n := c.net
+	n.stats.SegmentsDelivered++
+	n.stats.BytesDelivered += int64(seg)
+	c.inflight--
+	if c.cwnd < c.ssthresh {
+		c.cwnd++ // slow start
+	} else {
+		c.cwnd += 1 / c.cwnd // congestion avoidance
+	}
+	if c.cwnd > maxCwnd {
+		c.cwnd = maxCwnd
+	}
+	// Delayed ACK: every other segment (or the last one) costs a tx.
+	c.acksSinceACK++
+	sendAck := c.acksSinceACK >= ackEvery || t.remaining <= seg
+	if sendAck {
+		c.acksSinceACK = 0
+		n.stats.AcksSent++
+		n.txCharge(0, func() {
+			n.up.deliver(0, func() { c.onAck(t) })
+		})
+	}
+	t.remaining -= seg
+	if t.remaining <= 0 {
+		c.finish(t)
+	}
+}
+
+// onAck runs at the server when an ACK arrives; it releases more segments.
+func (c *Conn) onAck(t *transfer) {
+	c.pump()
+}
+
+func (c *Conn) finish(t *transfer) {
+	for i, x := range c.actives {
+		if x == t {
+			c.actives = append(c.actives[:i], c.actives[i+1:]...)
+			break
+		}
+	}
+	if t.done != nil {
+		t.done()
+	}
+	c.startNext()
+	c.pump()
+}
+
+// Abort drops the active and queued transfers without invoking their done
+// callbacks. Segments already in flight drain harmlessly.
+func (c *Conn) Abort() {
+	c.actives = nil
+	c.pending = nil
+	c.inflight = 0
+}
+
+// Established reports whether the handshake has completed.
+func (c *Conn) Established() bool { return c.established }
+
+// PendingRequests returns the number of queued plus active requests.
+func (c *Conn) PendingRequests() int {
+	return len(c.pending) + len(c.actives)
+}
+
+// ----- datagram flows (telephony media path) -----
+
+// Datagram delivery state for interactive media: no retransmission, no
+// congestion window; per-packet CPU charge still applies.
+
+// SendDatagram pushes a packet from the device to the peer; fn (optional)
+// runs when it reaches the peer.
+func (n *Network) SendDatagram(payload units.ByteSize, fn func()) {
+	n.txCharge(payload, func() {
+		n.up.deliver(payload, func() {
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// RecvDatagram injects a packet from the peer; fn runs after the device CPU
+// has processed it (this is where receive-side frame data becomes available
+// to the application).
+func (n *Network) RecvDatagram(payload units.ByteSize, fn func()) {
+	if n.cfg.Loss > 0 && n.cfg.RNG.Float64() < n.cfg.Loss {
+		n.stats.SegmentsLost++
+		return
+	}
+	n.down.deliver(payload, func() {
+		n.rxCharge(payload, func() {
+			n.stats.SegmentsDelivered++
+			n.stats.BytesDelivered += int64(payload)
+			if fn != nil {
+				fn()
+			}
+		})
+	})
+}
+
+// DownlinkQueueDelay exposes the AP queue depth (used by adaptive senders).
+func (n *Network) DownlinkQueueDelay() time.Duration { return n.down.queueDelay() }
+
+// ----- iperf -----
+
+// IperfResult reports a bulk-transfer measurement.
+type IperfResult struct {
+	Duration   time.Duration
+	Bytes      units.ByteSize
+	Throughput units.BitRate
+}
+
+// Iperf runs a continuous server-to-device bulk transfer for the given
+// duration and reports the goodput, mirroring the paper's §4.1 methodology.
+// fn receives the result; the measurement ends on the first segment
+// completion at or after the deadline.
+func (n *Network) Iperf(duration time.Duration, fn func(IperfResult)) {
+	conn := n.NewConn("iperf")
+	start := n.s.Now()
+	startBytes := n.stats.BytesDelivered
+	// A transfer far larger than the link could move in the window.
+	huge := units.ByteSize(float64(n.cfg.Rate)/8*duration.Seconds()) * 4
+	finished := false
+	report := func() {
+		if finished {
+			return
+		}
+		finished = true
+		conn.Abort()
+		got := units.ByteSize(n.stats.BytesDelivered - startBytes)
+		el := n.s.Now() - start
+		res := IperfResult{Duration: el, Bytes: got}
+		if el > 0 {
+			res.Throughput = units.BitRate(float64(got) * 8 / el.Seconds())
+		}
+		fn(res)
+	}
+	n.s.After(duration, report)
+	conn.Request("bulk", 100, huge, 0, report)
+}

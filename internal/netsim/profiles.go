@@ -1,0 +1,38 @@
+package netsim
+
+import (
+	"time"
+
+	"mobileqoe/internal/units"
+)
+
+// Network profiles for the joint network x device studies the paper's §6
+// proposes. The LAN profile is the paper's testbed; the cellular profiles
+// are era-typical radio conditions.
+
+// ProfileLAN is the paper's testbed: 72 Mbps AP, 10 ms RTT, no loss.
+func ProfileLAN() Config {
+	return Config{Rate: units.Mbps(72), RTT: 10 * time.Millisecond, ChargeCPU: true}
+}
+
+// ProfileLTE is a good 2018 LTE cell.
+func ProfileLTE() Config {
+	return Config{Rate: units.Mbps(24), RTT: 50 * time.Millisecond,
+		Loss: 0.001, MACEfficiency: 0.75, ChargeCPU: true}
+}
+
+// Profile3G is an HSPA cell, the common case in the developing regions the
+// paper's introduction motivates.
+func Profile3G() Config {
+	return Config{Rate: units.Mbps(4), RTT: 150 * time.Millisecond,
+		Loss: 0.005, MACEfficiency: 0.8, ChargeCPU: true}
+}
+
+// Profiles returns the named presets.
+func Profiles() map[string]Config {
+	return map[string]Config{
+		"lan": ProfileLAN(),
+		"lte": ProfileLTE(),
+		"3g":  Profile3G(),
+	}
+}

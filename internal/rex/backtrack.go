@@ -1,0 +1,81 @@
+package rex
+
+import "unicode/utf8"
+
+// backtrack executes the program with a depth-first backtracking search,
+// the evaluation strategy of JavaScript engines — fast on simple patterns,
+// exponential on pathological ones. It reports leftmost-first (Perl)
+// semantics and fails with ErrStepLimit when the budget is exhausted.
+func (p *Prog) backtrack(s string, maxSteps int64) (Result, error) {
+	if maxSteps <= 0 {
+		maxSteps = DefaultBacktrackLimit
+	}
+	var steps int64
+	// Depth guard: legitimate recursion is a handful of frames per input
+	// byte; zero-width loops (e.g. (a?)* on empty input) blow past this and
+	// are reported as a step-limit failure.
+	maxDepth := 6*len(s) + 10*len(p.insts) + 200
+	limitHit := false
+
+	var try func(pc, pos, depth int) (int, bool)
+	try = func(pc, pos, depth int) (int, bool) {
+		steps++
+		if steps > maxSteps || depth > maxDepth {
+			limitHit = true
+			return 0, false
+		}
+		in := p.insts[pc]
+		switch in.op {
+		case opMatch:
+			return pos, true
+		case opJmp:
+			return try(in.x, pos, depth+1)
+		case opSplit:
+			if end, ok := try(in.x, pos, depth+1); ok {
+				return end, true
+			}
+			if limitHit {
+				return 0, false
+			}
+			return try(in.y, pos, depth+1)
+		case opBOL:
+			if pos == 0 {
+				return try(pc+1, pos, depth+1)
+			}
+			return 0, false
+		case opEOL:
+			if pos == len(s) {
+				return try(pc+1, pos, depth+1)
+			}
+			return 0, false
+		default: // opChar, opAny
+			if pos >= len(s) {
+				return 0, false
+			}
+			c, size := utf8.DecodeRuneInString(s[pos:])
+			if !in.matches(c) {
+				return 0, false
+			}
+			return try(pc+1, pos+size, depth+1)
+		}
+	}
+
+	limit := len(s)
+	if p.anchoredStart {
+		limit = 0
+	}
+	for start := 0; start <= limit; start++ {
+		end, ok := try(0, start, 0)
+		if limitHit {
+			return Result{Steps: steps}, ErrStepLimit
+		}
+		if ok {
+			return Result{Matched: true, Start: start, End: end, Steps: steps}, nil
+		}
+		if start < len(s) {
+			_, size := utf8.DecodeRuneInString(s[start:])
+			start += size - 1 // advance by whole runes
+		}
+	}
+	return Result{Steps: steps}, nil
+}

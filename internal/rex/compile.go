@@ -1,0 +1,166 @@
+package rex
+
+// NFA bytecode. The instruction set is deliberately tiny — it is the
+// "portable kernel" that the offload model assumes runs identically on the
+// CPU and the DSP, with only the cycles-per-step constant differing.
+type opcode uint8
+
+const (
+	opChar  opcode = iota // match one rune against ranges (negated optional)
+	opAny                 // match any rune except '\n'
+	opSplit               // try x first, then y
+	opJmp                 // continue at x
+	opBOL                 // assert beginning of input
+	opEOL                 // assert end of input
+	opMatch               // accept
+)
+
+type inst struct {
+	op      opcode
+	x, y    int
+	ranges  []runeRange
+	negated bool
+}
+
+func (i inst) matches(c rune) bool {
+	switch i.op {
+	case opAny:
+		return c != '\n'
+	case opChar:
+		in := false
+		for _, r := range i.ranges {
+			if r.contains(c) {
+				in = true
+				break
+			}
+		}
+		return in != i.negated
+	}
+	return false
+}
+
+type compiler struct {
+	insts []inst
+}
+
+func compile(ast *node) *Prog {
+	c := &compiler{}
+	c.node(ast)
+	c.emit(inst{op: opMatch})
+	p := &Prog{insts: c.insts}
+	p.anchoredStart = startsAnchored(ast)
+	return p
+}
+
+// startsAnchored reports whether every path through the pattern begins
+// with ^ (so the unanchored scan can stop after position 0).
+func startsAnchored(n *node) bool {
+	switch n.kind {
+	case nBOL:
+		return true
+	case nConcat:
+		if len(n.subs) > 0 {
+			return startsAnchored(n.subs[0])
+		}
+	case nAlt:
+		for _, s := range n.subs {
+			if !startsAnchored(s) {
+				return false
+			}
+		}
+		return len(n.subs) > 0
+	}
+	return false
+}
+
+func (c *compiler) emit(i inst) int {
+	c.insts = append(c.insts, i)
+	return len(c.insts) - 1
+}
+
+func (c *compiler) node(n *node) {
+	switch n.kind {
+	case nEmpty:
+		// nothing
+	case nLit:
+		c.emit(inst{op: opChar, ranges: []runeRange{{n.lit, n.lit}}})
+	case nClass:
+		c.emit(inst{op: opChar, ranges: n.ranges, negated: n.negated})
+	case nAny:
+		c.emit(inst{op: opAny})
+	case nBOL:
+		c.emit(inst{op: opBOL})
+	case nEOL:
+		c.emit(inst{op: opEOL})
+	case nConcat:
+		for _, s := range n.subs {
+			c.node(s)
+		}
+	case nAlt:
+		c.alt(n.subs)
+	case nStar:
+		c.star(n.subs[0])
+	case nPlus:
+		// L1: body; split L1, out
+		l1 := len(c.insts)
+		c.node(n.subs[0])
+		sp := c.emit(inst{op: opSplit, x: l1})
+		c.insts[sp].y = len(c.insts)
+	case nQuest:
+		sp := c.emit(inst{op: opSplit})
+		c.insts[sp].x = len(c.insts)
+		c.node(n.subs[0])
+		c.insts[sp].y = len(c.insts)
+	case nRepeat:
+		for i := 0; i < n.min; i++ {
+			c.node(n.subs[0])
+		}
+		if n.max < 0 {
+			c.star(n.subs[0])
+			return
+		}
+		// (max-min) optional copies, sharing one exit.
+		var splits []int
+		for i := n.min; i < n.max; i++ {
+			sp := c.emit(inst{op: opSplit})
+			c.insts[sp].x = len(c.insts)
+			splits = append(splits, sp)
+			c.node(n.subs[0])
+		}
+		out := len(c.insts)
+		for _, sp := range splits {
+			c.insts[sp].y = out
+		}
+	default:
+		panic("rex: unknown AST node")
+	}
+}
+
+func (c *compiler) star(body *node) {
+	// L1: split L2, out; L2: body; jmp L1
+	sp := c.emit(inst{op: opSplit})
+	c.insts[sp].x = len(c.insts)
+	c.node(body)
+	c.emit(inst{op: opJmp, x: sp})
+	c.insts[sp].y = len(c.insts)
+}
+
+func (c *compiler) alt(subs []*node) {
+	// Chain: split a, rest; each branch jumps to the common exit.
+	var jmps []int
+	for i, s := range subs {
+		if i == len(subs)-1 {
+			c.node(s)
+			break
+		}
+		sp := c.emit(inst{op: opSplit})
+		c.insts[sp].x = len(c.insts)
+		c.node(s)
+		jmps = append(jmps, c.emit(inst{op: opJmp}))
+		c.insts[sp].y = len(c.insts)
+	}
+	out := len(c.insts)
+	for _, j := range jmps {
+		c.insts[j].x = out
+	}
+}

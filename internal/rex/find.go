@@ -1,0 +1,66 @@
+package rex
+
+import "strings"
+
+// Match span utilities built on the Pike VM: non-overlapping global
+// iteration (JavaScript's /g semantics, which the page workloads' list
+// operations rely on) and replacement.
+
+// Span is one match location in bytes.
+type Span struct{ Start, End int }
+
+// FindAll returns up to limit non-overlapping leftmost matches, scanning
+// left to right (limit <= 0 means no limit), along with the total engine
+// steps consumed.
+func (p *Prog) FindAll(s string, limit int) ([]Span, int64) {
+	var spans []Span
+	var steps int64
+	pos := 0
+	for pos <= len(s) {
+		if limit > 0 && len(spans) >= limit {
+			break
+		}
+		r := p.pike(s[pos:])
+		steps += r.Steps
+		if !r.Matched {
+			break
+		}
+		sp := Span{Start: pos + r.Start, End: pos + r.End}
+		spans = append(spans, sp)
+		if sp.End == sp.Start {
+			// Empty match: advance one byte so iteration terminates.
+			pos = sp.End + 1
+		} else {
+			pos = sp.End
+		}
+		if p.anchoredStart {
+			break // ^-anchored patterns cannot match later
+		}
+	}
+	return spans, steps
+}
+
+// ReplaceAll substitutes every non-overlapping match with repl (literal, no
+// capture references) and reports the engine steps consumed.
+func (p *Prog) ReplaceAll(s, repl string) (string, int64) {
+	spans, steps := p.FindAll(s, 0)
+	if len(spans) == 0 {
+		return s, steps
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	last := 0
+	for _, sp := range spans {
+		b.WriteString(s[last:sp.Start])
+		b.WriteString(repl)
+		last = sp.End
+	}
+	b.WriteString(s[last:])
+	return b.String(), steps
+}
+
+// Count returns the number of non-overlapping matches.
+func (p *Prog) Count(s string) int {
+	spans, _ := p.FindAll(s, 0)
+	return len(spans)
+}

@@ -1,0 +1,403 @@
+package rex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// AST node kinds.
+type nodeKind uint8
+
+const (
+	nEmpty nodeKind = iota
+	nLit            // single rune
+	nClass          // rune ranges, possibly negated
+	nAny            // .
+	nConcat
+	nAlt
+	nStar   // sub*
+	nPlus   // sub+
+	nQuest  // sub?
+	nRepeat // sub{min,max}; max = -1 for unbounded
+	nBOL    // ^
+	nEOL    // $
+)
+
+type node struct {
+	kind     nodeKind
+	lit      rune
+	ranges   []runeRange
+	negated  bool
+	subs     []*node
+	min, max int
+}
+
+type runeRange struct{ lo, hi rune }
+
+func (r runeRange) contains(c rune) bool { return c >= r.lo && c <= r.hi }
+
+// maxRepeat caps {n,m} expansion so compiled programs stay bounded.
+const maxRepeat = 200
+
+type parser struct {
+	src string
+	pos int
+}
+
+func parse(src string) (*node, error) {
+	fold := false
+	if strings.HasPrefix(src, "(?i)") {
+		fold = true
+		src = src[len("(?i)"):]
+	}
+	p := &parser{src: src}
+	n, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	if fold {
+		foldCase(n)
+	}
+	return n, nil
+}
+
+// foldCase rewrites literals and classes for ASCII case-insensitive
+// matching (the (?i) flag). Non-ASCII case folding is out of scope for the
+// workload's URL/keyword patterns.
+func foldCase(n *node) {
+	switch n.kind {
+	case nLit:
+		lo, up := asciiLower(n.lit), asciiUpper(n.lit)
+		if lo != up {
+			n.kind = nClass
+			n.ranges = []runeRange{{lo, lo}, {up, up}}
+			n.lit = 0
+		}
+	case nClass:
+		// Copy before extending: escape classes (\d, \w) share package-level
+		// range slices that must never be mutated.
+		folded := make([]runeRange, len(n.ranges), len(n.ranges)*2)
+		copy(folded, n.ranges)
+		for _, r := range n.ranges {
+			if f, ok := foldRange(r); ok {
+				folded = append(folded, f)
+			}
+		}
+		n.ranges = folded
+	}
+	for _, sub := range n.subs {
+		foldCase(sub)
+	}
+}
+
+func asciiLower(c rune) rune {
+	if c >= 'A' && c <= 'Z' {
+		return c + 32
+	}
+	return c
+}
+
+func asciiUpper(c rune) rune {
+	if c >= 'a' && c <= 'z' {
+		return c - 32
+	}
+	return c
+}
+
+// foldRange returns the opposite-case image of the ASCII-letter overlap of
+// the range, if any.
+func foldRange(r runeRange) (runeRange, bool) {
+	if lo, hi := clampRange(r, 'a', 'z'); lo <= hi {
+		return runeRange{lo - 32, hi - 32}, true
+	}
+	if lo, hi := clampRange(r, 'A', 'Z'); lo <= hi {
+		return runeRange{lo + 32, hi + 32}, true
+	}
+	return runeRange{}, false
+}
+
+func clampRange(r runeRange, lo, hi rune) (rune, rune) {
+	a, b := r.lo, r.hi
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+	return a, b
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) alt() (*node, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*node{first}
+	for !p.eof() && p.peek() == '|' {
+		p.pos++
+		n, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	if len(subs) == 1 {
+		return first, nil
+	}
+	return &node{kind: nAlt, subs: subs}, nil
+}
+
+func (p *parser) concat() (*node, error) {
+	var subs []*node
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		n, err := p.repeat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	switch len(subs) {
+	case 0:
+		return &node{kind: nEmpty}, nil
+	case 1:
+		return subs[0], nil
+	}
+	return &node{kind: nConcat, subs: subs}, nil
+}
+
+func (p *parser) repeat() (*node, error) {
+	atom, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			atom = &node{kind: nStar, subs: []*node{atom}}
+		case '+':
+			p.pos++
+			atom = &node{kind: nPlus, subs: []*node{atom}}
+		case '?':
+			p.pos++
+			atom = &node{kind: nQuest, subs: []*node{atom}}
+		case '{':
+			n, ok, err := p.counted(atom)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return atom, nil // literal '{'… handled by atom next time
+			}
+			atom = n
+		default:
+			return atom, nil
+		}
+	}
+	return atom, nil
+}
+
+// counted parses {n}, {n,}, {n,m} after the opening brace position.
+func (p *parser) counted(atom *node) (*node, bool, error) {
+	// Look ahead: must be {digits[,digits]}.
+	end := strings.IndexByte(p.src[p.pos:], '}')
+	if end < 0 {
+		return nil, false, nil
+	}
+	body := p.src[p.pos+1 : p.pos+end]
+	if body == "" {
+		return nil, false, nil
+	}
+	var minS, maxS string
+	if i := strings.IndexByte(body, ','); i >= 0 {
+		minS, maxS = body[:i], body[i+1:]
+	} else {
+		minS, maxS = body, body
+	}
+	min, err := strconv.Atoi(minS)
+	if err != nil {
+		return nil, false, nil // not a counted repeat; treat '{' literally
+	}
+	max := -1
+	if maxS != "" {
+		max, err = strconv.Atoi(maxS)
+		if err != nil {
+			return nil, false, nil
+		}
+	}
+	if min < 0 || (max >= 0 && max < min) || min > maxRepeat || max > maxRepeat {
+		return nil, false, fmt.Errorf("invalid repeat {%s}", body)
+	}
+	p.pos += end + 1
+	return &node{kind: nRepeat, subs: []*node{atom}, min: min, max: max}, true, nil
+}
+
+func (p *parser) atom() (*node, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("unexpected end of pattern")
+	}
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		// Non-capturing group marker (?: — captures are not extracted, so
+		// both forms just group.
+		if strings.HasPrefix(p.src[p.pos:], "?:") {
+			p.pos += 2
+		} else if p.peek() == '?' {
+			return nil, fmt.Errorf("unsupported group flag at offset %d", p.pos)
+		}
+		n, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.peek() != ')' {
+			return nil, fmt.Errorf("missing closing parenthesis")
+		}
+		p.pos++
+		return n, nil
+	case ')':
+		return nil, fmt.Errorf("unmatched closing parenthesis at offset %d", p.pos)
+	case '[':
+		return p.class()
+	case '.':
+		p.pos++
+		return &node{kind: nAny}, nil
+	case '^':
+		p.pos++
+		return &node{kind: nBOL}, nil
+	case '$':
+		p.pos++
+		return &node{kind: nEOL}, nil
+	case '*', '+', '?':
+		return nil, fmt.Errorf("quantifier %q with nothing to repeat at offset %d", c, p.pos)
+	case '\\':
+		return p.escape()
+	default:
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		p.pos += size
+		return &node{kind: nLit, lit: r}, nil
+	}
+}
+
+// Perl character classes.
+var (
+	digitRanges = []runeRange{{'0', '9'}}
+	wordRanges  = []runeRange{{'0', '9'}, {'A', 'Z'}, {'_', '_'}, {'a', 'z'}}
+	spaceRanges = []runeRange{{'\t', '\n'}, {'\f', '\r'}, {' ', ' '}}
+)
+
+func (p *parser) escape() (*node, error) {
+	p.pos++ // consume backslash
+	if p.eof() {
+		return nil, fmt.Errorf("trailing backslash")
+	}
+	c := p.src[p.pos]
+	p.pos++
+	switch c {
+	case 'd':
+		return &node{kind: nClass, ranges: digitRanges}, nil
+	case 'D':
+		return &node{kind: nClass, ranges: digitRanges, negated: true}, nil
+	case 'w':
+		return &node{kind: nClass, ranges: wordRanges}, nil
+	case 'W':
+		return &node{kind: nClass, ranges: wordRanges, negated: true}, nil
+	case 's':
+		return &node{kind: nClass, ranges: spaceRanges}, nil
+	case 'S':
+		return &node{kind: nClass, ranges: spaceRanges, negated: true}, nil
+	case 'n':
+		return &node{kind: nLit, lit: '\n'}, nil
+	case 't':
+		return &node{kind: nLit, lit: '\t'}, nil
+	case 'r':
+		return &node{kind: nLit, lit: '\r'}, nil
+	case '.', '*', '+', '?', '(', ')', '[', ']', '{', '}', '|', '^', '$', '\\', '/', '-':
+		return &node{kind: nLit, lit: rune(c)}, nil
+	default:
+		return nil, fmt.Errorf("unsupported escape \\%c", c)
+	}
+}
+
+func (p *parser) class() (*node, error) {
+	p.pos++ // consume '['
+	n := &node{kind: nClass}
+	if !p.eof() && p.peek() == '^' {
+		n.negated = true
+		p.pos++
+	}
+	first := true
+	for {
+		if p.eof() {
+			return nil, fmt.Errorf("missing closing bracket")
+		}
+		if p.peek() == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		lo, embedded, err := p.classAtom()
+		if err != nil {
+			return nil, err
+		}
+		if embedded != nil { // \d, \w, \s inside [...]
+			n.ranges = append(n.ranges, embedded...)
+			continue
+		}
+		hi := lo
+		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++
+			var hiEmbedded []runeRange
+			hi, hiEmbedded, err = p.classAtom()
+			if err != nil {
+				return nil, err
+			}
+			if hiEmbedded != nil || hi < lo {
+				return nil, fmt.Errorf("invalid class range")
+			}
+		}
+		n.ranges = append(n.ranges, runeRange{lo, hi})
+	}
+	if len(n.ranges) == 0 {
+		return nil, fmt.Errorf("empty character class")
+	}
+	return n, nil
+}
+
+// classAtom parses one element inside [...]: either a single rune, or an
+// embedded escape class (\d, \w, \s) whose ranges are returned instead.
+func (p *parser) classAtom() (rune, []runeRange, error) {
+	if p.peek() == '\\' {
+		en, err := p.escape()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch en.kind {
+		case nLit:
+			return en.lit, nil, nil
+		case nClass:
+			if en.negated {
+				return 0, nil, fmt.Errorf("negated escape class inside [...] unsupported")
+			}
+			return 0, en.ranges, nil
+		}
+		return 0, nil, fmt.Errorf("unsupported escape in class")
+	}
+	r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+	p.pos += size
+	return r, nil, nil
+}

@@ -1,0 +1,97 @@
+package rex
+
+import "unicode/utf8"
+
+// pike executes the program with a Thompson NFA simulation ("Pike VM"):
+// linear in len(input)·len(program), immune to catastrophic backtracking.
+// It returns the leftmost-longest match.
+func (p *Prog) pike(s string) Result {
+	var steps int64
+
+	type thread struct{ pc, start int }
+	clist := make([]thread, 0, 16)
+	nlist := make([]thread, 0, 16)
+	// seen[pc] holds the generation marker and the best (smallest) start
+	// already queued for that pc at the current position.
+	type mark struct {
+		gen   int
+		start int
+	}
+	seen := make([]mark, len(p.insts))
+	gen := 0
+
+	bestStart, bestEnd := -1, -1
+
+	record := func(start, end int) {
+		switch {
+		case bestStart == -1, start < bestStart:
+			bestStart, bestEnd = start, end
+		case start == bestStart && end > bestEnd:
+			bestEnd = end
+		}
+	}
+
+	var add func(list *[]thread, pc, start, pos int)
+	add = func(list *[]thread, pc, start, pos int) {
+		steps++
+		m := &seen[pc]
+		if m.gen == gen && m.start <= start {
+			return
+		}
+		m.gen, m.start = gen, start
+		in := p.insts[pc]
+		switch in.op {
+		case opJmp:
+			add(list, in.x, start, pos)
+		case opSplit:
+			add(list, in.x, start, pos)
+			add(list, in.y, start, pos)
+		case opBOL:
+			if pos == 0 {
+				add(list, pc+1, start, pos)
+			}
+		case opEOL:
+			if pos == len(s) {
+				add(list, pc+1, start, pos)
+			}
+		case opMatch:
+			record(start, pos)
+		default:
+			*list = append(*list, thread{pc, start})
+		}
+	}
+
+	pos := 0
+	for {
+		gen++
+		// Seed a new root unless a leftmost match already exists.
+		if bestStart == -1 {
+			add(&clist, 0, pos, pos)
+		}
+		if pos >= len(s) || len(clist) == 0 && bestStart != -1 {
+			break
+		}
+		c, size := utf8.DecodeRuneInString(s[pos:])
+		next := pos + size
+		gen++
+		for _, t := range clist {
+			steps++
+			if t.start > bestStart && bestStart != -1 {
+				continue // cannot be leftmost anymore
+			}
+			if p.insts[t.pc].matches(c) {
+				add(&nlist, t.pc+1, t.start, next)
+			}
+		}
+		clist, nlist = nlist, clist[:0]
+		pos = next
+		if p.anchoredStart && len(clist) == 0 && bestStart == -1 {
+			// Anchored pattern failed from position 0; no other start exists.
+			break
+		}
+	}
+	if bestStart >= 0 {
+		return Result{Matched: true, Start: bestStart, End: bestEnd, Steps: steps}
+	}
+	return Result{Steps: steps}
+}

@@ -1,0 +1,61 @@
+package script
+
+import "testing"
+
+// Engine micro-benchmarks: tree-walking interpreter vs bytecode VM on a
+// workload-shaped program.
+
+const benchSrc = `
+var urls = [];
+for (var i = 0; i < 100; i++) {
+	urls.push("https://cdn" + (i % 7) + ".site.com/ads/item-" + i + ".js");
+}
+var blocked = 0;
+for (var i = 0; i < urls.length; i++) {
+	if (urls[i].indexOf("/ads/") >= 0) { blocked++; }
+}
+var result = blocked;
+`
+
+func BenchmarkTreeWalker(b *testing.B) {
+	prog := MustParse(benchSrc)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in := New(Config{})
+		if err := in.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBytecodeVM(b *testing.B) {
+	code := MustCompileProgram(MustParse(benchSrc))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm := NewVM(Config{})
+		if err := vm.Run(code); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileProgram(b *testing.B) {
+	prog := MustParse(benchSrc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package script
+
+import "fmt"
+
+// Bytecode compilation: the package's second execution engine. The
+// tree-walking interpreter (interp.go) is the reference; Compile flattens a
+// Program into stack-machine bytecode executed by VM (vm.go). Both engines
+// share the runtime (values, operators, methods, builtins, the regex host),
+// and the test suite runs every workload through both and compares results
+// — the classic differential-testing setup for language runtimes.
+
+// Op is a bytecode operation.
+type Op uint8
+
+// Bytecode operations. Stack effects are noted as [before] -> [after].
+const (
+	OpConst         Op = iota // [] -> [consts[A]]
+	OpLoadName                // [] -> [env[names[A]]]
+	OpStoreName               // [v] -> []         (assign existing / implicit global)
+	OpDeclareName             // [v] -> []         (var declaration in current scope)
+	OpPop                     // [v] -> []
+	OpDup                     // [v] -> [v v]
+	OpDup2                    // [a b] -> [a b a b]
+	OpBin                     // [l r] -> [l op r] (operator in names[A])
+	OpNot                     // [v] -> [!v]
+	OpNeg                     // [v] -> [-v]
+	OpJump                    // pc = A
+	OpJumpIfFalse             // [v] -> [];      jump when falsy
+	OpJumpFalsePeek           // [v] -> [v]/[];  jump keeping v when falsy, else pop
+	OpJumpTruePeek            // [v] -> [v]/[];  jump keeping v when truthy, else pop
+	OpMakeArray               // [e1..eA] -> [array]
+	OpMakeObject              // [v1..vA] -> [object]  (keys in kextra)
+	OpIndex                   // [base idx] -> [val]
+	OpSetIndex                // [base idx val] -> []
+	OpMember                  // [base] -> [base.names[A]]
+	OpSetMember               // [base val] -> []
+	OpCall                    // [fn a1..aA] -> [result]
+	OpMethodCall              // [recv a1..a(A&0xffff)] -> [result] (name in names[A>>16])
+	OpMakeFunc                // [] -> [closure over codes[A]]
+	OpReturn                  // [v] -> frame pops
+	OpEnterScope              // push a block scope
+	OpLeaveScope              // pop it
+)
+
+// Instr is one instruction.
+type Instr struct {
+	Op Op
+	A  int
+}
+
+// Code is a compiled function body (or the toplevel).
+type Code struct {
+	Name   string
+	Params []string
+	Ins    []Instr
+	Consts []Value
+	Names  []string
+	Codes  []*Code    // nested function bodies
+	KExtra [][]string // object literal key lists, indexed by OpMakeObject A
+}
+
+// CompileProgram lowers a parsed Program to bytecode.
+func CompileProgram(p *Program) (*Code, error) {
+	c := &compiler{code: &Code{Name: "<toplevel>"}}
+	if err := c.stmts(p.stmts); err != nil {
+		return nil, err
+	}
+	c.emitConstNil()
+	c.emit(OpReturn, 0)
+	return c.code, nil
+}
+
+// MustCompileProgram panics on error (static workloads).
+func MustCompileProgram(p *Program) *Code {
+	c, err := CompileProgram(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type loopCtx struct {
+	breaks    []int // jump sites to patch to loop end
+	continues []int // jump sites to patch to the continue target
+	// depth is the scope depth at the break/continue landing sites; a jump
+	// from deeper must emit OpLeaveScope for the difference so the scope
+	// stack stays balanced on every control-flow path.
+	depth int
+}
+
+type compiler struct {
+	code  *Code
+	loops []loopCtx
+	depth int // current static scope depth
+}
+
+func (c *compiler) emit(op Op, a int) int {
+	c.code.Ins = append(c.code.Ins, Instr{Op: op, A: a})
+	return len(c.code.Ins) - 1
+}
+
+func (c *compiler) here() int { return len(c.code.Ins) }
+
+func (c *compiler) patch(site int) { c.code.Ins[site].A = c.here() }
+
+func (c *compiler) konst(v Value) int {
+	c.code.Consts = append(c.code.Consts, v)
+	return len(c.code.Consts) - 1
+}
+
+func (c *compiler) emitConstNil() { c.emit(OpConst, c.konst(nil)) }
+
+func (c *compiler) name(n string) int {
+	for i, x := range c.code.Names {
+		if x == n {
+			return i
+		}
+	}
+	c.code.Names = append(c.code.Names, n)
+	return len(c.code.Names) - 1
+}
+
+func (c *compiler) stmts(ss []stmt) error {
+	for _, s := range ss {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// block compiles statements inside their own scope.
+func (c *compiler) block(ss []stmt) error {
+	c.emit(OpEnterScope, 0)
+	c.depth++
+	if err := c.stmts(ss); err != nil {
+		return err
+	}
+	c.depth--
+	c.emit(OpLeaveScope, 0)
+	return nil
+}
+
+// unwindTo emits the scope exits needed to jump to a site at targetDepth.
+func (c *compiler) unwindTo(targetDepth int) {
+	for d := c.depth; d > targetDepth; d-- {
+		c.emit(OpLeaveScope, 0)
+	}
+}
+
+func (c *compiler) stmt(s stmt) error {
+	switch s := s.(type) {
+	case *varStmt:
+		if s.init != nil {
+			if err := c.expr(s.init); err != nil {
+				return err
+			}
+		} else {
+			c.emitConstNil()
+		}
+		c.emit(OpDeclareName, c.name(s.name))
+		return nil
+	case *assignStmt:
+		return c.assign(s)
+	case *ifStmt:
+		if err := c.expr(s.cond); err != nil {
+			return err
+		}
+		jElse := c.emit(OpJumpIfFalse, 0)
+		if err := c.block(s.then); err != nil {
+			return err
+		}
+		jEnd := c.emit(OpJump, 0)
+		c.patch(jElse)
+		if err := c.block(s.alt); err != nil {
+			return err
+		}
+		c.patch(jEnd)
+		return nil
+	case *whileStmt:
+		top := c.here()
+		if err := c.expr(s.cond); err != nil {
+			return err
+		}
+		jEnd := c.emit(OpJumpIfFalse, 0)
+		c.loops = append(c.loops, loopCtx{depth: c.depth})
+		if err := c.block(s.body); err != nil {
+			return err
+		}
+		lc := c.loops[len(c.loops)-1]
+		c.loops = c.loops[:len(c.loops)-1]
+		for _, site := range lc.continues {
+			c.code.Ins[site].A = top
+		}
+		c.emit(OpJump, top)
+		c.patch(jEnd)
+		for _, site := range lc.breaks {
+			c.patch(site)
+		}
+		return nil
+	case *forStmt:
+		c.emit(OpEnterScope, 0) // the for-header scope
+		c.depth++
+		if s.init != nil {
+			if err := c.stmt(s.init); err != nil {
+				return err
+			}
+		}
+		top := c.here()
+		jEnd := -1
+		if s.cond != nil {
+			if err := c.expr(s.cond); err != nil {
+				return err
+			}
+			jEnd = c.emit(OpJumpIfFalse, 0)
+		}
+		c.loops = append(c.loops, loopCtx{depth: c.depth})
+		if err := c.block(s.body); err != nil {
+			return err
+		}
+		lc := c.loops[len(c.loops)-1]
+		c.loops = c.loops[:len(c.loops)-1]
+		post := c.here()
+		for _, site := range lc.continues {
+			c.code.Ins[site].A = post
+		}
+		if s.post != nil {
+			if err := c.stmt(s.post); err != nil {
+				return err
+			}
+		}
+		c.emit(OpJump, top)
+		if jEnd >= 0 {
+			c.patch(jEnd)
+		}
+		for _, site := range lc.breaks {
+			c.patch(site)
+		}
+		c.depth--
+		c.emit(OpLeaveScope, 0)
+		return nil
+	case *funcStmt:
+		sub := &compiler{code: &Code{Name: s.name, Params: s.params}}
+		if err := sub.stmts(s.body); err != nil {
+			return err
+		}
+		sub.emitConstNil()
+		sub.emit(OpReturn, 0)
+		c.code.Codes = append(c.code.Codes, sub.code)
+		c.emit(OpMakeFunc, len(c.code.Codes)-1)
+		c.emit(OpDeclareName, c.name(s.name))
+		return nil
+	case *returnStmt:
+		if s.value != nil {
+			if err := c.expr(s.value); err != nil {
+				return err
+			}
+		} else {
+			c.emitConstNil()
+		}
+		c.emit(OpReturn, 0)
+		return nil
+	case *breakStmt:
+		if len(c.loops) == 0 {
+			return fmt.Errorf("script: break outside loop")
+		}
+		lc := &c.loops[len(c.loops)-1]
+		c.unwindTo(lc.depth)
+		site := c.emit(OpJump, 0)
+		lc.breaks = append(lc.breaks, site)
+		return nil
+	case *continueStmt:
+		if len(c.loops) == 0 {
+			return fmt.Errorf("script: continue outside loop")
+		}
+		lc := &c.loops[len(c.loops)-1]
+		c.unwindTo(lc.depth)
+		site := c.emit(OpJump, 0)
+		lc.continues = append(lc.continues, site)
+		return nil
+	case *exprStmt:
+		if err := c.expr(s.e); err != nil {
+			return err
+		}
+		c.emit(OpPop, 0)
+		return nil
+	}
+	return fmt.Errorf("script: cannot compile %T", s)
+}
+
+func (c *compiler) assign(s *assignStmt) error {
+	binOp := ""
+	if s.op != "=" {
+		binOp = s.op[:len(s.op)-1]
+	}
+	switch t := s.target.(type) {
+	case *identExpr:
+		if binOp != "" {
+			c.emit(OpLoadName, c.name(t.name))
+			if err := c.expr(s.value); err != nil {
+				return err
+			}
+			c.emit(OpBin, c.name(binOp))
+		} else if err := c.expr(s.value); err != nil {
+			return err
+		}
+		c.emit(OpStoreName, c.name(t.name))
+		return nil
+	case *indexExpr:
+		if err := c.expr(t.base); err != nil {
+			return err
+		}
+		if err := c.expr(t.idx); err != nil {
+			return err
+		}
+		if binOp != "" {
+			c.emit(OpDup2, 0)
+			c.emit(OpIndex, 0)
+			if err := c.expr(s.value); err != nil {
+				return err
+			}
+			c.emit(OpBin, c.name(binOp))
+		} else if err := c.expr(s.value); err != nil {
+			return err
+		}
+		c.emit(OpSetIndex, 0)
+		return nil
+	case *memberExpr:
+		if err := c.expr(t.base); err != nil {
+			return err
+		}
+		if binOp != "" {
+			c.emit(OpDup, 0)
+			c.emit(OpMember, c.name(t.name))
+			if err := c.expr(s.value); err != nil {
+				return err
+			}
+			c.emit(OpBin, c.name(binOp))
+		} else if err := c.expr(s.value); err != nil {
+			return err
+		}
+		c.emit(OpSetMember, c.name(t.name))
+		return nil
+	}
+	return fmt.Errorf("script: cannot compile assignment to %T", s.target)
+}
+
+func (c *compiler) expr(e expr) error {
+	switch e := e.(type) {
+	case *numberLit:
+		c.emit(OpConst, c.konst(e.v))
+	case *stringLit:
+		c.emit(OpConst, c.konst(e.v))
+	case *boolLit:
+		c.emit(OpConst, c.konst(e.v))
+	case *nullLit:
+		c.emitConstNil()
+	case *identExpr:
+		c.emit(OpLoadName, c.name(e.name))
+	case *arrayLit:
+		for _, el := range e.elems {
+			if err := c.expr(el); err != nil {
+				return err
+			}
+		}
+		c.emit(OpMakeArray, len(e.elems))
+	case *objectLit:
+		for _, v := range e.vals {
+			if err := c.expr(v); err != nil {
+				return err
+			}
+		}
+		c.code.KExtra = append(c.code.KExtra, e.keys)
+		c.emit(OpMakeObject, len(c.code.KExtra)-1)
+	case *unaryExpr:
+		if err := c.expr(e.e); err != nil {
+			return err
+		}
+		if e.op == "!" {
+			c.emit(OpNot, 0)
+		} else {
+			c.emit(OpNeg, 0)
+		}
+	case *binaryExpr:
+		if e.op == "&&" || e.op == "||" {
+			if err := c.expr(e.l); err != nil {
+				return err
+			}
+			var site int
+			if e.op == "&&" {
+				site = c.emit(OpJumpFalsePeek, 0)
+			} else {
+				site = c.emit(OpJumpTruePeek, 0)
+			}
+			if err := c.expr(e.r); err != nil {
+				return err
+			}
+			c.patch(site)
+			return nil
+		}
+		if err := c.expr(e.l); err != nil {
+			return err
+		}
+		if err := c.expr(e.r); err != nil {
+			return err
+		}
+		c.emit(OpBin, c.name(e.op))
+	case *indexExpr:
+		if err := c.expr(e.base); err != nil {
+			return err
+		}
+		if err := c.expr(e.idx); err != nil {
+			return err
+		}
+		c.emit(OpIndex, 0)
+	case *memberExpr:
+		if err := c.expr(e.base); err != nil {
+			return err
+		}
+		c.emit(OpMember, c.name(e.name))
+	case *callExpr:
+		if m, ok := e.fn.(*memberExpr); ok {
+			// Method call: receiver on the stack, then args.
+			if err := c.expr(m.base); err != nil {
+				return err
+			}
+			for _, a := range e.args {
+				if err := c.expr(a); err != nil {
+					return err
+				}
+			}
+			c.emit(OpMethodCall, c.name(m.name)<<16|len(e.args))
+			return nil
+		}
+		if err := c.expr(e.fn); err != nil {
+			return err
+		}
+		for _, a := range e.args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		c.emit(OpCall, len(e.args))
+	default:
+		return fmt.Errorf("script: cannot compile %T", e)
+	}
+	return nil
+}

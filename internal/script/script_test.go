@@ -1,0 +1,415 @@
+package script
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// run executes src and returns the interpreter for inspection.
+func run(t *testing.T, src string) *Interp {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	in := New(Config{})
+	if err := in.Run(p); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return in
+}
+
+func wantNum(t *testing.T, in *Interp, name string, want float64) {
+	t.Helper()
+	v, ok := in.Global(name).(float64)
+	if !ok {
+		t.Fatalf("%s = %T(%v), want number", name, in.Global(name), in.Global(name))
+	}
+	if math.Abs(v-want) > 1e-9 {
+		t.Fatalf("%s = %v, want %v", name, v, want)
+	}
+}
+
+func wantStr(t *testing.T, in *Interp, name, want string) {
+	t.Helper()
+	v, ok := in.Global(name).(string)
+	if !ok || v != want {
+		t.Fatalf("%s = %v(%T), want %q", name, in.Global(name), in.Global(name), want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	in := run(t, `
+		var a = 2 + 3 * 4;
+		var b = (2 + 3) * 4;
+		var c = 10 / 4;
+		var d = 10 % 3;
+		var e = -a;
+	`)
+	wantNum(t, in, "a", 14)
+	wantNum(t, in, "b", 20)
+	wantNum(t, in, "c", 2.5)
+	wantNum(t, in, "d", 1)
+	wantNum(t, in, "e", -14)
+}
+
+func TestStringsAndConcat(t *testing.T) {
+	in := run(t, `
+		var s = "hello" + " " + "world";
+		var n = s.length;
+		var up = s.toUpperCase();
+		var i = s.indexOf("world");
+		var sub = s.substring(0, 5);
+		var num = "count: " + 42;
+	`)
+	wantStr(t, in, "s", "hello world")
+	wantNum(t, in, "n", 11)
+	wantStr(t, in, "up", "HELLO WORLD")
+	wantNum(t, in, "i", 6)
+	wantStr(t, in, "sub", "hello")
+	wantStr(t, in, "num", "count: 42")
+}
+
+func TestControlFlow(t *testing.T) {
+	in := run(t, `
+		var total = 0;
+		for (var i = 0; i < 10; i++) {
+			if (i % 2 == 0) { total += i; } else { total += 1; }
+		}
+		var w = 0;
+		var k = 5;
+		while (k > 0) { w += k; k--; }
+		var brk = 0;
+		for (var j = 0; j < 100; j++) {
+			if (j == 7) { break; }
+			if (j % 2 == 1) { continue; }
+			brk += 1;
+		}
+	`)
+	wantNum(t, in, "total", 2+4+6+8+5) // evens 0..8 sum 20 + five odd 1s
+	wantNum(t, in, "w", 15)
+	wantNum(t, in, "brk", 4) // j = 0,2,4,6
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	in := run(t, `
+		function fib(n) {
+			if (n < 2) { return n; }
+			return fib(n-1) + fib(n-2);
+		}
+		var f10 = fib(10);
+		function adder(a, b) { return a + b; }
+		var sum = adder(3, 4);
+		function noret() { var x = 1; }
+		var nothing = noret();
+	`)
+	wantNum(t, in, "f10", 55)
+	wantNum(t, in, "sum", 7)
+	if in.Global("nothing") != nil {
+		t.Fatal("function without return should yield null")
+	}
+}
+
+func TestArraysAndObjects(t *testing.T) {
+	in := run(t, `
+		var a = [3, 1, 2];
+		a.push(9);
+		var n = a.length;
+		var j = a.join("-");
+		var idx = a.indexOf(2);
+		var o = {name: "pixel", cost: 700};
+		var cost = o.cost;
+		o.cores = 8;
+		var cores = o["cores"];
+		var ks = keys(o).join(",");
+		var sl = a.slice(1, 3).join("");
+	`)
+	wantNum(t, in, "n", 4)
+	wantStr(t, in, "j", "3-1-2-9")
+	wantNum(t, in, "idx", 2)
+	wantNum(t, in, "cost", 700)
+	wantNum(t, in, "cores", 8)
+	wantStr(t, in, "ks", "cores,cost,name")
+	wantStr(t, in, "sl", "12")
+}
+
+func TestRegexMethods(t *testing.T) {
+	in := run(t, `
+		var url = "https://cdn.example.com/ads/tracker.js";
+		var isAd = url.test("ads|doubleclick|tracker");
+		var proto = url.match("^https");
+		var where = url.search("example");
+		var clean = url.replace("tracker\.js", "x.js");
+		var none = url.match("ftp");
+	`)
+	if v, _ := in.Global("isAd").(bool); !v {
+		t.Fatal("isAd should be true")
+	}
+	wantStr(t, in, "proto", "https")
+	wantNum(t, in, "where", 12)
+	wantStr(t, in, "clean", "https://cdn.example.com/ads/x.js")
+	if in.Global("none") != nil {
+		t.Fatal("non-match should yield null")
+	}
+}
+
+func TestCountingHostRecordsCalls(t *testing.T) {
+	p := MustParse(`
+		var urls = ["http://a.com/x", "http://b.org/ads/y", "http://c.net/z"];
+		var hits = 0;
+		for (var i = 0; i < urls.length; i++) {
+			if (urls[i].test("/ads/")) { hits++; }
+		}
+	`)
+	host := NewCountingHost()
+	in := New(Config{Host: host})
+	if err := in.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	wantNum(t, in, "hits", 1)
+	if len(host.Calls) != 3 {
+		t.Fatalf("recorded %d calls, want 3", len(host.Calls))
+	}
+	for _, c := range host.Calls {
+		if c.BTSteps <= 0 || c.PikeSteps <= 0 {
+			t.Fatalf("steps not recorded: %+v", c)
+		}
+	}
+	if host.TotalBTSteps() <= 0 || host.TotalPikeSteps() <= 0 {
+		t.Fatal("totals not positive")
+	}
+	host.Reset()
+	if len(host.Calls) != 0 {
+		t.Fatal("Reset did not clear calls")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	in := run(t, `
+		var pi = parseInt("42px");
+		var neg = parseInt("-7");
+		var nan = parseInt("px");
+		var f = floor(3.9);
+		var c = ceil(3.1);
+		var mn = min(3, 5);
+		var mx = max(3, 5);
+		var ab = abs(-4);
+		var l = len("hello");
+		var la = len([1,2,3]);
+		var sq = sqrt(49);
+		var s = str(3.5);
+	`)
+	wantNum(t, in, "pi", 42)
+	wantNum(t, in, "neg", -7)
+	if v := in.Global("nan").(float64); !math.IsNaN(v) {
+		t.Fatalf("parseInt junk = %v, want NaN", v)
+	}
+	wantNum(t, in, "f", 3)
+	wantNum(t, in, "c", 4)
+	wantNum(t, in, "mn", 3)
+	wantNum(t, in, "mx", 5)
+	wantNum(t, in, "ab", 4)
+	wantNum(t, in, "l", 5)
+	wantNum(t, in, "la", 3)
+	wantNum(t, in, "sq", 7)
+	wantStr(t, in, "s", "3.5")
+}
+
+func TestTruthinessAndLogic(t *testing.T) {
+	in := run(t, `
+		var a = "" || "fallback";
+		var b = "x" && "y";
+		var c = 0 || 5;
+		var d = null == null;
+		var e = !null;
+		var f = 1 < 2 && 2 <= 2 && "a" < "b";
+	`)
+	wantStr(t, in, "a", "fallback")
+	wantStr(t, in, "b", "y")
+	wantNum(t, in, "c", 5)
+	if v, _ := in.Global("d").(bool); !v {
+		t.Fatal("null == null")
+	}
+	if v, _ := in.Global("e").(bool); !v {
+		t.Fatal("!null")
+	}
+	if v, _ := in.Global("f").(bool); !v {
+		t.Fatal("chained comparison")
+	}
+}
+
+func TestSetGlobalInput(t *testing.T) {
+	p := MustParse(`var out = input.toUpperCase();`)
+	in := New(Config{})
+	in.SetGlobal("input", "abc")
+	if err := in.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	wantStr(t, in, "out", "ABC")
+}
+
+func TestOpsBudget(t *testing.T) {
+	p := MustParse(`var i = 0; while (true) { i++; }`)
+	in := New(Config{MaxOps: 10000})
+	err := in.Run(p)
+	if err == nil {
+		t.Fatal("infinite loop did not hit budget")
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	p := MustParse(`function f(n) { return f(n+1); } var x = f(0);`)
+	in := New(Config{})
+	if err := in.Run(p); err == nil {
+		t.Fatal("unbounded recursion did not error")
+	}
+}
+
+func TestOpsCountingMonotone(t *testing.T) {
+	small := run(t, `var t = 0; for (var i = 0; i < 10; i++) { t += i; }`)
+	large := run(t, `var t = 0; for (var i = 0; i < 1000; i++) { t += i; }`)
+	if large.Stats().Ops <= small.Stats().Ops {
+		t.Fatalf("ops should scale with work: %d vs %d", small.Stats().Ops, large.Stats().Ops)
+	}
+}
+
+func TestStrBytesAccounting(t *testing.T) {
+	in := run(t, `var s = ""; for (var i = 0; i < 50; i++) { s = s + "xxxxxxxxxx"; }`)
+	if in.Stats().StrBytes < 500 {
+		t.Fatalf("string bytes = %d, want >= 500", in.Stats().StrBytes)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`var;`, `var x = ;`, `if x {}`, `while () {}`, `function () {}`,
+		`1 +;`, `var x = [1,;`, `var o = {1: 2};`, `x = `, `"unterminated`,
+		`var x = 1 @ 2;`, `5 = x;`, `for (;;;) {}`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	bad := []string{
+		`var x = undefined_name;`,
+		`var a = [1]; var x = a[5];`,
+		`var x = 1; x.push(2);`,
+		`var x = "s" - 1;`,
+		`var x = noSuchFn();`,
+		`var s = "x"; var y = s.noMethod();`,
+		`var s = "x"; var y = s.match("(");`,
+	}
+	for _, src := range bad {
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q) failed at parse time: %v", src, err)
+			continue
+		}
+		if err := New(Config{}).Run(p); err == nil {
+			t.Errorf("Run(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	in := run(t, `
+		// line comment
+		var a = 1; /* block
+		comment */ var b = 2;
+	`)
+	wantNum(t, in, "a", 1)
+	wantNum(t, in, "b", 2)
+}
+
+func TestClosuresCaptureScope(t *testing.T) {
+	in := run(t, `
+		var base = 10;
+		function addBase(x) { return x + base; }
+		base = 20;
+		var r = addBase(5);
+	`)
+	wantNum(t, in, "r", 25)
+}
+
+func TestRealisticWorkload(t *testing.T) {
+	// A compressed version of the news-page ad-filter scripts the workload
+	// generator emits: URL classification plus list manipulation.
+	src := `
+	var urls = [];
+	for (var i = 0; i < 40; i++) {
+		var kind = "static";
+		if (i % 3 == 0) { kind = "ads"; }
+		urls.push("https://cdn" + i + ".site.com/" + kind + "/asset" + i + ".js");
+	}
+	var blocked = 0;
+	var kept = [];
+	for (var i = 0; i < urls.length; i++) {
+		if (urls[i].test("/(ads|beacon|track)/")) { blocked++; }
+		else { kept.push(urls[i]); }
+	}
+	var manifest = kept.join(";");
+	var totalLen = manifest.length;
+	`
+	host := NewCountingHost()
+	in := New(Config{Host: host})
+	if err := in.Run(MustParse(src)); err != nil {
+		t.Fatal(err)
+	}
+	wantNum(t, in, "blocked", 14)
+	if len(host.Calls) != 40 {
+		t.Fatalf("%d regex calls, want 40", len(host.Calls))
+	}
+	if in.Stats().Ops < 1000 {
+		t.Fatalf("workload too cheap: %d ops", in.Stats().Ops)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of bad source did not panic")
+		}
+	}()
+	MustParse("var ;")
+}
+
+func TestProgramSource(t *testing.T) {
+	src := "var a = 1;"
+	if MustParse(src).Source() != src {
+		t.Fatal("Source() mismatch")
+	}
+}
+
+func TestStringIndexing(t *testing.T) {
+	in := run(t, `var s = "abc"; var c = s[1]; var w = s.charAt(9);`)
+	wantStr(t, in, "c", "b")
+	wantStr(t, in, "w", "")
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	in := run(t, `var inf = 1/0; var ninf = -1/0; var nan = 0 % 0;`)
+	if v := in.Global("inf").(float64); !math.IsInf(v, 1) {
+		t.Fatal("1/0 should be +Inf")
+	}
+	if v := in.Global("ninf").(float64); !math.IsInf(v, -1) {
+		t.Fatal("-1/0 should be -Inf")
+	}
+	if v := in.Global("nan").(float64); !math.IsNaN(v) {
+		t.Fatal("0%0 should be NaN")
+	}
+}
+
+func TestLongScriptDoesNotBlowStack(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("var t = 0;\n")
+	for i := 0; i < 2000; i++ {
+		b.WriteString("t += 1;\n")
+	}
+	in := run(t, b.String())
+	wantNum(t, in, "t", 2000)
+}

@@ -1,0 +1,241 @@
+package script
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VM executes compiled bytecode. It shares the runtime — values, operators,
+// string/array methods, builtins, regex host, and the op budget — with the
+// tree-walking interpreter through an embedded Interp, so the two engines
+// are semantically interchangeable and differentially testable.
+type VM struct {
+	in *Interp
+}
+
+// vmClosure is a compiled function value.
+type vmClosure struct {
+	code *Code
+	env  *env
+}
+
+// NewVM creates a bytecode virtual machine.
+func NewVM(cfg Config) *VM { return &VM{in: New(cfg)} }
+
+// Stats returns cumulative execution statistics (instructions executed are
+// charged as interpreter ops).
+func (vm *VM) Stats() Stats { return vm.in.Stats() }
+
+// Global reads a global variable after execution.
+func (vm *VM) Global(name string) Value { return vm.in.Global(name) }
+
+// SetGlobal pre-sets a global.
+func (vm *VM) SetGlobal(name string, v Value) { vm.in.SetGlobal(name, v) }
+
+// Run executes a compiled toplevel.
+func (vm *VM) Run(code *Code) error {
+	_, err := vm.exec(code, vm.in.globals)
+	return err
+}
+
+// frame state is kept on the Go stack: exec runs one Code object; OpCall on
+// a vmClosure recurses.
+func (vm *VM) exec(code *Code, env_ *env) (Value, error) {
+	in := vm.in
+	stack := make([]Value, 0, 16)
+	push := func(v Value) { stack = append(stack, v) }
+	pop := func() Value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	cur := env_
+	var scopes []*env
+
+	for pc := 0; pc < len(code.Ins); pc++ {
+		if err := in.charge(1, 0); err != nil {
+			return nil, err
+		}
+		ins := code.Ins[pc]
+		switch ins.Op {
+		case OpConst:
+			push(code.Consts[ins.A])
+		case OpLoadName:
+			name := code.Names[ins.A]
+			v, ok := cur.get(name)
+			if !ok {
+				if b, bok := builtins[name]; bok {
+					v = b
+				} else {
+					return nil, fmt.Errorf("script: undefined variable %q", name)
+				}
+			}
+			push(v)
+		case OpStoreName:
+			name := code.Names[ins.A]
+			v := pop()
+			if !cur.set(name, v) {
+				in.globals.vars[name] = v // sloppy-mode implicit global
+			}
+		case OpDeclareName:
+			cur.vars[code.Names[ins.A]] = pop()
+		case OpPop:
+			pop()
+		case OpDup:
+			push(stack[len(stack)-1])
+		case OpDup2:
+			a, b := stack[len(stack)-2], stack[len(stack)-1]
+			push(a)
+			push(b)
+		case OpBin:
+			r := pop()
+			l := pop()
+			v, err := in.binop(code.Names[ins.A], l, r)
+			if err != nil {
+				return nil, err
+			}
+			push(v)
+		case OpNot:
+			push(!truthy(pop()))
+		case OpNeg:
+			n, ok := pop().(float64)
+			if !ok {
+				return nil, fmt.Errorf("script: cannot negate non-number")
+			}
+			push(-n)
+		case OpJump:
+			pc = ins.A - 1
+		case OpJumpIfFalse:
+			if !truthy(pop()) {
+				pc = ins.A - 1
+			}
+		case OpJumpFalsePeek:
+			if !truthy(stack[len(stack)-1]) {
+				pc = ins.A - 1
+			} else {
+				pop()
+			}
+		case OpJumpTruePeek:
+			if truthy(stack[len(stack)-1]) {
+				pc = ins.A - 1
+			} else {
+				pop()
+			}
+		case OpMakeArray:
+			n := ins.A
+			arr := &Array{Elems: make([]Value, n)}
+			copy(arr.Elems, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			push(arr)
+		case OpMakeObject:
+			keys := code.KExtra[ins.A]
+			n := len(keys)
+			obj := &Object{Fields: make(map[string]Value, n)}
+			vals := stack[len(stack)-n:]
+			for i, k := range keys {
+				obj.Fields[k] = vals[i]
+			}
+			stack = stack[:len(stack)-n]
+			push(obj)
+		case OpIndex:
+			idx := pop()
+			base := pop()
+			v, err := in.indexValue(base, idx)
+			if err != nil {
+				return nil, err
+			}
+			push(v)
+		case OpSetIndex:
+			v := pop()
+			idx := pop()
+			base := pop()
+			if err := in.setIndexValue(base, idx, v); err != nil {
+				return nil, err
+			}
+		case OpMember:
+			base := pop()
+			v, err := in.member(base, code.Names[ins.A])
+			if err != nil {
+				return nil, err
+			}
+			push(v)
+		case OpSetMember:
+			v := pop()
+			base := pop()
+			o, ok := base.(*Object)
+			if !ok {
+				return nil, fmt.Errorf("script: cannot set member on %T", base)
+			}
+			o.Fields[code.Names[ins.A]] = v
+		case OpCall:
+			n := ins.A
+			args := make([]Value, n)
+			copy(args, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			fn := pop()
+			v, err := vm.call(fn, args)
+			if err != nil {
+				return nil, err
+			}
+			push(v)
+		case OpMethodCall:
+			n := ins.A & 0xffff
+			name := code.Names[ins.A>>16]
+			args := make([]Value, n)
+			copy(args, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			recv := pop()
+			var v Value
+			var err error
+			if obj, isObj := recv.(*Object); isObj {
+				v, err = vm.call(obj.Fields[name], args)
+			} else {
+				v, err = in.method(recv, name, args)
+			}
+			if err != nil {
+				return nil, err
+			}
+			push(v)
+		case OpMakeFunc:
+			push(&vmClosure{code: code.Codes[ins.A], env: cur})
+		case OpReturn:
+			return pop(), nil
+		case OpEnterScope:
+			scopes = append(scopes, cur)
+			cur = &env{vars: map[string]Value{}, parent: cur}
+		case OpLeaveScope:
+			cur = scopes[len(scopes)-1]
+			scopes = scopes[:len(scopes)-1]
+		default:
+			return nil, fmt.Errorf("script: unknown opcode %d", ins.Op)
+		}
+	}
+	return nil, nil
+}
+
+// call dispatches VM closures, interpreter closures, and builtins.
+func (vm *VM) call(fn Value, args []Value) (Value, error) {
+	in := vm.in
+	switch f := fn.(type) {
+	case *vmClosure:
+		if in.depth >= in.cfg.MaxDepth {
+			return nil, errors.New("script: call stack exceeded")
+		}
+		in.depth++
+		defer func() { in.depth-- }()
+		fe := &env{vars: map[string]Value{}, parent: f.env}
+		for i, p := range f.code.Params {
+			if i < len(args) {
+				fe.vars[p] = args[i]
+			} else {
+				fe.vars[p] = nil
+			}
+		}
+		return vm.exec(f.code, fe)
+	case builtinFn:
+		return f.fn(in, args)
+	case *Closure:
+		return in.call(f, args)
+	}
+	return nil, fmt.Errorf("script: %T is not callable", fn)
+}

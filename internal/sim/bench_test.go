@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEventChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			d := time.Duration(j%17) * time.Millisecond
+			s.After(d, func() {})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkSelfPerpetuatingChain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		n := 0
+		var step func()
+		step = func() {
+			n++
+			if n < 10000 {
+				s.After(time.Microsecond, step)
+			}
+		}
+		s.After(time.Microsecond, step)
+		s.Run()
+		if n != 10000 {
+			b.Fatal("chain broke")
+		}
+	}
+}

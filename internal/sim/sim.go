@@ -1,0 +1,178 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// A Sim owns a virtual clock and a priority queue of events. Events scheduled
+// for the same instant fire in the order they were scheduled, which keeps
+// whole-system runs reproducible regardless of map iteration or goroutine
+// scheduling. The kernel is single-threaded by design: all model code runs
+// inside event callbacks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. The zero value is not useful; obtain events
+// from Sim.At or Sim.After.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// When reports the virtual time at which the event fires (or would have
+// fired, if canceled).
+func (e *Event) When() time.Duration { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	steps   uint64
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a model bug, and silently reordering time would make
+// every downstream measurement unreliable.
+func (s *Sim) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d panics via At.
+func (s *Sim) After(d time.Duration, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes an event from the queue. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Step executes the earliest pending event, advancing the clock to its time.
+// It returns false when the queue is empty.
+func (s *Sim) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with fire times <= t and then advances the clock
+// to exactly t. Events scheduled after t remain queued.
+func (s *Sim) RunUntil(t time.Duration) {
+	s.stopped = false
+	for !s.stopped {
+		e := s.queue.peek()
+		if e == nil || e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Stop makes the innermost Run or RunUntil return after the current event
+// callback completes. Pending events stay queued.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending returns the number of queued (non-canceled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+func (q eventQueue) peek() *Event {
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}

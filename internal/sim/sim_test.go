@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunEmpty(t *testing.T) {
+	s := New()
+	s.Run()
+	if s.Now() != 0 {
+		t.Fatalf("clock moved on empty run: %v", s.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(3*time.Second, func() { got = append(got, 3) })
+	s.At(1*time.Second, func() { got = append(got, 1) })
+	s.At(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("final time = %v", s.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	s := New()
+	var fired time.Duration
+	s.At(time.Second, func() {
+		s.After(2*time.Second, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 3*time.Second {
+		t.Fatalf("After fired at %v, want 3s", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run()
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil callback did not panic")
+		}
+	}()
+	New().At(time.Second, nil)
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(time.Second, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+	// Double cancel and nil cancel must be safe.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelFromCallback(t *testing.T) {
+	s := New()
+	fired := false
+	var e2 *Event
+	s.At(time.Second, func() { s.Cancel(e2) })
+	e2 = s.At(2*time.Second, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("event canceled from another callback still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var got []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		s.At(d, func() { got = append(got, d) })
+	}
+	s.RunUntil(3 * time.Second)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil executed %d events, want 2", len(got))
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("RunUntil left clock at %v, want 3s", s.Now())
+	}
+	s.Run()
+	if len(got) != 3 {
+		t.Fatalf("remaining event not run: %v", got)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(3*time.Second, func() { fired = true })
+	s.RunUntil(3 * time.Second)
+	if !fired {
+		t.Fatal("event exactly at boundary did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.At(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("Stop did not halt run: executed %d", count)
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", s.Pending())
+	}
+	s.Run() // resumes
+	if count != 5 {
+		t.Fatalf("resume executed %d total, want 5", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	var ticks []time.Duration
+	var tk *Ticker
+	tk = s.NewTicker(10*time.Millisecond, func() {
+		ticks = append(ticks, s.Now())
+		if len(ticks) == 4 {
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if len(ticks) != 4 {
+		t.Fatalf("got %d ticks, want 4", len(ticks))
+	}
+	for i, tick := range ticks {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if tick != want {
+			t.Fatalf("tick %d at %v, want %v", i, tick, want)
+		}
+	}
+}
+
+func TestTickerStopTwice(t *testing.T) {
+	s := New()
+	tk := s.NewTicker(time.Second, func() {})
+	tk.Stop()
+	tk.Stop()
+	s.Run()
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive ticker period did not panic")
+		}
+	}()
+	New().NewTicker(0, func() {})
+}
+
+// Property: for any set of non-negative offsets, events fire in
+// non-decreasing time order and the clock ends at the max offset.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New()
+		var fired []time.Duration
+		var max time.Duration
+		for _, o := range offsets {
+			d := time.Duration(o) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			s.At(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(offsets) == 0 || s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepsCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	if s.Steps() != 7 {
+		t.Fatalf("Steps = %d, want 7", s.Steps())
+	}
+}

@@ -1,0 +1,46 @@
+package sim
+
+import "time"
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// It is the building block for governor sampling loops and utilization
+// monitors.
+type Ticker struct {
+	s      *Sim
+	period time.Duration
+	fn     func()
+	ev     *Event
+	stop   bool
+}
+
+// NewTicker schedules fn every period, with the first invocation one period
+// from now. It panics on a non-positive period.
+func (s *Sim) NewTicker(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.s.After(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is safe to call from within the tick
+// callback and safe to call more than once.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.ev != nil {
+		t.s.Cancel(t.ev)
+	}
+}

@@ -1,0 +1,121 @@
+// Package stats supplies the measurement toolkit the reproduction is built
+// on: a deterministic seedable RNG (so every experiment run is bit-for-bit
+// repeatable), summary statistics, percentiles, and empirical CDFs matching
+// the aggregates the paper reports (mean ± stddev over 20 trials, median
+// power, CDF curves).
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator
+// (splitmix64-seeded xoshiro-style state). It deliberately avoids math/rand
+// global state so that concurrent experiments never perturb each other.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG returns a generator seeded from the given value. Two RNGs created
+// with the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// SplitMix64 to spread the seed across both words.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	r.s0 = z ^ (z >> 31)
+	z = seed + 0x9e3779b97f4a7c15
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	r.s1 = z ^ (z >> 31)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits (xoroshiro128+).
+func (r *RNG) Uint64() uint64 {
+	s0, s1 := r.s0, r.s1
+	result := s0 + s1
+	s1 ^= s0
+	r.s0 = rotl(s0, 55) ^ s1 ^ (s1 << 14)
+	r.s1 = rotl(s1, 36)
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation (Box–Muller).
+func (r *RNG) Norm(mean, std float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + std*z
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// LogNorm returns a log-normally distributed value parameterized by the
+// mu/sigma of the underlying normal.
+func (r *RNG) LogNorm(mu, sigma float64) float64 {
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Pareto returns a bounded Pareto sample in [lo, hi] with shape alpha,
+// the canonical heavy-tailed model for web object sizes.
+func (r *RNG) Pareto(alpha, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		panic("stats: invalid Pareto parameters")
+	}
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fork derives an independent generator from this one; useful for giving
+// each trial its own stream while keeping the parent deterministic.
+func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRNG(42).Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(7)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) over 1000 draws covered %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(11)
+	var s Sample
+	for i := 0; i < 20000; i++ {
+		s.Add(r.Norm(5, 2))
+	}
+	if m := s.Mean(); math.Abs(m-5) > 0.1 {
+		t.Fatalf("Norm mean = %v, want ~5", m)
+	}
+	if sd := s.Std(); math.Abs(sd-2) > 0.1 {
+		t.Fatalf("Norm std = %v, want ~2", sd)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(13)
+	var s Sample
+	for i := 0; i < 20000; i++ {
+		s.Add(r.Exp(3))
+	}
+	if m := s.Mean(); math.Abs(m-3) > 0.15 {
+		t.Fatalf("Exp mean = %v, want ~3", m)
+	}
+}
+
+func TestRNGParetoBounds(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 5000; i++ {
+		v := r.Pareto(1.3, 10, 1000)
+		if v < 10-1e-9 || v > 1000+1e-9 {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(19)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if m := s.Mean(); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if sd := s.Std(); math.Abs(sd-2.138) > 0.01 {
+		t.Fatalf("Std = %v, want ~2.138", sd)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if med := s.Median(); med != 4.5 {
+		t.Fatalf("Median = %v", med)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	s.AddAll(10, 20, 30, 40)
+	tests := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {150, 40},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 2, 3)
+	c := NewCDF(&s)
+	pts := c.Points()
+	if len(pts) != 3 {
+		t.Fatalf("dedup failed: %v", pts)
+	}
+	if c.At(0.5) != 0 {
+		t.Errorf("At below min = %v", c.At(0.5))
+	}
+	if c.At(2) != 0.75 {
+		t.Errorf("At(2) = %v, want 0.75", c.At(2))
+	}
+	if c.At(10) != 1 {
+		t.Errorf("At above max = %v", c.At(10))
+	}
+	if q := c.Quantile(0.5); q != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", q)
+	}
+	if q := c.Quantile(1); q != 3 {
+		t.Errorf("Quantile(1) = %v, want 3", q)
+	}
+}
+
+// Property: a CDF is monotone non-decreasing in both coordinates and ends
+// at probability 1.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		pts := NewCDF(&s).Points()
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X <= pts[i-1].X || pts[i].P < pts[i-1].P {
+				return false
+			}
+		}
+		return math.Abs(pts[len(pts)-1].P-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-6 && m <= s.Max()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinFit(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, icpt := LinFit(xs, ys)
+	if math.Abs(slope-2) > 1e-9 || math.Abs(icpt-1) > 1e-9 {
+		t.Fatalf("LinFit = %v, %v; want 2, 1", slope, icpt)
+	}
+	if s, i := LinFit(nil, nil); s != 0 || i != 0 {
+		t.Fatal("empty LinFit should be zeros")
+	}
+	// Vertical data: all x equal.
+	if s, i := LinFit([]float64{2, 2}, []float64{1, 3}); s != 0 || i != 2 {
+		t.Fatalf("degenerate LinFit = %v, %v", s, i)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(99)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked streams should differ")
+	}
+}

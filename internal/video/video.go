@@ -1,0 +1,379 @@
+// Package video simulates the paper's video-streaming workload: a
+// YouTube-like DASH player fetching a 5-minute FullHD clip over simulated
+// TCP and playing it back through the device's hardware decoder.
+//
+// The model encodes the three mechanisms the paper credits for streaming's
+// immunity to weak CPUs:
+//
+//  1. decoding happens on a fixed-function hardware decoder, so a slow clock
+//     does not touch the decode path;
+//  2. post-processing (container demux, buffer management) is parallelized
+//     across worker threads, so extra cores absorb it; and
+//  3. the player prefetches up to 120 s of content (read-ahead), so transient
+//     slowness is hidden by the buffer.
+//
+// What cannot be prefetched is display: frames must be composited in real
+// time. The renderer runs as a deadline-driven thread; when a single core
+// must multiplex the renderer against demux workers and the network softirq,
+// batches miss their deadlines and the player stalls — reproducing the
+// paper's Fig. 4c (stalls appear only in the single-core configuration)
+// while the clock sweep of Fig. 4a stays stall-free.
+package video
+
+import (
+	"time"
+
+	"mobileqoe/internal/cpu"
+	"mobileqoe/internal/device"
+	"mobileqoe/internal/mem"
+	"mobileqoe/internal/netsim"
+	"mobileqoe/internal/sim"
+	"mobileqoe/internal/units"
+)
+
+// Rung is one ABR ladder entry.
+type Rung struct {
+	Name    string
+	Bitrate units.BitRate
+}
+
+// Ladder is the YouTube-like ABR ladder (bitrates for H.264).
+var Ladder = []Rung{
+	{"240p", units.Kbps(700)},
+	{"360p", units.Mbps(1)},
+	{"480p", units.Mbps(2)},
+	{"720p", units.Mbps(3)},
+	{"1080p", units.Mbps(4.5)},
+}
+
+// Calibration constants (reference cycles; see DESIGN.md §4).
+const (
+	playerInitCycles   = 900e6  // app/UI startup + codec negotiation, serial on the main thread
+	demuxCyclesPerByte = 1250.0 // container demux + buffer management, parallel
+	renderCyclesPerSec = 280e6  // real-time composition per second of 1080p
+	demuxWorkers       = 3
+	manifestBytes      = 3 * units.KB
+	// initSegmentLen is the short first media segment players request to cut
+	// startup latency (the rest of the clip uses StreamConfig.SegmentLen).
+	initSegmentLen     = 2 * time.Second
+	decoderInitDelay   = 150 * time.Millisecond
+	decodeSegmentDelay = 120 * time.Millisecond // HW decoder pipeline latency
+	// swDecodePenalty multiplies demux cycles when no hardware decoder
+	// exists (none of the studied devices, but the ablation uses it).
+	swDecodePenalty = 12.0
+	renderBatch     = 500 * time.Millisecond
+	appWorkingSet   = 400 * units.MB
+)
+
+// Config wires the player to the simulated device.
+type Config struct {
+	Sim  *sim.Sim
+	CPU  *cpu.CPU
+	Net  *netsim.Network
+	Mem  *mem.Memory // nil = no memory pressure
+	Spec device.Spec // decides HW decoder presence and the device ABR cap
+
+	// ForceSoftwareDecode disables the hardware decoder (ablation: what if
+	// low-end phones did not ship one).
+	ForceSoftwareDecode bool
+	// DisablePrefetch caps the read-ahead at one segment (ablation: what
+	// makes streaming different from telephony).
+	DisablePrefetch bool
+}
+
+// StreamConfig describes the clip and player policy.
+type StreamConfig struct {
+	Duration   time.Duration // clip length; default 5 min
+	SegmentLen time.Duration // default 5 s
+	ReadAhead  time.Duration // prefetch window; default 120 s
+	MaxRung    int           // ladder cap; default highest (1080p)
+}
+
+func (sc *StreamConfig) setDefaults() {
+	if sc.Duration == 0 {
+		sc.Duration = 5 * time.Minute
+	}
+	if sc.SegmentLen == 0 {
+		sc.SegmentLen = 5 * time.Second
+	}
+	if sc.ReadAhead == 0 {
+		sc.ReadAhead = 120 * time.Second
+	}
+	if sc.MaxRung == 0 {
+		sc.MaxRung = len(Ladder) - 1
+	}
+}
+
+// Metrics are the paper's two streaming QoE metrics plus bookkeeping.
+type Metrics struct {
+	StartupLatency time.Duration // request to first displayed frame
+	StallRatio     float64       // stall time / played time
+	StallTime      time.Duration
+	Played         time.Duration
+	Rung           Rung // resolution served
+	Segments       int
+}
+
+// Stream plays the clip and calls done with the metrics when the clip ends.
+func Stream(cfg Config, sc StreamConfig, done func(Metrics)) {
+	if cfg.Sim == nil || cfg.CPU == nil || cfg.Net == nil {
+		panic("video: Sim, CPU and Net are required")
+	}
+	sc.setDefaults()
+	p := &player{cfg: cfg, sc: sc, done: done, started: cfg.Sim.Now()}
+	p.pickRung()
+	p.factor = 1.0
+	if cfg.Mem != nil {
+		ws := appWorkingSet + 2*units.BitRate(p.rung.Bitrate).BytesIn(sc.ReadAhead)
+		p.factor = cfg.Mem.Slowdown(ws)
+	}
+	p.main = cfg.CPU.NewThread("player-main", true)
+	p.render = cfg.CPU.NewThread("player-render", true)
+	p.render.SetWeight(8) // compositor runs at real-time priority
+	for i := 0; i < demuxWorkers; i++ {
+		p.workers = append(p.workers, cfg.CPU.NewThread("demux", false))
+	}
+	p.conn = cfg.Net.NewConn("video-cdn")
+	p.start()
+}
+
+type player struct {
+	cfg     Config
+	sc      StreamConfig
+	done    func(Metrics)
+	started time.Duration
+	factor  float64
+	rung    Rung
+
+	main    *cpu.Thread
+	render  *cpu.Thread
+	workers []*cpu.Thread
+	conn    *netsim.Conn
+
+	segments     int     // total segments in the clip
+	nextFetch    int     // next segment index to request
+	readySeconds float64 // demuxed+decoded content, in seconds
+	playhead     float64 // seconds of content displayed
+	fetching     bool
+	decoderReady bool
+	rungIdx      int     // current ladder index (ABR state)
+	maxRungIdx   int     // cap from device policy + StreamConfig
+	ewmaMbps     float64 // throughput estimate
+
+	startupAt  time.Duration
+	stallTime  time.Duration
+	playedTime time.Duration
+	finished   bool
+}
+
+// pickRung applies the paper's device-specific ABR: YouTube does not serve
+// FullHD to a low-end phone. The session then adapts downward (and back up)
+// from this cap based on measured throughput, like a real DASH client.
+func (p *player) pickRung() {
+	max := p.sc.MaxRung
+	if max >= len(Ladder) {
+		max = len(Ladder) - 1
+	}
+	// Device cap: weak cores or tight RAM get 480p.
+	if p.cfg.Spec.Big.IPC > 0 && (p.cfg.Spec.Big.IPC < 0.7 || p.cfg.Spec.RAM <= 1*units.GB) {
+		if max > 2 {
+			max = 2 // 480p
+		}
+	}
+	p.maxRungIdx = max
+	p.rungIdx = max
+	p.rung = Ladder[max]
+}
+
+// observeThroughput feeds the ABR's bandwidth estimator after a segment
+// download and adapts the rung: step down when the estimate cannot sustain
+// the current bitrate, step back up with ample headroom.
+func (p *player) observeThroughput(bytes units.ByteSize, elapsed time.Duration) {
+	if elapsed <= 0 {
+		return
+	}
+	mbps := float64(bytes) * 8 / elapsed.Seconds() / 1e6
+	if p.ewmaMbps == 0 {
+		p.ewmaMbps = mbps
+	} else {
+		p.ewmaMbps = 0.7*p.ewmaMbps + 0.3*mbps
+	}
+	cur := Ladder[p.rungIdx].Bitrate.Mbpsf()
+	switch {
+	case p.ewmaMbps < cur*1.15 && p.rungIdx > 0:
+		p.rungIdx--
+	case p.rungIdx < p.maxRungIdx && p.ewmaMbps > Ladder[p.rungIdx+1].Bitrate.Mbpsf()*1.8:
+		p.rungIdx++
+	}
+	p.rung = Ladder[p.rungIdx]
+}
+
+func (p *player) now() time.Duration { return p.cfg.Sim.Now() }
+
+// segLen returns the duration of segment idx (the first one is short).
+func (p *player) segLen(idx int) time.Duration {
+	if idx == 0 && initSegmentLen < p.sc.SegmentLen {
+		return initSegmentLen
+	}
+	return p.sc.SegmentLen
+}
+
+func (p *player) segBytes(idx int) units.ByteSize {
+	return p.rung.Bitrate.BytesIn(p.segLen(idx))
+}
+
+func (p *player) start() {
+	// A short init segment plus regular segments covering the clip.
+	rest := p.sc.Duration - p.segLen(0)
+	p.segments = 1 + int((rest+p.sc.SegmentLen-1)/p.sc.SegmentLen)
+	// App/player initialization is serial CPU work, then the manifest fetch.
+	p.main.Exec("player-init", playerInitCycles*p.factor, func() {
+		p.conn.Request("manifest", 300, manifestBytes, 0, func() {
+			p.cfg.Sim.After(decoderInitDelay, func() { p.decoderReady = true; p.maybeDisplay() })
+			p.pump()
+		})
+	})
+}
+
+// bufferedAhead returns seconds of ready content beyond the playhead.
+func (p *player) bufferedAhead() float64 { return p.readySeconds - p.playhead }
+
+// pump keeps segment downloads going until the read-ahead window is full.
+func (p *player) pump() {
+	if p.fetching || p.nextFetch >= p.segments {
+		return
+	}
+	readAhead := p.sc.ReadAhead
+	if p.cfg.DisablePrefetch {
+		readAhead = p.sc.SegmentLen
+	}
+	if p.bufferedAhead() >= readAhead.Seconds() {
+		return // buffer full; resume when playback drains it
+	}
+	p.fetching = true
+	idx := p.nextFetch
+	p.nextFetch++
+	bytes := p.segBytes(idx)
+	fetchStart := p.now()
+	p.conn.Request("segment", 400, bytes, 0, func() {
+		p.fetching = false
+		p.observeThroughput(bytes, p.now()-fetchStart)
+		p.demux(idx)
+		p.pump()
+	})
+}
+
+// demux fans the segment's post-processing out across the worker threads;
+// when all chunks finish, the hardware decoder pipeline adds its fixed
+// latency and the content becomes ready.
+func (p *player) demux(idx int) {
+	cycles := float64(p.segBytes(idx)) * demuxCyclesPerByte * p.factor
+	if p.cfg.ForceSoftwareDecode || !p.cfg.Spec.Has(device.HWDecoder) {
+		cycles *= swDecodePenalty
+	}
+	per := cycles / float64(len(p.workers))
+	remaining := len(p.workers)
+	for _, w := range p.workers {
+		w.Exec("demux", per, func() {
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			p.cfg.Sim.After(decodeSegmentDelay, func() {
+				p.readySeconds += p.segLen(idx).Seconds()
+				if p.readySeconds > p.sc.Duration.Seconds() {
+					p.readySeconds = p.sc.Duration.Seconds()
+				}
+				p.maybeDisplay()
+				p.pump()
+			})
+		})
+	}
+}
+
+// maybeDisplay starts the display loop once the decoder is up and the first
+// content is ready.
+func (p *player) maybeDisplay() {
+	if p.startupAt != 0 || !p.decoderReady || p.bufferedAhead() <= 0 {
+		return
+	}
+	p.startupAt = p.now() // first frame hits the screen now
+	p.displayBatch()
+}
+
+// displayBatch renders the next batch of frames in real time. The batch
+// must be composited while the previous one plays; any overrun is a stall.
+// Buffer underrun (content not ready) is also a stall.
+func (p *player) displayBatch() {
+	if p.playhead >= p.sc.Duration.Seconds()-1e-9 {
+		p.finish()
+		return
+	}
+	batch := renderBatch.Seconds()
+	if rem := p.sc.Duration.Seconds() - p.playhead; rem < batch {
+		batch = rem
+	}
+	if p.bufferedAhead() < batch-1e-9 {
+		// Underrun: wait for the next segment to become ready.
+		waitStart := p.now()
+		p.waitForBuffer(batch, func() {
+			p.stallTime += p.now() - waitStart
+			p.renderAndPlay(batch)
+		})
+		return
+	}
+	p.renderAndPlay(batch)
+}
+
+// waitForBuffer polls readiness on segment completions.
+func (p *player) waitForBuffer(batch float64, then func()) {
+	if p.bufferedAhead() >= batch-1e-9 {
+		then()
+		return
+	}
+	p.cfg.Sim.After(50*time.Millisecond, func() { p.waitForBuffer(batch, then) })
+}
+
+func (p *player) renderAndPlay(batch float64) {
+	t0 := p.now()
+	scale := float64(p.rung.Bitrate) / float64(Ladder[len(Ladder)-1].Bitrate)
+	// Composition works out of pinned graphics buffers, so the paging factor
+	// does not apply to it.
+	cycles := renderCyclesPerSec * batch * scale
+	p.render.Exec("render", cycles, func() {
+		renderTime := (p.now() - t0).Seconds()
+		display := batch
+		if renderTime > batch {
+			// Missed the deadline: frames were repeated while compositing
+			// lagged; the overrun is perceived as a stall.
+			p.stallTime += time.Duration((renderTime - batch) * float64(time.Second))
+			display = renderTime
+		}
+		p.playhead += batch
+		p.playedTime += time.Duration(batch * float64(time.Second))
+		p.pump()
+		p.cfg.Sim.After(time.Duration((display-renderTime)*float64(time.Second)), func() {
+			p.displayBatch()
+		})
+	})
+}
+
+func (p *player) finish() {
+	if p.finished {
+		return
+	}
+	p.finished = true
+	m := Metrics{
+		StartupLatency: p.startupAt - p.started,
+		StallTime:      p.stallTime,
+		Played:         p.playedTime,
+		Rung:           p.rung,
+		Segments:       p.segments,
+	}
+	if p.playedTime > 0 {
+		m.StallRatio = float64(p.stallTime) / float64(p.playedTime)
+	}
+	if p.done != nil {
+		p.done(m)
+	}
+}

@@ -1,0 +1,91 @@
+package webpage
+
+import (
+	"time"
+
+	"mobileqoe/internal/dsp"
+	"mobileqoe/internal/units"
+)
+
+// Cost-conversion calibration. A generated script is a scaled-down stand-in
+// for a real page's JavaScript: each interpreter operation represents a
+// bundle of real work (interpreter dispatch, DOM API crossings, GC), and
+// each recorded regex call represents RegexRepeat real evaluations that the
+// offload prototype batches into a single FastRPC invocation. The constants
+// are chosen so that the Alexa-like corpus reproduces the paper's absolute
+// scale: ~4–6 s PLT on the Nexus4 at full clock with scripting ≈51–60% of
+// compute and regex ≈20% of scripting (≈40% on the sports corpus).
+const (
+	// CyclesPerOp prices one interpreter operation in reference CPU cycles.
+	CyclesPerOp = 3000.0
+	// CyclesPerStrByte prices a byte of string traffic.
+	CyclesPerStrByte = 30.0
+	// RegexRepeat is how many real regex evaluations one recorded call
+	// stands for. When offloaded, a script's entire regex workload is
+	// batched into a single FastRPC invocation (function-level offload, as
+	// in the paper's prototype).
+	RegexRepeat = 100.0
+)
+
+// PlainCycles returns the script's non-regex CPU cost in reference cycles.
+func (p *Profile) PlainCycles() float64 {
+	return float64(p.Ops)*CyclesPerOp + float64(p.StrBytes)*CyclesPerStrByte
+}
+
+// RegexCPUCycles returns the CPU cost of all regex work (backtracking
+// engine), in reference cycles.
+func (p *Profile) RegexCPUCycles() float64 {
+	var steps int64
+	for _, c := range p.Calls {
+		steps += c.BTSteps
+	}
+	return dsp.CPUCycles(steps) * RegexRepeat
+}
+
+// TotalCPUCycles is the whole script priced on the CPU.
+func (p *Profile) TotalCPUCycles() float64 {
+	return p.PlainCycles() + p.RegexCPUCycles()
+}
+
+// RegexShare returns the regex fraction of the script's CPU cost.
+func (p *Profile) RegexShare() float64 {
+	t := p.TotalCPUCycles()
+	if t == 0 {
+		return 0
+	}
+	return p.RegexCPUCycles() / t
+}
+
+// RegexDSPTime returns the wall-clock time the script's regex work takes on
+// the given DSP: the whole workload ships as one batched FastRPC call
+// (function-level offload), so the RPC overhead is paid once per script.
+// Used by the ePLT re-evaluation.
+func (p *Profile) RegexDSPTime(d *dsp.DSP) time.Duration {
+	if len(p.Calls) == 0 {
+		return 0
+	}
+	var steps int64
+	var bytes float64
+	for _, c := range p.Calls {
+		steps += int64(float64(c.PikeSteps) * RegexRepeat)
+		bytes += float64(c.InputLen) * RegexRepeat
+	}
+	return d.ServiceTime(steps) + d.Config().RPCOverhead +
+		time.Duration(bytes/1024*float64(d.Config().MarshalPerKB))
+}
+
+// NumRegexCalls returns the number of recorded regex evaluations (before
+// RegexRepeat scaling); when offloaded they travel in a single RPC.
+func (p *Profile) NumRegexCalls() int { return len(p.Calls) }
+
+// ScriptTime prices the full script on a CPU running at the given effective
+// rate (Hz × IPC), without offload.
+func (p *Profile) ScriptTime(effectiveRate float64) time.Duration {
+	return units.DurationFor(p.TotalCPUCycles(), units.Freq(effectiveRate))
+}
+
+// ScriptTimeOffloaded prices the script with regex work moved to the DSP:
+// plain cycles stay on the CPU, regex becomes DSP wall time.
+func (p *Profile) ScriptTimeOffloaded(effectiveRate float64, d *dsp.DSP) time.Duration {
+	return units.DurationFor(p.PlainCycles(), units.Freq(effectiveRate)) + p.RegexDSPTime(d)
+}

@@ -1,0 +1,191 @@
+package webpage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Script workload templates. Each returns real source for internal/script;
+// loop bounds and data sizes are drawn from the generator's RNG so no two
+// scripts are identical, but generation is fully deterministic. Regex-heavy
+// templates model the URL-matching and list-filtering work the paper found
+// dominating sports/news scripting.
+
+func (g *generator) script() string {
+	heavy := g.rng.Float64() < g.pp.regexHeavy
+	scale := g.pp.scriptScale
+	if heavy {
+		switch g.rng.Intn(3) {
+		case 0:
+			return g.adFilterScript(scale)
+		case 1:
+			return g.analyticsScript(scale)
+		default:
+			return g.lazyLoaderScript(scale)
+		}
+	}
+	if g.rng.Intn(2) == 0 {
+		return g.domBuilderScript(scale)
+	}
+	return g.dataTableScript(scale)
+}
+
+// adFilterScript classifies a large URL list against block patterns —
+// the canonical regex-heavy page task.
+func (g *generator) adFilterScript(scale float64) string {
+	urls := int(float64(120+g.rng.Intn(120)) * scale)
+	rounds := 2 + g.rng.Intn(3)
+	patterns := []string{
+		`/(ads|adserv|banner)/`,
+		`(doubleclick|adsystem|taboola|outbrain)\.`,
+		`(track|beacon|pixel|metric)s?/`,
+		`\.(php|cgi)$`,
+		`^https://static\.`,
+	}
+	var pats strings.Builder
+	for i, p := range patterns[:2+g.rng.Intn(len(patterns)-2)] {
+		if i > 0 {
+			pats.WriteString(", ")
+		}
+		fmt.Fprintf(&pats, "%q", p)
+	}
+	return fmt.Sprintf(`
+var hosts = ["cdn", "static", "ads", "media", "track", "img", "api"];
+var paths = ["ads/unit", "story/body", "banner/top", "beacons/v2", "img/hero", "metrics/collect", "js/app"];
+var urls = [];
+for (var i = 0; i < %d; i++) {
+	var h = hosts[i %% hosts.length];
+	var p = paths[(i * 3) %% paths.length];
+	urls.push("https://" + h + i + ".example-site.com/" + p + "/item-" + i + ".js");
+}
+var patterns = [%s];
+var blocked = 0;
+var kept = [];
+for (var round = 0; round < %d; round++) {
+	kept = [];
+	for (var i = 0; i < urls.length; i++) {
+		var hit = false;
+		for (var j = 0; j < patterns.length; j++) {
+			if (urls[i].test(patterns[j])) { hit = true; break; }
+		}
+		if (hit) { blocked++; } else { kept.push(urls[i]); }
+	}
+}
+var manifest = kept.join(";");
+var result = blocked;
+`, urls, pats.String(), rounds)
+}
+
+// analyticsScript builds beacon payloads and extracts query parameters with
+// regexes, modeling third-party analytics tags.
+func (g *generator) analyticsScript(scale float64) string {
+	events := int(float64(60+g.rng.Intn(80)) * scale)
+	return fmt.Sprintf(`
+var events = [];
+for (var i = 0; i < %d; i++) {
+	var sid = "s" + (i * 7919 %% 1000);
+	events.push("https://collect.example.com/e?v=1&sid=" + sid +
+		"&t=pageview&dl=https://site.com/article-" + i + "&cid=" + (i * 31));
+}
+var sessions = 0;
+var views = 0;
+for (var i = 0; i < events.length; i++) {
+	var e = events[i];
+	if (e.test("sid=s[0-9]+")) { sessions++; }
+	if (e.test("t=pageview")) { views++; }
+	var m = e.match("dl=https://[a-z.]+/[a-z0-9-]+");
+	if (m != null) {
+		var path = m.substring(m.indexOf("/", 12), m.length);
+	}
+}
+var batch = "";
+for (var i = 0; i < events.length; i++) {
+	if (i %% 10 == 0) { batch = ""; }
+	batch = batch + events[i].substring(0, 40) + "|";
+}
+var result = sessions + views;
+`, events)
+}
+
+// lazyLoaderScript rewrites image URLs for responsive loading with regex
+// replace, another common pattern in media pages.
+func (g *generator) lazyLoaderScript(scale float64) string {
+	imgs := int(float64(50+g.rng.Intn(60)) * scale)
+	return fmt.Sprintf(`
+var imgs = [];
+for (var i = 0; i < %d; i++) {
+	imgs.push("https://media.example.com/photos/w_1200,h_800/item-" + i + "-full.jpg");
+}
+var rewritten = [];
+var matched = 0;
+for (var i = 0; i < imgs.length; i++) {
+	var u = imgs[i];
+	if (u.test("w_[0-9]+,h_[0-9]+")) { matched++; }
+	u = u.replace("w_[0-9]+,h_[0-9]+", "w_400,h_266");
+	u = u.replace("-full\.jpg$", "-mobile.jpg");
+	rewritten.push(u);
+}
+var srcset = rewritten.join(", ");
+var result = matched;
+`, imgs)
+}
+
+// domBuilderScript models framework-style view construction: objects,
+// arrays, string assembly, no regexes.
+func (g *generator) domBuilderScript(scale float64) string {
+	items := int(float64(80+g.rng.Intn(100)) * scale)
+	return fmt.Sprintf(`
+function renderItem(item) {
+	return "<li class='" + item.cls + "' data-id='" + item.id + "'>" +
+		item.title.toUpperCase() + "</li>";
+}
+var items = [];
+for (var i = 0; i < %d; i++) {
+	items.push({id: i, cls: "item c" + (i %% 7), title: "headline number " + i});
+}
+var html = "";
+var visible = 0;
+for (var i = 0; i < items.length; i++) {
+	if (items[i].id %% 3 != 0) {
+		html = html + renderItem(items[i]);
+		visible++;
+	}
+}
+var lengths = [];
+for (var i = 0; i < items.length; i++) {
+	lengths.push(items[i].title.length);
+}
+var result = visible + html.length;
+`, items)
+}
+
+// dataTableScript models score/price tables: numeric work, sorting, light
+// regex for name normalization.
+func (g *generator) dataTableScript(scale float64) string {
+	rows := int(float64(60+g.rng.Intn(80)) * scale)
+	return fmt.Sprintf(`
+var rows = [];
+for (var i = 0; i < %d; i++) {
+	rows.push({team: "FC Team-" + (i %% 30), pts: (i * 17) %% 97, gd: (i * 13) %% 41 - 20});
+}
+// Insertion sort by points (descending).
+for (var i = 1; i < rows.length; i++) {
+	var key = rows[i];
+	var j = i - 1;
+	while (j >= 0 && rows[j].pts < key.pts) {
+		rows[j + 1] = rows[j];
+		j--;
+	}
+	rows[j + 1] = key;
+}
+var tidy = 0;
+for (var i = 0; i < rows.length; i++) {
+	if (rows[i].team.test("^FC [A-Za-z-]+[0-9]+$")) { tidy++; }
+}
+var top = "";
+for (var i = 0; i < min(10, rows.length); i++) {
+	top = top + rows[i].team + ":" + str(rows[i].pts) + ";";
+}
+var result = rows[0].pts + tidy;
+`, rows)
+}

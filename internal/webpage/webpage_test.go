@@ -1,0 +1,269 @@
+package webpage
+
+import (
+	"strings"
+	"testing"
+
+	"mobileqoe/internal/script"
+
+	"mobileqoe/internal/dsp"
+	"mobileqoe/internal/sim"
+	"mobileqoe/internal/units"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate("news-00.example", News, 42)
+	b := Generate("news-00.example", News, 42)
+	if a.HTMLBody != b.HTMLBody {
+		t.Fatal("same seed produced different HTML")
+	}
+	if len(a.Resources) != len(b.Resources) {
+		t.Fatal("same seed produced different resource counts")
+	}
+	for i := range a.Resources {
+		if a.Resources[i].URL != b.Resources[i].URL || a.Resources[i].Size != b.Resources[i].Size {
+			t.Fatalf("resource %d differs", i)
+		}
+	}
+	c := Generate("news-00.example", News, 43)
+	if a.HTMLBody == c.HTMLBody {
+		t.Fatal("different seed produced identical HTML")
+	}
+}
+
+func TestPageStructure(t *testing.T) {
+	for _, cat := range Categories() {
+		p := Generate("page."+string(cat), cat, 7)
+		if p.HTMLSize <= 0 || len(p.HTMLBody) != int(p.HTMLSize) {
+			t.Fatalf("%s: HTML size mismatch", cat)
+		}
+		if len(p.Segments) == 0 {
+			t.Fatalf("%s: no parse segments", cat)
+		}
+		if p.NumScripts() == 0 {
+			t.Fatalf("%s: no scripts", cat)
+		}
+		pp := paramsFor[cat]
+		if n := p.NumScripts(); n < pp.scripts[0] || n > pp.scripts[1] {
+			t.Fatalf("%s: %d scripts outside [%d,%d]", cat, n, pp.scripts[0], pp.scripts[1])
+		}
+		// Every planned resource is present in the page exactly once.
+		seen := map[int]bool{}
+		for _, r := range p.Resources {
+			if seen[r.ID] {
+				t.Fatalf("%s: duplicate resource id %d", cat, r.ID)
+			}
+			seen[r.ID] = true
+			if r.Size <= 0 {
+				t.Fatalf("%s: resource %s has size %d", cat, r.URL, r.Size)
+			}
+			if r.InjectedBy < 0 && r.Segment < 0 {
+				t.Fatalf("%s: static resource %s has no segment", cat, r.URL)
+			}
+			if r.InjectedBy >= 0 && r.Segment != -1 {
+				t.Fatalf("%s: injected resource %s has segment %d", cat, r.URL, r.Segment)
+			}
+			if r.Segment >= len(p.Segments) {
+				t.Fatalf("%s: resource %s references segment %d of %d", cat, r.URL, r.Segment, len(p.Segments))
+			}
+		}
+	}
+}
+
+func TestHTMLReferencesResources(t *testing.T) {
+	p := Generate("sports-x.example", Sports, 11)
+	for _, r := range p.Resources {
+		if r.InjectedBy >= 0 {
+			if strings.Contains(p.HTMLBody, r.URL) {
+				t.Fatalf("injected resource %s should not be in static HTML", r.URL)
+			}
+			continue
+		}
+		if !strings.Contains(p.HTMLBody, r.URL) {
+			t.Fatalf("static resource %s missing from HTML", r.URL)
+		}
+	}
+}
+
+func TestScriptsExecuteAndProfile(t *testing.T) {
+	p := Generate("news-01.example", News, 3)
+	for _, r := range p.Resources {
+		if r.Type != JS {
+			continue
+		}
+		if r.Profile == nil {
+			t.Fatalf("script %s has no profile", r.URL)
+		}
+		if r.Profile.Ops <= 0 {
+			t.Fatalf("script %s recorded no ops", r.URL)
+		}
+		if r.Profile.TotalCPUCycles() <= 0 {
+			t.Fatalf("script %s has no cost", r.URL)
+		}
+	}
+}
+
+func TestInjectedResourcesReferenceScripts(t *testing.T) {
+	p := Generate("shopping-00.example", Shopping, 5)
+	scripts := map[int]bool{}
+	for _, r := range p.Resources {
+		if r.Type == JS {
+			scripts[r.ID] = true
+		}
+	}
+	for _, r := range p.Resources {
+		if r.InjectedBy >= 0 && !scripts[r.InjectedBy] {
+			t.Fatalf("resource %s injected by non-script %d", r.URL, r.InjectedBy)
+		}
+	}
+}
+
+func TestTop50Corpus(t *testing.T) {
+	pages := Top50(1)
+	if len(pages) != 50 {
+		t.Fatalf("Top50 returned %d pages", len(pages))
+	}
+	counts := map[Category]int{}
+	var totalBytes units.ByteSize
+	for _, p := range pages {
+		counts[p.Category]++
+		totalBytes += p.TotalBytes()
+	}
+	for _, cat := range Categories() {
+		if counts[cat] != 10 {
+			t.Fatalf("category %s has %d pages, want 10", cat, counts[cat])
+		}
+	}
+	// Paper-era average page weight ~1.5-3.5 MB.
+	avg := totalBytes / 50
+	if avg < 1*units.MB || avg > 5*units.MB {
+		t.Fatalf("average page weight %v outside the paper-era range", avg)
+	}
+}
+
+func TestSportsTop20(t *testing.T) {
+	pages := SportsTop20(1)
+	if len(pages) != 20 {
+		t.Fatalf("got %d pages", len(pages))
+	}
+	for _, p := range pages {
+		if p.Category != Sports {
+			t.Fatalf("page %s is %s", p.Name, p.Category)
+		}
+	}
+}
+
+func TestRegexShareCalibration(t *testing.T) {
+	// Corpus-wide: regex ≈20% of scripting cycles (paper §4.2); the sports
+	// corpus is regex-heavier (the paper offloads the top sports pages).
+	shareFor := func(pages []*Page) float64 {
+		var regex, total float64
+		for _, p := range pages {
+			for _, r := range p.Resources {
+				if r.Type != JS {
+					continue
+				}
+				regex += r.Profile.RegexCPUCycles()
+				total += r.Profile.TotalCPUCycles()
+			}
+		}
+		return regex / total
+	}
+	corpus := shareFor(Top50(1))
+	sports := shareFor(SportsTop20(1))
+	if corpus < 0.10 || corpus > 0.35 {
+		t.Fatalf("corpus regex share = %.2f, want ~0.20", corpus)
+	}
+	if sports < 0.25 || sports > 0.55 {
+		t.Fatalf("sports regex share = %.2f, want ~0.40", sports)
+	}
+	if sports <= corpus {
+		t.Fatalf("sports (%.2f) should be regex-heavier than corpus (%.2f)", sports, corpus)
+	}
+}
+
+func TestScriptingDominatesNewsAndSports(t *testing.T) {
+	heavy := Generate("sports-h.example", Sports, 9)
+	light := Generate("health-l.example", Health, 9)
+	cyc := func(p *Page) float64 {
+		var t float64
+		for _, r := range p.Resources {
+			if r.Type == JS {
+				t += r.Profile.TotalCPUCycles()
+			}
+		}
+		return t
+	}
+	if cyc(heavy) <= cyc(light) {
+		t.Fatalf("sports scripting (%.0f) should exceed health (%.0f)", cyc(heavy), cyc(light))
+	}
+}
+
+func TestOffloadSpeedsUpRegexHeavyScript(t *testing.T) {
+	s := sim.New()
+	d := dsp.New(s, dsp.Config{})
+	p := Generate("sports-o.example", Sports, 13)
+	rate := 1512e6 * 1.0 // Nexus4 at fmax
+	anyFaster := false
+	for _, r := range p.Resources {
+		if r.Type != JS || r.Profile.RegexShare() < 0.2 {
+			continue
+		}
+		cpu := r.Profile.ScriptTime(rate)
+		off := r.Profile.ScriptTimeOffloaded(rate, d)
+		if off < cpu {
+			anyFaster = true
+		}
+	}
+	if !anyFaster {
+		t.Fatal("offload never beat the CPU on regex-heavy scripts at 1512 MHz")
+	}
+}
+
+func TestWorkingSetScalesWithPage(t *testing.T) {
+	small := Generate("health-ws.example", Health, 2)
+	big := Generate("shopping-ws.example", Shopping, 2)
+	if big.TotalBytes() > small.TotalBytes() && big.WorkingSet() <= small.WorkingSet() {
+		t.Fatal("working set should grow with page weight")
+	}
+	if small.WorkingSet() < 600*units.MB {
+		t.Fatal("working set below browser baseline")
+	}
+}
+
+func TestUnknownCategoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown category did not panic")
+		}
+	}()
+	Generate("x", Category("junk"), 1)
+}
+
+func TestGeneratedScriptsAgreeAcrossEngines(t *testing.T) {
+	// Every script the generator emits must produce the identical regex
+	// workload under the bytecode VM as under the tree-walking interpreter
+	// (the profiles the experiments price are engine-independent).
+	p := Generate("sports-vm.example", Sports, 31)
+	for _, r := range p.Resources {
+		if r.Type != JS {
+			continue
+		}
+		prog := script.MustParse(r.ScriptSrc)
+		host := script.NewCountingHost()
+		vm := script.NewVM(script.Config{Host: host})
+		if err := vm.Run(script.MustCompileProgram(prog)); err != nil {
+			t.Fatalf("vm failed on %s: %v", r.URL, err)
+		}
+		if len(host.Calls) != len(r.Profile.Calls) {
+			t.Fatalf("%s: vm made %d regex calls, interpreter profile has %d",
+				r.URL, len(host.Calls), len(r.Profile.Calls))
+		}
+		for i := range host.Calls {
+			if host.Calls[i] != r.Profile.Calls[i] {
+				t.Fatalf("%s: regex call %d diverges: %+v vs %+v",
+					r.URL, i, host.Calls[i], r.Profile.Calls[i])
+			}
+		}
+	}
+}
