@@ -10,10 +10,12 @@ package mobileqoe
 // and use `go run ./cmd/qoesim -run <id> -full` for paper-scale effort.
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"mobileqoe/internal/experiments"
+	"mobileqoe/internal/runner"
 	"mobileqoe/internal/webpage"
 )
 
@@ -103,3 +105,36 @@ func BenchmarkCoreUtilization(b *testing.B)   { benchExperiment(b, "text-coreuse
 func BenchmarkExtensionEnergy(b *testing.B) { benchExperiment(b, "ext-energy") }
 
 func BenchmarkExtensionHTTP2(b *testing.B) { benchExperiment(b, "ext-h2") }
+
+// Multi-trial scale-out: the same experiment set and trial count on one
+// worker vs every core. The wall-clock ratio of these two benchmarks is the
+// runner's speedup (≥2× expected on 4+ cores).
+func benchmarkMultiTrial(b *testing.B, parallel int) {
+	b.Helper()
+	ids := []string{"fig2a", "fig3a", "fig4a", "fig5a"}
+	cfg := benchConfig()
+	cfg.Trials = 4
+	// Pre-generate every per-trial corpus so both variants time experiment
+	// compute, not the memoized corpus construction.
+	for trial := 0; trial < cfg.Trials; trial++ {
+		webpage.Top50(experiments.TrialSeed(cfg.Seed, trial))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := runner.Run(context.Background(), ids, cfg, runner.Options{Parallel: parallel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if len(r.Table.Rows) == 0 {
+				b.Fatalf("%s produced no rows", r.ID)
+			}
+		}
+	}
+}
+
+func BenchmarkMultiTrialSequential(b *testing.B) { benchmarkMultiTrial(b, 1) }
+func BenchmarkMultiTrialParallel(b *testing.B)   { benchmarkMultiTrial(b, 0) }

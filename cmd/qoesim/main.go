@@ -9,29 +9,39 @@
 //	qoesim -run fig6 -full           # paper-scale effort (slow)
 //	qoesim -run fig2a -csv           # machine-readable output
 //	qoesim -run fig3a -pages 12 -seed 7
+//	qoesim -run all -trials 20 -parallel 8   # paper-style replicated trials
+//
+// Tables go to stdout; progress and timing go to stderr, so table output is
+// byte-identical for a given seed regardless of -parallel.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"mobileqoe/internal/experiments"
+	"mobileqoe/internal/runner"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list experiments and exit")
-		report = flag.String("report", "", "run everything and write a markdown report to this file")
-		run    = flag.String("run", "", "experiment id to run, or 'all'")
-		full   = flag.Bool("full", false, "paper-scale configuration (slow)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of an ASCII table")
-		pages  = flag.Int("pages", 0, "pages per web measurement (default 6)")
-		seed   = flag.Uint64("seed", 0, "workload seed (default 1)")
-		clip   = flag.Duration("clip", 0, "streaming clip duration (default 60s)")
-		call   = flag.Duration("call", 0, "call media duration (default 30s)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		report   = flag.String("report", "", "run everything and write a markdown report to this file")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		full     = flag.Bool("full", false, "paper-scale configuration (slow)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an ASCII table")
+		pages    = flag.Int("pages", 0, "pages per web measurement (default 6)")
+		seed     = flag.Uint64("seed", 0, "workload seed (default 1; trial t of a multi-trial run uses seed*1e6+t)")
+		clip     = flag.Duration("clip", 0, "streaming clip duration (default 60s)")
+		call     = flag.Duration("call", 0, "call media duration (default 30s)")
+		trials   = flag.Int("trials", 0, "independent trials per experiment (default 1); >1 merges mean/p50/ci95 columns")
+		parallel = flag.Int("parallel", 0, "worker goroutines for -run (default GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "abort -run after this wall-clock duration (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -51,6 +61,25 @@ func main() {
 		cfg = experiments.Full()
 		cfg.Seed = *seed
 	}
+	cfg.Trials = *trials
+	// A zero passed explicitly on the command line means "really zero", not
+	// "use the default"; map those flags to the Config sentinels.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			if *seed == 0 {
+				cfg = cfg.WithSeed(0)
+			}
+		case "clip":
+			if *clip == 0 {
+				cfg.ClipDuration = experiments.ZeroDuration
+			}
+		case "call":
+			if *call == 0 {
+				cfg.CallDuration = experiments.ZeroDuration
+			}
+		}
+	})
 
 	if *report != "" {
 		if err := writeReport(*report, cfg); err != nil {
@@ -67,19 +96,52 @@ func main() {
 	if *run == "all" {
 		ids = experiments.IDs()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		tab, err := experiments.Run(id, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
-			os.Exit(1)
+	norm := cfg.WithDefaults()
+	totalCells := len(ids) * norm.Trials
+	var progress func(runner.Event)
+	if totalCells > 1 {
+		progress = func(ev runner.Event) {
+			status := ""
+			if ev.Err != nil {
+				status = " error: " + ev.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "qoesim: [%d/%d] %s trial %d seed %d (%v)%s\n",
+				ev.Done, ev.Total, ev.ID, ev.Trial, ev.Seed,
+				ev.Elapsed.Round(time.Millisecond), status)
+		}
+	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	results, err := runner.Run(context.Background(), ids, cfg,
+		runner.Options{Parallel: *parallel, Timeout: *timeout, Progress: progress})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+		os.Exit(1)
+	}
+	exit := 0
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "qoesim: %v\n", r.Err)
+			exit = 1
+			continue
 		}
 		if *csv {
-			fmt.Print(tab.CSV())
+			fmt.Print(r.Table.CSV())
 		} else {
-			fmt.Print(tab.String())
-			fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+			fmt.Print(r.Table.String())
+			fmt.Println()
 		}
+	}
+	if totalCells > 1 {
+		fmt.Fprintf(os.Stderr, "qoesim: %d experiments × %d trials on %d workers in %v\n",
+			len(ids), norm.Trials, workers, time.Since(start).Round(time.Millisecond))
+	}
+	if exit != 0 {
+		os.Exit(exit)
 	}
 }
 

@@ -16,32 +16,77 @@ import (
 )
 
 // Config scales experiment effort. The defaults favor quick runs; the paper
-// used 20 trials of the full corpus and 5-minute clips, which Full() selects.
+// used 20 trials of the full corpus and 5-minute clips, which Full() (plus
+// Trials: 20) selects.
 type Config struct {
-	Seed          uint64        // corpus seed; default 1
+	Seed          uint64        // corpus seed; default 1 (ZeroSeed for a real 0)
 	Pages         int           // pages per web measurement; default 6
 	ClipDuration  time.Duration // streaming clip length; default 60 s
 	CallDuration  time.Duration // call media length; default 30 s
 	IperfDuration time.Duration // bulk-transfer length; default 3 s
+	// Trials is the number of independent repetitions per experiment;
+	// default 1. Multi-trial runs derive a disjoint seed per trial (see
+	// TrialSeed) and merge the per-trial tables with MergeTrials.
+	Trials int
 }
 
-func (c Config) withDefaults() Config {
-	if c.Seed == 0 {
+// Sentinels distinguishing "explicitly zero" from "unset, use the default".
+// A literal 0 in a Config field always means "default"; these values mean
+// "really zero".
+const (
+	// ZeroSeed requests corpus seed 0. (Plain Seed: 0 selects the default
+	// seed 1.) Prefer Config.WithSeed, which picks the sentinel for you.
+	ZeroSeed uint64 = ^uint64(0)
+	// ZeroDuration requests a zero-length duration field, e.g. a clip of
+	// no media at all. (A plain 0 selects that field's default.)
+	ZeroDuration time.Duration = -1
+)
+
+// WithSeed returns a copy of c requesting exactly seed s, mapping 0 to the
+// ZeroSeed sentinel so WithDefaults does not substitute the default seed.
+func (c Config) WithSeed(s uint64) Config {
+	if s == 0 {
+		c.Seed = ZeroSeed
+	} else {
+		c.Seed = s
+	}
+	return c
+}
+
+// WithDefaults resolves unset fields to their defaults and sentinel values
+// to real zeros. It is exported so out-of-package harnesses (internal/runner,
+// cmd/qoesim) normalize exactly like Run does. Because sentinel information
+// is consumed here, normalize a user-supplied Config exactly once: a second
+// application would turn an explicit zero back into the default.
+func (c Config) WithDefaults() Config {
+	switch c.Seed {
+	case 0:
 		c.Seed = 1
+	case ZeroSeed:
+		c.Seed = 0
 	}
 	if c.Pages == 0 {
 		c.Pages = 6
 	}
-	if c.ClipDuration == 0 {
-		c.ClipDuration = 60 * time.Second
-	}
-	if c.CallDuration == 0 {
-		c.CallDuration = 30 * time.Second
-	}
-	if c.IperfDuration == 0 {
-		c.IperfDuration = 3 * time.Second
+	c.ClipDuration = defaultDuration(c.ClipDuration, 60*time.Second)
+	c.CallDuration = defaultDuration(c.CallDuration, 30*time.Second)
+	c.IperfDuration = defaultDuration(c.IperfDuration, 3*time.Second)
+	if c.Trials < 1 {
+		c.Trials = 1
 	}
 	return c
+}
+
+// defaultDuration resolves one duration field: 0 means unset, negative
+// (ZeroDuration) means an explicit zero.
+func defaultDuration(d, def time.Duration) time.Duration {
+	if d == 0 {
+		return def
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Full returns the paper-scale configuration (slow: full corpus, 5-minute
@@ -146,14 +191,59 @@ func IDs() []string {
 // Describe returns an experiment's one-line description.
 func Describe(id string) string { return registry[id].desc }
 
-// Run executes one experiment.
+// TrialSeed derives the corpus seed for one trial of a multi-trial run.
+// Trials get disjoint seed namespaces (base·10⁶ + trial) so no two trials of
+// the same base seed share a corpus, while every trial stays reproducible
+// from the base seed alone.
+func TrialSeed(base uint64, trial int) uint64 {
+	return base*1_000_000 + uint64(trial)
+}
+
+// RunTrial executes exactly one trial of an experiment. Single-trial configs
+// run with the base seed unchanged; multi-trial configs (cfg.Trials > 1) run
+// trial t with TrialSeed(base, t). cfg is the caller's un-normalized Config.
+func RunTrial(id string, cfg Config, trial int) (*Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, unknownErr(id)
+	}
+	c := cfg.WithDefaults()
+	if trial < 0 || trial >= c.Trials {
+		return nil, fmt.Errorf("experiments: trial %d out of range [0,%d)", trial, c.Trials)
+	}
+	if c.Trials > 1 {
+		c.Seed = TrialSeed(c.Seed, trial)
+	}
+	c.Trials = 1
+	return e.fn(c), nil
+}
+
+// Run executes one experiment. With cfg.Trials > 1 it runs every trial
+// sequentially and returns the MergeTrials result; internal/runner produces
+// byte-identical output by fanning the same trials across a worker pool.
 func Run(id string, cfg Config) (*Table, error) {
 	e, ok := registry[id]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
-			id, strings.Join(IDs(), ", "))
+		return nil, unknownErr(id)
 	}
-	return e.fn(cfg.withDefaults()), nil
+	c := cfg.WithDefaults()
+	if c.Trials == 1 {
+		return e.fn(c), nil
+	}
+	tabs := make([]*Table, c.Trials)
+	for t := range tabs {
+		tab, err := RunTrial(id, cfg, t)
+		if err != nil {
+			return nil, err
+		}
+		tabs[t] = tab
+	}
+	return MergeTrials(tabs), nil
+}
+
+func unknownErr(id string) error {
+	return fmt.Errorf("experiments: unknown experiment %q (have %s)",
+		id, strings.Join(IDs(), ", "))
 }
 
 // Formatting helpers shared by the runners.

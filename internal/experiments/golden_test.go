@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// Golden coverage for Table.String() rendering: column alignment (table1's
+// ragged device names), notes (fig7b), and the mean/p50/ci95 columns a
+// multi-trial merge appends (fig3d at Trials: 3). Regenerate with
+//
+//	go test ./internal/experiments -run TestGolden -update
+func goldenCases() []struct {
+	name string
+	id   string
+	cfg  Config
+} {
+	multi := quick()
+	multi.Trials = 3
+	return []struct {
+		name string
+		id   string
+		cfg  Config
+	}{
+		{"table1", "table1", quick()},
+		{"fig3d", "fig3d", quick()},
+		{"fig7b", "fig7b", quick()},
+		{"fig3d-trials3", "fig3d", multi},
+	}
+}
+
+func TestGoldenTableRendering(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			tab, err := Run(tc.id, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tab.String()
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if got != string(want) {
+				t.Errorf("rendering of %s changed; rerun with -update if intended.\n--- want ---\n%s--- got ---\n%s",
+					tc.id, want, got)
+			}
+		})
+	}
+}
+
+func TestGoldenFilesPresent(t *testing.T) {
+	// Guard against a -update run silently writing nothing.
+	for _, tc := range goldenCases() {
+		path := filepath.Join("testdata", tc.name+".golden")
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(fmt.Errorf("missing golden file: %w", err))
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}

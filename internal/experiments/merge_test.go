@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func trialTable(vals ...string) *Table {
+	t := &Table{ID: "x", Title: "merge fixture",
+		Columns: []string{"k", "v", "res"}}
+	for i := 0; i < len(vals); i += 2 {
+		t.AddRow("r"+string(rune('1'+i/2)), vals[i], vals[i+1])
+	}
+	return t
+}
+
+func TestMergeTrialsAggregatesNumericColumns(t *testing.T) {
+	a := trialTable("1.00", "720p", "10.0%", "ok")
+	b := trialTable("3.00±0.50", "480p", "20.0%", "ok")
+	m := MergeTrials([]*Table{a, b})
+
+	wantCols := []string{"k", "v:mean", "v:p50", "v:ci95", "res"}
+	if !reflect.DeepEqual(m.Columns, wantCols) {
+		t.Fatalf("columns = %v, want %v", m.Columns, wantCols)
+	}
+	// Row 1: values {1, 3} -> mean 2, p50 2, ci95 = 1.96*std/sqrt(2) = 1.96.
+	want1 := []string{"r1", "2", "2", "1.96", "720p|480p"}
+	if !reflect.DeepEqual(m.Rows[0], want1) {
+		t.Fatalf("row 1 = %v, want %v", m.Rows[0], want1)
+	}
+	// Row 2: percent cells keep their suffix; constant column stays single.
+	want2 := []string{"r2", "15%", "15%", "9.8%", "ok"}
+	if !reflect.DeepEqual(m.Rows[1], want2) {
+		t.Fatalf("row 2 = %v, want %v", m.Rows[1], want2)
+	}
+	found := false
+	for _, n := range m.Notes {
+		if strings.Contains(n, "merged 2 trials") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing merge note: %v", m.Notes)
+	}
+}
+
+func TestMergeTrialsConstantColumnsUntouched(t *testing.T) {
+	a := trialTable("5.00", "720p")
+	b := trialTable("5.00", "720p")
+	m := MergeTrials([]*Table{a, b})
+	if !reflect.DeepEqual(m.Columns, []string{"k", "v", "res"}) {
+		t.Fatalf("constant table grew columns: %v", m.Columns)
+	}
+	if !reflect.DeepEqual(m.Rows[0], []string{"r1", "5.00", "720p"}) {
+		t.Fatalf("row = %v", m.Rows[0])
+	}
+}
+
+func TestMergeTrialsSingleTrialPassthrough(t *testing.T) {
+	a := trialTable("1.00", "720p")
+	if m := MergeTrials([]*Table{a}); m != a {
+		t.Fatal("single-trial merge should return the table unchanged")
+	}
+	if m := MergeTrials(nil); m != nil {
+		t.Fatal("empty merge should return nil")
+	}
+}
+
+func TestMergeTrialsShapeMismatchFallsBack(t *testing.T) {
+	a := trialTable("1.00", "720p")
+	b := &Table{ID: "x", Columns: []string{"k"}, Rows: [][]string{{"r1"}}}
+	m := MergeTrials([]*Table{a, b})
+	if !reflect.DeepEqual(m.Columns, a.Columns) || !reflect.DeepEqual(m.Rows, a.Rows) {
+		t.Fatalf("fallback should keep trial 0: %v %v", m.Columns, m.Rows)
+	}
+	if len(m.Notes) == 0 || !strings.Contains(m.Notes[len(m.Notes)-1], "diverged") {
+		t.Fatalf("missing divergence note: %v", m.Notes)
+	}
+}
+
+func TestMultiTrialRunMatchesManualMerge(t *testing.T) {
+	cfg := quick()
+	cfg.Trials = 2
+	merged, err := Run("fig3d", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tabs []*Table
+	for trial := 0; trial < cfg.Trials; trial++ {
+		// Each trial must equal a direct single-trial run at the derived seed.
+		want, err := Run("fig3d", quick().WithSeed(TrialSeed(1, trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunTrial("fig3d", cfg, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("trial %d differs from direct run at seed %d:\n%s\nvs\n%s",
+				trial, TrialSeed(1, trial), got.String(), want.String())
+		}
+		tabs = append(tabs, got)
+	}
+	if want := MergeTrials(tabs).String(); merged.String() != want {
+		t.Fatalf("Run merge differs from manual merge:\n%s\nvs\n%s", merged.String(), want)
+	}
+}
+
+func TestRunTrialRange(t *testing.T) {
+	cfg := quick()
+	cfg.Trials = 2
+	if _, err := RunTrial("fig3d", cfg, 2); err == nil {
+		t.Fatal("trial index past Trials should error")
+	}
+	if _, err := RunTrial("fig3d", cfg, -1); err == nil {
+		t.Fatal("negative trial should error")
+	}
+	if _, err := RunTrial("fig99", cfg, 0); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestWithDefaultsSentinels(t *testing.T) {
+	// Unset fields resolve to documented defaults.
+	c := Config{}.WithDefaults()
+	if c.Seed != 1 || c.Pages != 6 || c.Trials != 1 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+	if c.ClipDuration != 60*time.Second || c.CallDuration != 30*time.Second ||
+		c.IperfDuration != 3*time.Second {
+		t.Fatalf("duration defaults wrong: %+v", c)
+	}
+
+	// Explicit zeros survive normalization instead of becoming defaults.
+	z := Config{}.WithSeed(0).WithDefaults()
+	if z.Seed != 0 {
+		t.Fatalf("WithSeed(0) normalized to %d, want 0", z.Seed)
+	}
+	if s := (Config{}).WithSeed(7).WithDefaults().Seed; s != 7 {
+		t.Fatalf("WithSeed(7) normalized to %d, want 7", s)
+	}
+	d := Config{ClipDuration: ZeroDuration, IperfDuration: ZeroDuration}.WithDefaults()
+	if d.ClipDuration != 0 || d.IperfDuration != 0 {
+		t.Fatalf("ZeroDuration not honored: %+v", d)
+	}
+	if d.CallDuration != 30*time.Second {
+		t.Fatalf("unrelated duration lost its default: %+v", d)
+	}
+
+	if got := (Config{Trials: -3}).WithDefaults().Trials; got != 1 {
+		t.Fatalf("negative Trials normalized to %d, want 1", got)
+	}
+}
+
+func TestTrialSeedDerivation(t *testing.T) {
+	if s := TrialSeed(1, 0); s != 1_000_000 {
+		t.Fatalf("TrialSeed(1,0) = %d", s)
+	}
+	if s := TrialSeed(3, 17); s != 3_000_017 {
+		t.Fatalf("TrialSeed(3,17) = %d", s)
+	}
+}
+
+func TestExplicitZeroSeedRuns(t *testing.T) {
+	// Seed 0 must be a usable corpus seed, distinct from the default seed 1.
+	zero, err := Run("fig3d", quick().WithSeed(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Run("fig3d", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.String() == def.String() {
+		t.Fatal("seed 0 produced the same corpus as the default seed 1")
+	}
+}

@@ -184,18 +184,40 @@ func (p *parser) repeat() (*node, error) {
 	if err != nil {
 		return nil, err
 	}
+	// quantified guards against a quantifier directly following another
+	// ('a+?', 'a*+', …): in the JavaScript workloads this engine models
+	// those are lazy/possessive quantifiers, which are unsupported —
+	// silently parsing them as stacked greedy quantifiers would change
+	// match semantics (e.g. '0+?' must not match the empty string).
+	quantified := false
+	quantify := func(kind nodeKind, at int) error {
+		if quantified {
+			return fmt.Errorf("unsupported quantifier modifier %q at offset %d (lazy/possessive quantifiers are not implemented)",
+				p.src[at], at)
+		}
+		quantified = true
+		atom = &node{kind: kind, subs: []*node{atom}}
+		return nil
+	}
 	for !p.eof() {
 		switch p.peek() {
 		case '*':
+			if err := quantify(nStar, p.pos); err != nil {
+				return nil, err
+			}
 			p.pos++
-			atom = &node{kind: nStar, subs: []*node{atom}}
 		case '+':
+			if err := quantify(nPlus, p.pos); err != nil {
+				return nil, err
+			}
 			p.pos++
-			atom = &node{kind: nPlus, subs: []*node{atom}}
 		case '?':
+			if err := quantify(nQuest, p.pos); err != nil {
+				return nil, err
+			}
 			p.pos++
-			atom = &node{kind: nQuest, subs: []*node{atom}}
 		case '{':
+			at := p.pos
 			n, ok, err := p.counted(atom)
 			if err != nil {
 				return nil, err
@@ -203,6 +225,11 @@ func (p *parser) repeat() (*node, error) {
 			if !ok {
 				return atom, nil // literal '{'… handled by atom next time
 			}
+			if quantified {
+				return nil, fmt.Errorf("unsupported quantifier modifier %q at offset %d (lazy/possessive quantifiers are not implemented)",
+					p.src[at], at)
+			}
+			quantified = true
 			atom = n
 		default:
 			return atom, nil
@@ -229,13 +256,15 @@ func (p *parser) counted(atom *node) (*node, bool, error) {
 		minS, maxS = body, body
 	}
 	min, err := strconv.Atoi(minS)
-	if err != nil {
-		return nil, false, nil // not a counted repeat; treat '{' literally
+	if err != nil || strconv.Itoa(min) != minS {
+		// Malformed or non-canonical counts ("{x}", "{01}") are literal
+		// text, matching RE2 syntax.
+		return nil, false, nil
 	}
 	max := -1
 	if maxS != "" {
 		max, err = strconv.Atoi(maxS)
-		if err != nil {
+		if err != nil || strconv.Itoa(max) != maxS {
 			return nil, false, nil
 		}
 	}

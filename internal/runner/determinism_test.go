@@ -1,0 +1,66 @@
+package runner_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mobileqoe/internal/experiments"
+	"mobileqoe/internal/runner"
+)
+
+// The determinism regression suite that keeps the parallel harness honest:
+// every registered experiment must render byte-identical tables across
+// repeated runs of the same Config, and the worker-pool runner must
+// reproduce the sequential output exactly.
+
+// tiny is the cheapest configuration that still exercises every runner.
+func tiny() experiments.Config {
+	return experiments.Config{Seed: 1, Pages: 2, ClipDuration: 10 * time.Second,
+		CallDuration: 5 * time.Second, IperfDuration: time.Second}
+}
+
+func TestEveryExperimentDeterministic(t *testing.T) {
+	for _, id := range experiments.IDs() {
+		t.Run(id, func(t *testing.T) {
+			t.Parallel() // also exercises cross-experiment isolation under -race
+			first, err := experiments.Run(id, tiny())
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := experiments.Run(id, tiny())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := first.String(), second.String(); a != b {
+				t.Fatalf("two runs with the same Config differ:\n--- first ---\n%s--- second ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+func TestParallelRunnerMatchesSequentialOutput(t *testing.T) {
+	ids := experiments.IDs()
+	want := make(map[string]string, len(ids))
+	for _, id := range ids {
+		tab, err := experiments.Run(id, tiny())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = tab.String()
+	}
+	res, err := runner.Run(context.Background(), ids, tiny(), runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.ID, r.Err)
+			continue
+		}
+		if got := r.Table.String(); got != want[r.ID] {
+			t.Errorf("%s: parallel output differs from sequential:\n--- sequential ---\n%s--- parallel ---\n%s",
+				r.ID, want[r.ID], got)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package runner is the scale-out harness for the experiment registry: it
+// fans the independent (experiment, trial) cells of a multi-trial run across
+// a worker pool and merges the per-trial tables back deterministically.
+//
+// Each cell constructs its own private simulation world (every registry
+// runner builds fresh core.System/sim.Sim instances), so cells share no
+// mutable state and need no locks; the only coordination is the work queue
+// and the completion channel. Results are merged strictly by cell index —
+// never by completion order — which makes a parallel run byte-identical to
+// a sequential one with the same Config.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mobileqoe/internal/experiments"
+)
+
+// Options tune a Run. The zero value runs on GOMAXPROCS workers with no
+// timeout and no progress reporting.
+type Options struct {
+	// Parallel is the worker-goroutine count; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Timeout aborts the run after this wall-clock duration. Cells already
+	// executing finish (the simulation kernel is not preemptible); queued
+	// cells fail with the context error. 0 means no limit.
+	Timeout time.Duration
+	// Progress, when non-nil, is called once per completed cell. Calls are
+	// serialized on the collecting goroutine in completion order, which is
+	// nondeterministic — progress is for reporting only and never feeds
+	// back into results.
+	Progress func(Event)
+}
+
+// Event describes one completed (experiment, trial) cell.
+type Event struct {
+	Done, Total int // completion counter over the whole run
+	ID          string
+	Trial       int
+	Seed        uint64 // the derived per-trial seed the cell ran with
+	Err         error
+	Elapsed     time.Duration
+}
+
+// Result is one experiment's merged outcome. Run returns results in the
+// order the experiments were requested.
+type Result struct {
+	ID      string
+	Table   *experiments.Table // merged across trials; nil when Err != nil
+	Err     error              // first per-trial error, in trial order
+	Elapsed time.Duration      // summed wall-clock of the experiment's cells
+}
+
+// Run executes cfg.Trials trials of every listed experiment on a worker
+// pool and returns one deterministically merged Result per id. The returned
+// error is non-nil only when the context was canceled or the timeout
+// expired; per-experiment failures (e.g. an unknown id) are reported in the
+// corresponding Result.Err so one bad id cannot discard a long run.
+func Run(ctx context.Context, ids []string, cfg experiments.Config, opts Options) ([]Result, error) {
+	norm := cfg.WithDefaults()
+	trials := norm.Trials
+	type cell struct {
+		id    string
+		trial int
+	}
+	cells := make([]cell, 0, len(ids)*trials)
+	for _, id := range ids {
+		for t := 0; t < trials; t++ {
+			cells = append(cells, cell{id, t})
+		}
+	}
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	// Workers draw cell indexes from the queue and write only their own
+	// slots of these slices, so collection is lock-free by construction;
+	// the merge below reads them in cell order once every worker is done.
+	tables := make([]*experiments.Table, len(cells))
+	errs := make([]error, len(cells))
+	took := make([]time.Duration, len(cells))
+
+	queue := make(chan int)
+	events := make(chan Event, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				c := cells[i]
+				start := time.Now()
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+				} else {
+					// Pass the caller's un-normalized cfg: RunTrial
+					// normalizes once, exactly like experiments.Run.
+					tables[i], errs[i] = experiments.RunTrial(c.id, cfg, c.trial)
+				}
+				took[i] = time.Since(start)
+				events <- Event{ID: c.id, Trial: c.trial, Seed: trialSeed(norm, c.trial),
+					Err: errs[i], Elapsed: took[i]}
+			}
+		}()
+	}
+	go func() {
+		for i := range cells {
+			queue <- i
+		}
+		close(queue)
+	}()
+	for done := 1; done <= len(cells); done++ {
+		ev := <-events
+		ev.Done, ev.Total = done, len(cells)
+		if opts.Progress != nil {
+			opts.Progress(ev)
+		}
+	}
+	wg.Wait()
+
+	results := make([]Result, len(ids))
+	for k, id := range ids {
+		r := Result{ID: id}
+		per := make([]*experiments.Table, 0, trials)
+		for t := 0; t < trials; t++ {
+			i := k*trials + t
+			r.Elapsed += took[i]
+			if errs[i] != nil && r.Err == nil {
+				r.Err = fmt.Errorf("%s trial %d: %w", id, t, errs[i])
+			}
+			per = append(per, tables[i])
+		}
+		if r.Err == nil {
+			r.Table = experiments.MergeTrials(per)
+		}
+		results[k] = r
+	}
+	return results, ctx.Err()
+}
+
+// trialSeed mirrors RunTrial's seed choice for reporting.
+func trialSeed(norm experiments.Config, trial int) uint64 {
+	if norm.Trials <= 1 {
+		return norm.Seed
+	}
+	return experiments.TrialSeed(norm.Seed, trial)
+}

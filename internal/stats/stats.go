@@ -117,6 +117,17 @@ func (s *Sample) Percentile(p float64) float64 {
 	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
 }
 
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean, 1.96·s/√n, or 0 with fewer than two observations.
+// (The paper's 20-trial medians make the normal approximation adequate.)
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(n))
+}
+
 // Median returns the 50th percentile.
 func (s *Sample) Median() float64 { return s.Percentile(50) }
 

@@ -126,6 +126,30 @@ func TestSampleBasics(t *testing.T) {
 	}
 }
 
+func TestCI95(t *testing.T) {
+	var s Sample
+	if s.CI95() != 0 {
+		t.Fatal("empty sample should have zero CI")
+	}
+	s.Add(5)
+	if s.CI95() != 0 {
+		t.Fatal("single observation should have zero CI")
+	}
+	s.Add(7) // {5, 7}: std = sqrt(2), ci95 = 1.96*sqrt(2)/sqrt(2) = 1.96
+	if got := s.CI95(); math.Abs(got-1.96) > 1e-9 {
+		t.Fatalf("CI95 = %v, want 1.96", got)
+	}
+	// Quadrupling n at the same spread halves the half-width.
+	var big Sample
+	big.AddAll(5, 7, 5, 7, 5, 7, 5, 7)
+	if got, want := big.CI95(), 1.96*big.Std()/math.Sqrt(8); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+	if big.CI95() >= s.CI95() {
+		t.Fatal("larger sample at same spread should shrink the interval")
+	}
+}
+
 func TestPercentileInterpolation(t *testing.T) {
 	var s Sample
 	s.AddAll(10, 20, 30, 40)

@@ -159,46 +159,51 @@ func Generate(name string, cat Category, seed uint64) *Page {
 }
 
 // Corpus generation is deterministic and moderately expensive (every script
-// is executed once), so the standard corpora are memoized per seed. Pages
-// are read-only after generation; callers must not mutate them.
+// is executed once), so the standard corpora are memoized per seed. The
+// cache locks per seed, not globally: parallel trials use disjoint seeds and
+// must be able to generate their corpora concurrently. Pages are read-only
+// after generation; callers must not mutate them.
 var (
-	corpusMu    sync.Mutex
-	top50Cache  = map[uint64][]*Page{}
-	sportsCache = map[uint64][]*Page{}
+	top50Cache  sync.Map // uint64 seed -> *corpusEntry
+	sportsCache sync.Map
 )
+
+type corpusEntry struct {
+	once  sync.Once
+	pages []*Page
+}
+
+func cachedCorpus(cache *sync.Map, seed uint64, build func() []*Page) []*Page {
+	v, _ := cache.LoadOrStore(seed, &corpusEntry{})
+	e := v.(*corpusEntry)
+	e.once.Do(func() { e.pages = build() })
+	return e.pages
+}
 
 // Top50 generates (or returns the cached) Alexa-like corpus used by the PLT
 // experiments: 10 pages from each of the 5 categories.
 func Top50(seed uint64) []*Page {
-	corpusMu.Lock()
-	defer corpusMu.Unlock()
-	if p, ok := top50Cache[seed]; ok {
-		return p
-	}
-	var pages []*Page
-	for _, cat := range Categories() {
-		for i := 0; i < 10; i++ {
-			pages = append(pages, Generate(fmt.Sprintf("%s-%02d.example", cat, i), cat, seed+uint64(i)))
+	return cachedCorpus(&top50Cache, seed, func() []*Page {
+		var pages []*Page
+		for _, cat := range Categories() {
+			for i := 0; i < 10; i++ {
+				pages = append(pages, Generate(fmt.Sprintf("%s-%02d.example", cat, i), cat, seed+uint64(i)))
+			}
 		}
-	}
-	top50Cache[seed] = pages
-	return pages
+		return pages
+	})
 }
 
 // SportsTop20 generates (or returns the cached) 20 sports pages used in the
 // §4.2 offload evaluation (Fig. 7).
 func SportsTop20(seed uint64) []*Page {
-	corpusMu.Lock()
-	defer corpusMu.Unlock()
-	if p, ok := sportsCache[seed]; ok {
-		return p
-	}
-	var pages []*Page
-	for i := 0; i < 20; i++ {
-		pages = append(pages, Generate(fmt.Sprintf("sports-top-%02d.example", i), Sports, seed+uint64(i)))
-	}
-	sportsCache[seed] = pages
-	return pages
+	return cachedCorpus(&sportsCache, seed, func() []*Page {
+		var pages []*Page
+		for i := 0; i < 20; i++ {
+			pages = append(pages, Generate(fmt.Sprintf("sports-top-%02d.example", i), Sports, seed+uint64(i)))
+		}
+		return pages
+	})
 }
 
 func hash(s string) uint64 {
