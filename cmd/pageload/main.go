@@ -21,6 +21,7 @@ import (
 	"mobileqoe/internal/browser"
 	"mobileqoe/internal/core"
 	"mobileqoe/internal/device"
+	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 	"mobileqoe/internal/webpage"
 	"mobileqoe/internal/wprof"
@@ -28,13 +29,15 @@ import (
 
 func main() {
 	var (
-		dev      = flag.String("device", "Google Nexus4", "catalog device name")
-		mhz      = flag.Float64("mhz", 0, "pin the clock (userspace governor), MHz")
-		cores    = flag.Int("cores", 0, "online cores (0 = all)")
-		ramMB    = flag.Int("ram", 0, "RAM override in MB (0 = stock)")
-		category = flag.String("category", "news", "page category: news|sports|business|health|shopping")
-		seed     = flag.Uint64("seed", 1, "page generation seed")
-		trace    = flag.Bool("trace", false, "print the full activity waterfall")
+		dev       = flag.String("device", "Google Nexus4", "catalog device name")
+		mhz       = flag.Float64("mhz", 0, "pin the clock (userspace governor), MHz")
+		cores     = flag.Int("cores", 0, "online cores (0 = all)")
+		ramMB     = flag.Int("ram", 0, "RAM override in MB (0 = stock)")
+		category  = flag.String("category", "news", "page category: news|sports|business|health|shopping")
+		seed      = flag.Uint64("seed", 1, "page generation seed")
+		waterfall = flag.Bool("waterfall", false, "print the full activity waterfall")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the load to this file")
+		timeline  = flag.Bool("timeline", false, "print an ASCII timeline of the trace (implies tracing)")
 	)
 	flag.Parse()
 
@@ -58,6 +61,12 @@ func main() {
 		webpage.Category(*category), *seed)
 	fmt.Printf("loading %s (%s, %d resources, %s) on %s\n\n",
 		page.Name, page.Category, len(page.Resources), page.TotalBytes(), spec)
+
+	var tr *trace.Tracer
+	if *traceOut != "" || *timeline {
+		tr = trace.New()
+		opts = append(opts, core.WithTrace(tr))
+	}
 
 	sys := core.NewSystem(spec, opts...)
 	res := sys.LoadPage(page)
@@ -88,12 +97,34 @@ func main() {
 		st.Total.Round(time.Millisecond), st.Network.Round(time.Millisecond),
 		st.Compute.Round(time.Millisecond), st.Script.Round(time.Millisecond))
 
-	if *trace {
+	if *waterfall {
 		fmt.Println("\nwaterfall:")
 		for _, a := range res.Activities {
 			bar := strings.Repeat(" ", int(a.Start/(50*time.Millisecond)))
 			fmt.Printf("%8.3fs %-7s %s%s %s\n", a.Start.Seconds(), a.Kind, bar,
 				strings.Repeat("#", 1+int(a.Duration()/(50*time.Millisecond))), a.Name)
 		}
+	}
+
+	if *timeline {
+		fmt.Println()
+		if err := tr.WriteASCII(os.Stdout, 100); err != nil {
+			fmt.Fprintln(os.Stderr, "pageload:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tr.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pageload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d trace events to %s\n", tr.Len(), *traceOut)
 	}
 }

@@ -26,7 +26,21 @@ import (
 
 	"mobileqoe/internal/experiments"
 	"mobileqoe/internal/runner"
+	"mobileqoe/internal/trace"
 )
+
+// writeTrace flushes the tracer to a Chrome trace-event JSON file.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	var (
@@ -42,6 +56,8 @@ func main() {
 		trials   = flag.Int("trials", 0, "independent trials per experiment (default 1); >1 merges mean/p50/ci95 columns")
 		parallel = flag.Int("parallel", 0, "worker goroutines for -run (default GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "abort -run after this wall-clock duration (0 = no limit)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (forces -parallel 1)")
+		metrics  = flag.Bool("metrics", false, "print the run's metrics registry after each table")
 	)
 	flag.Parse()
 
@@ -62,6 +78,18 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Trials = *trials
+	cfg.Metrics = *metrics
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New()
+		cfg.Trace = tracer
+		// Concurrent cells interleave span emission nondeterministically;
+		// byte-identical traces need the cells run one at a time.
+		if *parallel != 1 {
+			fmt.Fprintln(os.Stderr, "qoesim: -trace forces -parallel 1 for a deterministic trace")
+			*parallel = 1
+		}
+	}
 	// A zero passed explicitly on the command line means "really zero", not
 	// "use the default"; map those flags to the Config sentinels.
 	flag.Visit(func(f *flag.Flag) {
@@ -135,6 +163,17 @@ func main() {
 			fmt.Print(r.Table.String())
 			fmt.Println()
 		}
+		if *metrics && r.Table.Metrics != nil {
+			fmt.Print(r.Table.Metrics.Table())
+			fmt.Println()
+		}
+	}
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "qoesim: wrote %d trace events to %s\n", tracer.Len(), *traceOut)
 	}
 	if totalCells > 1 {
 		fmt.Fprintf(os.Stderr, "qoesim: %d experiments × %d trials on %d workers in %v\n",

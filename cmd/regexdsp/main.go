@@ -11,12 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
 	"mobileqoe/internal/dsp"
 	"mobileqoe/internal/rex"
 	"mobileqoe/internal/sim"
+	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 )
 
@@ -37,11 +39,12 @@ var suite = []workload{
 
 func main() {
 	var (
-		pattern = flag.String("pattern", "", "run a single pattern instead of the suite")
-		input   = flag.String("input", "", "input string for -pattern")
-		repeat  = flag.Float64("repeat", 400, "evaluations batched per offloaded RPC")
-		cpuMHz  = flag.Float64("cpu-mhz", 2457, "application core clock (MHz)")
-		cpuIPC  = flag.Float64("cpu-ipc", 1.9, "application core IPC")
+		pattern  = flag.String("pattern", "", "run a single pattern instead of the suite")
+		input    = flag.String("input", "", "input string for -pattern")
+		repeat   = flag.Float64("repeat", 400, "evaluations batched per offloaded RPC")
+		cpuMHz   = flag.Float64("cpu-mhz", 2457, "application core clock (MHz)")
+		cpuIPC   = flag.Float64("cpu-ipc", 1.9, "application core IPC")
+		traceOut = flag.String("trace", "", "replay the suite as simulated FastRPC calls and write a Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 
@@ -49,8 +52,25 @@ func main() {
 	if *pattern != "" {
 		work = []workload{{"custom", *pattern, *input}}
 	}
-	d := dsp.New(sim.New(), dsp.Config{})
+	s := sim.New()
+	dcfg := dsp.Config{}
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New()
+		dcfg.Trace = tr
+		dcfg.TracePid = tr.Process("regexdsp")
+	}
+	d := dsp.New(s, dcfg)
 	rate := units.MHz(*cpuMHz).Hz() * *cpuIPC
+
+	// Batched RPCs replayed through the simulator when tracing; each entry
+	// becomes one real d.Call so the trace shows queueing behind earlier
+	// batches, not just the analytic latency the table prints.
+	type rpc struct {
+		steps int64
+		bytes int
+	}
+	var replay []rpc
 
 	fmt.Printf("%-19s %-11s %-11s %-11s %-11s %s\n",
 		"workload", "bt-steps", "pike-steps", "cpu-time", "dsp-time", "winner")
@@ -69,6 +89,13 @@ func main() {
 			d.Config().RPCOverhead +
 			time.Duration(float64(len(w.input))**repeat/1024*float64(d.Config().MarshalPerKB))
 
+		if tr != nil {
+			replay = append(replay, rpc{
+				steps: int64(float64(pr.Steps) * *repeat),
+				bytes: int(float64(len(w.input)) * *repeat),
+			})
+		}
+
 		btSteps := fmt.Sprintf("%d", br.Steps)
 		if btErr != nil {
 			btSteps += "!"
@@ -83,4 +110,30 @@ func main() {
 	}
 	fmt.Printf("\n(batch=%0.f evaluations/RPC; '!' = backtracking step limit hit; DSP %s @ %.2f cyc/step, RPC %v)\n",
 		*repeat, d.Config().Freq, dsp.DSPCyclesPerStep, d.Config().RPCOverhead)
+
+	if tr != nil {
+		// Issue the batches back-to-back: each call fires when the previous
+		// result returns, the FIFO the offload prototype's caller sees.
+		var issue func(i int)
+		issue = func(i int) {
+			if i >= len(replay) {
+				return
+			}
+			d.Call(replay[i].steps, replay[i].bytes, func() { issue(i + 1) })
+		}
+		issue(0)
+		s.Run()
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = tr.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "regexdsp:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", tr.Len(), *traceOut)
+	}
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"mobileqoe/internal/trace"
 )
 
 // Trace export — the simulated analogue of saving a DevTools/WProf trace,
@@ -69,4 +71,37 @@ func (r Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(t)
+}
+
+// EmitTrace replays the recorded activity waterfall into tr under pid as
+// spans in category "browser": main-thread activities on a "browser:main"
+// lane, image decodes on "browser:raster", fetches on "browser:net", plus a
+// "load-event" instant at PLT. Activities are already complete when this
+// runs, so the load itself pays no tracing cost. A nil tracer is a no-op.
+func (r Result) EmitTrace(tr *trace.Tracer, pid int) {
+	if tr == nil || len(r.Activities) == 0 {
+		return
+	}
+	main := tr.Thread(pid, "browser:main")
+	raster := tr.Thread(pid, "browser:raster")
+	net := tr.Thread(pid, "browser:net")
+	for _, a := range r.Activities {
+		tid := net
+		switch {
+		case a.MainThread:
+			tid = main
+		case a.Kind.IsCompute():
+			tid = raster
+		}
+		var args []trace.Arg
+		if a.Cycles > 0 {
+			args = append(args, trace.Arg{Key: "cycles", Val: a.Cycles})
+		}
+		if a.Bytes > 0 {
+			args = append(args, trace.Arg{Key: "bytes", Val: float64(a.Bytes)})
+		}
+		tr.Span("browser", a.Name, pid, tid, a.Start, a.End, args...)
+	}
+	tr.Instant("browser", "load-event", pid, main, r.StartedAt+r.PLT,
+		trace.Arg{Key: "plt_ms", Val: float64(r.PLT) / 1e6})
 }

@@ -31,6 +31,7 @@ import (
 	"mobileqoe/internal/netsim"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/telephony"
+	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 	"mobileqoe/internal/video"
 	"mobileqoe/internal/webpage"
@@ -51,6 +52,8 @@ type options struct {
 	forceSWDec bool
 	noPrefetch bool
 	noABR      bool
+	tr         *trace.Tracer
+	metrics    *trace.Metrics
 }
 
 // WithGovernor selects the cpufreq governor (default: Interactive, the
@@ -108,6 +111,17 @@ func WithoutPrefetch() Option { return func(o *options) { o.noPrefetch = true } 
 // WithoutABR pins calls at their top resolution.
 func WithoutABR() Option { return func(o *options) { o.noABR = true } }
 
+// WithTrace attaches a tracer: the system allocates one trace process (pid)
+// named after the device and every subsystem emits spans/counters into it at
+// virtual timestamps. A nil tracer is the no-op default.
+func WithTrace(tr *trace.Tracer) Option { return func(o *options) { o.tr = tr } }
+
+// WithMetrics attaches a metrics registry that the subsystems accumulate
+// counters and histograms into over the run. A nil registry is the no-op
+// default. The registry is not concurrency-safe: share one only across
+// systems driven from the same goroutine.
+func WithMetrics(m *trace.Metrics) Option { return func(o *options) { o.metrics = m } }
+
 // System is one simulated device on the testbed.
 type System struct {
 	Spec  device.Spec
@@ -119,11 +133,32 @@ type System struct {
 	DSP   *dsp.DSP
 
 	opts options
+	pid  int // trace process id, 0 when tracing is off
 }
+
+// TracePid returns the trace process id the system's events are attributed
+// to (0 when no tracer is attached).
+func (sys *System) TracePid() int { return sys.pid }
 
 // NewSystem builds a device. The zero option set is the paper's default
 // configuration: interactive governor, all cores, stock RAM, LAN testbed.
 func NewSystem(spec device.Spec, opts ...Option) *System {
+	return build(spec, parseOptions(opts))
+}
+
+// NewObservedSystem is NewSystem with a tracer and metrics registry
+// attached directly rather than via WithTrace/WithMetrics options. Harnesses
+// that attach observability conditionally should prefer it: merging extra
+// options into a caller's variadic slice makes every call site's option
+// closures escape to the heap, a cost the tracing-off path must not pay.
+// Either argument may be nil.
+func NewObservedSystem(tr *trace.Tracer, m *trace.Metrics, spec device.Spec, opts ...Option) *System {
+	o := parseOptions(opts)
+	o.tr, o.metrics = tr, m
+	return build(spec, o)
+}
+
+func parseOptions(opts []Option) options {
 	o := options{
 		governor: cpu.Interactive,
 		netCfg:   netsim.Config{ChargeCPU: true},
@@ -131,10 +166,21 @@ func NewSystem(spec device.Spec, opts ...Option) *System {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	return o
+}
+
+func build(spec device.Spec, o options) *System {
 	s := sim.New()
+	pid := 0
+	if o.tr != nil {
+		pid = o.tr.Process(spec.Name)
+	}
+	installKernelHook(s, o.tr, o.metrics, pid)
 	meter := energy.NewMeter(s.Now)
+	meter.SetTrace(o.tr, pid)
 	ccfg := cpu.FromSpec(spec, o.governor)
 	ccfg.Meter = meter
+	ccfg.Trace, ccfg.TracePid, ccfg.Metrics = o.tr, pid, o.metrics
 	if o.clock > 0 {
 		ccfg.UserspaceFreq = o.clock
 	}
@@ -146,23 +192,69 @@ func NewSystem(spec device.Spec, opts ...Option) *System {
 	if ram == 0 {
 		ram = spec.RAM
 	}
+	netCfg := o.netCfg
+	netCfg.Trace, netCfg.TracePid, netCfg.Metrics = o.tr, pid, o.metrics
 	sys := &System{
 		Spec:  spec,
 		Sim:   s,
 		CPU:   c,
-		Net:   netsim.New(s, c, o.netCfg),
+		Net:   netsim.New(s, c, netCfg),
 		Mem:   mem.New(mem.Config{RAM: ram}),
 		Meter: meter,
 		opts:  o,
+		pid:   pid,
 	}
 	if o.dspCfg != nil {
 		cfg := *o.dspCfg
 		cfg.Meter = meter
+		cfg.Trace, cfg.TracePid, cfg.Metrics = o.tr, pid, o.metrics
 		sys.DSP = dsp.New(s, cfg)
 	} else if spec.Has(device.DSP) {
-		sys.DSP = dsp.New(s, dsp.Config{Meter: meter})
+		sys.DSP = dsp.New(s, dsp.Config{Meter: meter,
+			Trace: o.tr, TracePid: pid, Metrics: o.metrics})
 	}
 	return sys
+}
+
+// kernelSpanBatch is the number of executed events folded into one span on
+// the sim.kernel lane: fine enough to localize activity bursts, coarse
+// enough that kernel spans stay a small fraction of the trace.
+const kernelSpanBatch = 256
+
+// installKernelHook attaches the per-event observation hook: an event
+// counter and queue-depth histogram in the registry, plus one batched span
+// per kernelSpanBatch events on a "sim.kernel" lane. With neither consumer
+// attached no hook is installed and the kernel keeps its nil-check-only
+// fast path.
+func installKernelHook(s *sim.Sim, tr *trace.Tracer, m *trace.Metrics, pid int) {
+	if tr == nil && m == nil {
+		return
+	}
+	kern := 0
+	if tr != nil {
+		kern = tr.Thread(pid, "sim.kernel")
+	}
+	mEvents := m.Counter("sim.events")
+	mDepth := m.Histogram("sim.queue_depth")
+	var batchStart time.Duration
+	var batchMax, inBatch int
+	s.SetHook(func(si sim.StepInfo) {
+		mEvents.Add(1)
+		mDepth.Observe(float64(si.Pending))
+		if tr == nil {
+			return
+		}
+		if si.Pending > batchMax {
+			batchMax = si.Pending
+		}
+		inBatch++
+		if inBatch == kernelSpanBatch {
+			tr.Span("sim", "steps[256]", pid, kern, batchStart, si.At,
+				trace.Arg{Key: "max_queue_depth", Val: float64(batchMax)})
+			batchStart = si.At
+			inBatch, batchMax = 0, 0
+		}
+	})
 }
 
 // run drives the simulation until the workload completes or the virtual
@@ -192,6 +284,8 @@ func (sys *System) LoadPage(page *webpage.Page) browser.Result {
 			sys.CPU.Stop()
 		})
 	sys.run(30*time.Minute, &done)
+	res.EmitTrace(sys.opts.tr, sys.pid)
+	sys.opts.metrics.Histogram("browser.plt_ms").Observe(float64(res.PLT) / 1e6)
 	return res
 }
 
@@ -208,6 +302,7 @@ func (sys *System) StreamVideo(sc video.StreamConfig) video.Metrics {
 		Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem, Spec: sys.Spec,
 		ForceSoftwareDecode: sys.opts.forceSWDec,
 		DisablePrefetch:     sys.opts.noPrefetch,
+		Trace:               sys.opts.tr, TracePid: sys.pid, Metrics: sys.opts.metrics,
 	}, sc, func(got video.Metrics) {
 		m = got
 		done = true
@@ -225,6 +320,7 @@ func (sys *System) PlaceCall(cc telephony.CallConfig) telephony.Metrics {
 		Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem, Spec: sys.Spec,
 		DisableABR:         sys.opts.noABR,
 		ForceSoftwareCodec: sys.opts.forceSWDec,
+		Trace:              sys.opts.tr, TracePid: sys.pid, Metrics: sys.opts.metrics,
 	}, cc, func(got telephony.Metrics) {
 		m = got
 		done = true

@@ -19,6 +19,7 @@ import (
 	"mobileqoe/internal/device"
 	"mobileqoe/internal/energy"
 	"mobileqoe/internal/sim"
+	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 )
 
@@ -56,6 +57,14 @@ type Config struct {
 	Governor        GovernorKind
 	UserspaceFreq   units.Freq    // target for the userspace governor; 0 = median step
 	Meter           *energy.Meter // optional; component "cpu"
+
+	// Trace, when non-nil, receives task spans (one lane per thread),
+	// per-cluster frequency counter tracks, and hotplug instants under
+	// category "cpu", attributed to process TracePid. Metrics, when non-nil,
+	// accumulates cpu.governor_transitions, cpu.tasks, and cpu.task_cycles.
+	Trace    *trace.Tracer
+	TracePid int
+	Metrics  *trace.Metrics
 
 	// SwitchOverhead is the per-extra-runnable-thread multiplexing penalty on
 	// a core: with n threads sharing a core its useful capacity shrinks to
@@ -113,6 +122,11 @@ type CPU struct {
 	threads  []*Thread
 	ticker   *sim.Ticker
 	online   int
+
+	// Metrics handles, resolved once in New; nil-safe when metrics are off.
+	mGovTransitions *trace.Counter
+	mTasks          *trace.Counter
+	mTaskCycles     *trace.Histogram
 }
 
 type cluster struct {
@@ -147,6 +161,7 @@ type Thread struct {
 	rate       float64 // cycles/sec currently granted
 	completion *sim.Event
 	executed   float64 // total cycles retired
+	tid        int     // trace lane, 0 when tracing is off
 }
 
 // SetWeight changes the thread's scheduling weight. Runnable threads on a
@@ -165,8 +180,10 @@ func (t *Thread) SetWeight(w float64) {
 type task struct {
 	name      string
 	remaining float64
+	cost      float64 // original reference-cycle cost
 	done      func()
 	settled   time.Duration
+	start     time.Duration // when the task reached the queue head
 }
 
 // New constructs a CPU on the given simulator. The governor starts running
@@ -187,10 +204,35 @@ func New(s *sim.Sim, cfg Config) *CPU {
 		c.addCluster(*cfg.Little, 0.35) // little cores switch far less capacitance
 	}
 	c.online = len(c.cores)
+	c.mGovTransitions = cfg.Metrics.Counter("cpu.governor_transitions")
+	c.mTasks = cfg.Metrics.Counter("cpu.tasks")
+	c.mTaskCycles = cfg.Metrics.Histogram("cpu.task_cycles")
 	c.applyGovernorInitial()
+	for _, cl := range c.clusters {
+		c.traceFreq(cl)
+	}
 	c.startGovernor()
 	c.updatePower()
 	return c
+}
+
+// traceFreq samples the cluster's frequency counter track.
+func (c *CPU) traceFreq(cl *cluster) {
+	if tr := c.cfg.Trace; tr != nil {
+		tr.Counter("cpu", fmt.Sprintf("freq.cluster%d", cl.id),
+			c.cfg.TracePid, c.s.Now(), cl.freq.Hz()/1e6)
+	}
+}
+
+// setFreq retargets a cluster, recording the governor decision when the
+// operating point actually changes.
+func (c *CPU) setFreq(cl *cluster, f units.Freq) {
+	if f == cl.freq {
+		return
+	}
+	cl.freq = f
+	c.mGovTransitions.Add(1)
+	c.traceFreq(cl)
 }
 
 func (c *CPU) addCluster(spec device.Cluster, ceffScale float64) {
@@ -288,7 +330,7 @@ func (c *CPU) governorSample(window time.Duration) {
 				target = cl.stepToward(want)
 			}
 		}
-		cl.freq = cl.snap(target)
+		c.setFreq(cl, cl.snap(target))
 	}
 	c.reschedule()
 }
@@ -357,7 +399,7 @@ func (c *CPU) SetUserspaceFreq(f units.Freq) {
 	c.settle()
 	c.cfg.UserspaceFreq = f
 	for _, cl := range c.clusters {
-		cl.freq = cl.snap(f)
+		c.setFreq(cl, cl.snap(f))
 	}
 	c.reschedule()
 }
@@ -372,6 +414,12 @@ func (c *CPU) SetOnlineCores(n int) {
 		n = len(c.cores)
 	}
 	c.settle()
+	if n != c.online {
+		if tr := c.cfg.Trace; tr != nil {
+			tr.Instant("cpu", "hotplug", c.cfg.TracePid, 0, c.s.Now(),
+				trace.Arg{Key: "online", Val: float64(n)})
+		}
+	}
 	c.online = n
 	for i, co := range c.cores {
 		co.online = i < n
@@ -426,6 +474,9 @@ func (c *CPU) CoreBusy() []time.Duration {
 // loaded cores.
 func (c *CPU) NewThread(name string, foreground bool) *Thread {
 	t := &Thread{cpu: c, name: name, foreground: foreground, weight: 1}
+	if tr := c.cfg.Trace; tr != nil {
+		t.tid = tr.Thread(c.cfg.TracePid, "cpu:"+name)
+	}
 	c.threads = append(c.threads, t)
 	return t
 }
@@ -439,7 +490,8 @@ func (t *Thread) Exec(name string, cycles float64, done func()) {
 	}
 	c := t.cpu
 	c.settle()
-	t.queue = append(t.queue, &task{name: name, remaining: cycles, done: done, settled: c.s.Now()})
+	t.queue = append(t.queue, &task{name: name, remaining: cycles, cost: cycles,
+		done: done, settled: c.s.Now(), start: c.s.Now()})
 	if t.core == nil {
 		c.place(t)
 	}
@@ -637,6 +689,13 @@ func (c *CPU) onCompletion(th *Thread) {
 		c.detach(th)
 	} else {
 		th.queue[0].settled = c.s.Now()
+		th.queue[0].start = c.s.Now()
+	}
+	c.mTasks.Add(1)
+	c.mTaskCycles.Observe(cur.cost)
+	if tr := c.cfg.Trace; tr != nil {
+		tr.Span("cpu", "task:"+cur.name, c.cfg.TracePid, th.tid, cur.start, c.s.Now(),
+			trace.Arg{Key: "cycles", Val: cur.cost})
 	}
 	c.reschedule()
 	if cur.done != nil {

@@ -21,6 +21,7 @@ import (
 
 	"mobileqoe/internal/energy"
 	"mobileqoe/internal/sim"
+	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 	ActiveWatts  float64       // power while serving; default 0.22 W
 	IdleWatts    float64       // leakage; default 0.005 W
 	Meter        *energy.Meter // optional; component "dsp"
+
+	// Trace, when non-nil, receives one FastRPC span per call on a
+	// "dsp:fastrpc" lane under category "dsp", attributed to TracePid.
+	// Metrics, when non-nil, accumulates dsp.calls and dsp.service_us.
+	Trace    *trace.Tracer
+	TracePid int
+	Metrics  *trace.Metrics
 }
 
 func (c *Config) setDefaults() {
@@ -73,12 +81,21 @@ type DSP struct {
 	busyUntil time.Duration
 	calls     int64
 	busyTotal time.Duration
+	tid       int // trace lane, 0 when tracing is off
+
+	mCalls     *trace.Counter
+	mServiceUs *trace.Histogram
 }
 
 // New constructs a DSP on the simulator.
 func New(s *sim.Sim, cfg Config) *DSP {
 	cfg.setDefaults()
 	d := &DSP{s: s, cfg: cfg}
+	if cfg.Trace != nil {
+		d.tid = cfg.Trace.Thread(cfg.TracePid, "dsp:fastrpc")
+	}
+	d.mCalls = cfg.Metrics.Counter("dsp.calls")
+	d.mServiceUs = cfg.Metrics.Histogram("dsp.service_us")
 	if cfg.Meter != nil {
 		cfg.Meter.SetPower("dsp", cfg.IdleWatts)
 	}
@@ -140,7 +157,14 @@ func (d *DSP) Call(pikeSteps int64, inputBytes int, done func()) {
 			}
 		})
 	}
+	d.mCalls.Add(1)
+	d.mServiceUs.Observe(float64(service) / 1e3)
 	finish := d.busyUntil + d.rpcCost(0)/2 // response unmarshal
+	if tr := d.cfg.Trace; tr != nil {
+		tr.Span("dsp", "fastrpc", d.cfg.TracePid, d.tid, now, finish,
+			trace.Arg{Key: "pike_steps", Val: float64(pikeSteps)},
+			trace.Arg{Key: "queue_us", Val: float64(start-now) / 1e3})
+	}
 	d.s.At(finish, func() {
 		if done != nil {
 			done()

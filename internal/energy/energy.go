@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 )
 
@@ -17,8 +18,10 @@ import (
 // identified by name ("cpu", "dsp", "decoder", ...). The zero value is not
 // usable; construct with NewMeter.
 type Meter struct {
-	now   func() time.Duration
-	comps map[string]*component
+	now      func() time.Duration
+	comps    map[string]*component
+	tr       *trace.Tracer
+	tracePid int
 }
 
 type component struct {
@@ -36,6 +39,14 @@ func NewMeter(now func() time.Duration) *Meter {
 	return &Meter{now: now, comps: map[string]*component{}}
 }
 
+// SetTrace makes the meter emit a "power.<component>" counter sample under
+// category "energy" whenever a component's draw changes — the simulated
+// analogue of a Monsoon power timeline. Pass nil to detach.
+func (m *Meter) SetTrace(tr *trace.Tracer, pid int) {
+	m.tr = tr
+	m.tracePid = pid
+}
+
 // SetPower sets the instantaneous power draw of a component, accruing energy
 // for the interval since the last change. Negative power panics.
 func (m *Meter) SetPower(name string, watts float64) {
@@ -47,6 +58,9 @@ func (m *Meter) SetPower(name string, watts float64) {
 	if !ok {
 		c = &component{since: t}
 		m.comps[name] = c
+	}
+	if m.tr != nil && watts != c.watts {
+		m.tr.Counter("energy", "power."+name, m.tracePid, t, watts)
 	}
 	c.joules += c.watts * (t - c.since).Seconds()
 	c.watts = watts

@@ -40,11 +40,11 @@ func ablPacketCPU(cfg Config) *Table {
 			return o
 		}
 		tputAt := func(f units.Freq) float64 {
-			sys := core.NewSystem(device.Nexus4(), opts(f)...)
+			sys := cfg.newSystem(device.Nexus4(), opts(f)...)
 			return sys.Iperf(cfg.IperfDuration).Throughput.Mbpsf()
 		}
 		pltAt := func(f units.Freq) float64 {
-			return avgPLTOn(device.Nexus4(), pages, opts(f)...).Mean()
+			return avgPLTOn(cfg, device.Nexus4(), pages, opts(f)...).Mean()
 		}
 		label := "charged"
 		if !charged {
@@ -69,7 +69,7 @@ func ablPrefetch(cfg Config) *Table {
 		if disable {
 			opts = append(opts, core.WithoutPrefetch())
 		}
-		sys := core.NewSystem(device.Nexus4(), opts...)
+		sys := cfg.newSystem(device.Nexus4(), opts...)
 		return sys.StreamVideo(video.StreamConfig{Duration: 2 * cfg.ClipDuration})
 	}
 	with := run(false)
@@ -89,7 +89,7 @@ func ablHWDecoder(cfg Config) *Table {
 		if sw {
 			opts = append(opts, core.WithoutHardwareDecoder())
 		}
-		sys := core.NewSystem(device.Nexus4(), opts...)
+		sys := cfg.newSystem(device.Nexus4(), opts...)
 		return sys.StreamVideo(video.StreamConfig{Duration: cfg.ClipDuration})
 	}
 	hw, sw := run(false), run(true)
@@ -172,7 +172,7 @@ func ablBigLittle(cfg Config) *Table {
 		if spec.ForegroundOnBig {
 			label = "foreground-on-big (Pixel2-style)"
 		}
-		s := avgPLTOn(spec, pages)
+		s := avgPLTOn(cfg, spec, pages)
 		t.AddRow(label, meanStd(s.Mean(), s.Std()))
 	}
 	t.Notes = append(t.Notes,

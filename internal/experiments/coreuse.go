@@ -57,13 +57,13 @@ func textCoreUse(cfg Config) *Table {
 	}
 
 	// Web page load.
-	webSys := core.NewSystem(device.Nexus4(), core.WithGovernor(cpu.Performance))
+	webSys := cfg.newSystem(device.Nexus4(), core.WithGovernor(cpu.Performance))
 	webSys.LoadPage(corpus(cfg)[0])
 	sh, top2 := shares(webSys.CPU)
 	row("web-pageload", sh, top2)
 
 	// Video streaming.
-	vidSys := core.NewSystem(device.Nexus4(), core.WithGovernor(cpu.Performance))
+	vidSys := cfg.newSystem(device.Nexus4(), core.WithGovernor(cpu.Performance))
 	vidSys.StreamVideo(video.StreamConfig{Duration: cfg.ClipDuration})
 	sh, top2 = shares(vidSys.CPU)
 	row("video-streaming", sh, top2)

@@ -25,7 +25,7 @@ func extEnergy(cfg Config) *Table {
 	for _, gov := range cpu.Governors() {
 		var plt, joules, pw stats.Sample
 		for _, p := range pages {
-			sys := core.NewSystem(device.Nexus4(), core.WithGovernor(gov))
+			sys := cfg.newSystem(device.Nexus4(), core.WithGovernor(gov))
 			res := sys.LoadPage(p)
 			e := sys.Meter.Energy("cpu")
 			plt.Add(res.PLT.Seconds())

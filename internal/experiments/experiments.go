@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"mobileqoe/internal/trace"
 )
 
 // Config scales experiment effort. The defaults favor quick runs; the paper
@@ -28,6 +30,21 @@ type Config struct {
 	// default 1. Multi-trial runs derive a disjoint seed per trial (see
 	// TrialSeed) and merge the per-trial tables with MergeTrials.
 	Trials int
+
+	// Trace, when non-nil, receives spans and counters from every system a
+	// trial builds (see internal/trace). The tracer is mutex-safe, but
+	// emission order across concurrently running cells is nondeterministic,
+	// so byte-identical traces require running the cells sequentially.
+	Trace *trace.Tracer
+
+	// Metrics enables the per-trial metrics registry: each trial accumulates
+	// counters/histograms into a fresh registry attached to its Table (see
+	// Table.Metrics), and MergeTrials folds them together in trial order.
+	Metrics bool
+
+	// reg is the registry of the currently executing trial; RunTrial creates
+	// it when Metrics is set and runners thread it into their systems.
+	reg *trace.Metrics
 }
 
 // Sentinels distinguishing "explicitly zero" from "unset, use the default".
@@ -103,6 +120,10 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string // calibration/shape caveats worth printing
+	// Metrics is the run's aggregated registry, present only when the run
+	// was configured with Config.Metrics. For merged multi-trial tables it
+	// is the trial registries folded in trial order.
+	Metrics *trace.Metrics
 }
 
 // AddRow appends a formatted row.
@@ -215,20 +236,24 @@ func RunTrial(id string, cfg Config, trial int) (*Table, error) {
 		c.Seed = TrialSeed(c.Seed, trial)
 	}
 	c.Trials = 1
-	return e.fn(c), nil
+	if c.Metrics {
+		c.reg = trace.NewMetrics()
+	}
+	tab := e.fn(c)
+	tab.Metrics = c.reg
+	return tab, nil
 }
 
 // Run executes one experiment. With cfg.Trials > 1 it runs every trial
 // sequentially and returns the MergeTrials result; internal/runner produces
 // byte-identical output by fanning the same trials across a worker pool.
 func Run(id string, cfg Config) (*Table, error) {
-	e, ok := registry[id]
-	if !ok {
+	if _, ok := registry[id]; !ok {
 		return nil, unknownErr(id)
 	}
 	c := cfg.WithDefaults()
 	if c.Trials == 1 {
-		return e.fn(c), nil
+		return RunTrial(id, cfg, 0)
 	}
 	tabs := make([]*Table, c.Trials)
 	for t := range tabs {

@@ -32,10 +32,10 @@ func extH2(cfg Config) *Table {
 	}
 	for _, cs := range cases {
 		netCfg := netsim.Profiles()[cs.net]
-		h1 := avgPLTOn(device.Nexus4(), pages,
+		h1 := avgPLTOn(cfg, device.Nexus4(), pages,
 			core.WithClock(units.MHz(cs.mhz)), core.WithNetwork(netCfg))
 		netCfg.HTTP2 = true
-		h2 := avgPLTOn(device.Nexus4(), pages,
+		h2 := avgPLTOn(cfg, device.Nexus4(), pages,
 			core.WithClock(units.MHz(cs.mhz)), core.WithNetwork(netCfg))
 		t.AddRow(cs.net, fmt.Sprintf("%.0f", cs.mhz), ratio(h1.Mean()), ratio(h2.Mean()),
 			pct(1-h2.Mean()/h1.Mean()))
@@ -53,8 +53,8 @@ func extTLS(cfg Config) *Table {
 		Columns: []string{"clock_mhz", "http_s", "https_s", "tls_cost"}}
 	pages := takePages(cfg, 3)
 	for _, mhz := range []float64{1512, 810, 384} {
-		plain := avgPLTOn(device.Nexus4(), pages, core.WithClock(units.MHz(mhz)))
-		tls := avgPLTOn(device.Nexus4(), pages, core.WithClock(units.MHz(mhz)), core.WithTLS())
+		plain := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(mhz)))
+		tls := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(mhz)), core.WithTLS())
 		t.AddRow(fmt.Sprintf("%.0f", mhz), ratio(plain.Mean()), ratio(tls.Mean()),
 			pct(tls.Mean()/plain.Mean()-1))
 	}
@@ -68,8 +68,8 @@ func extBrowsers(cfg Config) *Table {
 		Columns: []string{"browser", "plt_1512_s", "plt_384_s", "slowdown"}}
 	pages := takePages(cfg, 3)
 	for _, e := range browser.Engines() {
-		hi := avgPLTOn(device.Nexus4(), pages, core.WithClock(units.MHz(1512)), core.WithEngine(e))
-		lo := avgPLTOn(device.Nexus4(), pages, core.WithClock(units.MHz(384)), core.WithEngine(e))
+		hi := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(1512)), core.WithEngine(e))
+		lo := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(384)), core.WithEngine(e))
 		t.AddRow(e.Name, ratio(hi.Mean()), ratio(lo.Mean()), ratio(lo.Mean()/hi.Mean()))
 	}
 	t.Notes = append(t.Notes,
@@ -84,8 +84,8 @@ func extJoint(cfg Config) *Table {
 	pages := takePages(cfg, 2)
 	for _, name := range []string{"lan", "lte", "3g"} {
 		net := netsim.Profiles()[name]
-		hi := avgPLTOn(device.Nexus4(), pages, core.WithClock(units.MHz(1512)), core.WithNetwork(net))
-		lo := avgPLTOn(device.Nexus4(), pages, core.WithClock(units.MHz(384)), core.WithNetwork(net))
+		hi := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(1512)), core.WithNetwork(net))
+		lo := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(384)), core.WithNetwork(net))
 		t.AddRow(name, net.Rate.String(), net.RTT.String(),
 			ratio(hi.Mean()), ratio(lo.Mean()), ratio(lo.Mean()/hi.Mean()))
 	}

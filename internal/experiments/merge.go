@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"mobileqoe/internal/stats"
+	"mobileqoe/internal/trace"
 )
 
 // MergeTrials combines the per-trial tables of one experiment into a single
@@ -40,7 +41,7 @@ func MergeTrials(trials []*Table) *Table {
 		}
 	}
 
-	out := &Table{ID: first.ID, Title: first.Title}
+	out := &Table{ID: first.ID, Title: first.Title, Metrics: mergeMetrics(trials)}
 	cells := make([][][]string, len(first.Rows)) // [row][outCol] -> values
 	for i := range cells {
 		cells[i] = make([][]string, 0, len(first.Columns))
@@ -97,6 +98,24 @@ func MergeTrials(trials []*Table) *Table {
 	out.Notes = append(out.Notes, fmt.Sprintf(
 		"merged %d trials; varying numeric cells report mean/p50/ci95 across trials (ci95 = 1.96·s/√n)",
 		len(trials)))
+	return out
+}
+
+// mergeMetrics folds the per-trial registries together strictly in trial
+// order — the same by-index discipline the table merge uses — so a parallel
+// run's registry is identical to a sequential one's. Returns nil when no
+// trial carried a registry.
+func mergeMetrics(trials []*Table) *trace.Metrics {
+	var out *trace.Metrics
+	for _, tr := range trials {
+		if tr.Metrics == nil {
+			continue
+		}
+		if out == nil {
+			out = trace.NewMetrics()
+		}
+		out.Merge(tr.Metrics)
+	}
 	return out
 }
 

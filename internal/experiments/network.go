@@ -15,7 +15,7 @@ func fig6(cfg Config) *Table {
 	t := &Table{ID: "fig6", Title: "iperf TCP throughput vs clock (Nexus4, 72 Mbps AP)",
 		Columns: []string{"clock_mhz", "throughput_mbps"}}
 	for _, f := range device.Nexus4FreqSteps() {
-		sys := core.NewSystem(device.Nexus4(), core.WithClock(f))
+		sys := cfg.newSystem(device.Nexus4(), core.WithClock(f))
 		r := sys.Iperf(cfg.IperfDuration)
 		t.AddRow(fmt.Sprintf("%.0f", f.MHz()), mbps(r.Throughput.Mbpsf()))
 	}

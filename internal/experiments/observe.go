@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"mobileqoe/internal/core"
+	"mobileqoe/internal/device"
+)
+
+// newSystem is how every registry runner builds a device: core.NewSystem
+// with the run's observability (Config.Trace, the trial's metrics registry)
+// attached. Runners must construct systems through this helper — a direct
+// core.NewSystem call would silently drop the trial out of traces and the
+// metrics registry.
+func (c Config) newSystem(spec device.Spec, opts ...core.Option) *core.System {
+	if c.Trace == nil && c.reg == nil {
+		return core.NewSystem(spec, opts...)
+	}
+	return core.NewObservedSystem(c.Trace, c.reg, spec, opts...)
+}

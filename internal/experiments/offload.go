@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"mobileqoe/internal/core"
 	"mobileqoe/internal/cpu"
 	"mobileqoe/internal/device"
 	"mobileqoe/internal/dsp"
@@ -46,7 +45,7 @@ const defaultGovernorDuty = 0.55
 func sportsGraphs(cfg Config) ([]*wprof.Graph, float64) {
 	var graphs []*wprof.Graph
 	for _, p := range sportsPages(cfg) {
-		sys := core.NewSystem(device.Pixel2())
+		sys := cfg.newSystem(device.Pixel2())
 		res := sys.LoadPage(p)
 		graphs = append(graphs, wprof.FromResult(res))
 	}

@@ -19,7 +19,7 @@ func init() {
 }
 
 func callOnce(cfg Config, spec device.Spec, opts ...core.Option) telephony.Metrics {
-	sys := core.NewSystem(spec, opts...)
+	sys := cfg.newSystem(spec, opts...)
 	return sys.PlaceCall(telephony.CallConfig{Duration: cfg.CallDuration})
 }
 

@@ -19,7 +19,7 @@ func init() {
 }
 
 func streamOnce(cfg Config, spec device.Spec, opts ...core.Option) video.Metrics {
-	sys := core.NewSystem(spec, opts...)
+	sys := cfg.newSystem(spec, opts...)
 	return sys.StreamVideo(video.StreamConfig{Duration: cfg.ClipDuration})
 }
 

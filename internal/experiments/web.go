@@ -47,10 +47,10 @@ func takePages(cfg Config, n int) []*webpage.Page {
 
 // avgPLTOn loads each page on a freshly configured system and aggregates
 // PLT seconds across the subset.
-func avgPLTOn(spec device.Spec, pages []*webpage.Page, opts ...core.Option) *stats.Sample {
+func avgPLTOn(cfg Config, spec device.Spec, pages []*webpage.Page, opts ...core.Option) *stats.Sample {
 	var s stats.Sample
 	for _, p := range pages {
-		sys := core.NewSystem(spec, opts...)
+		sys := cfg.newSystem(spec, opts...)
 		res := sys.LoadPage(p)
 		s.Add(res.PLT.Seconds())
 	}
@@ -62,7 +62,7 @@ func fig2a(cfg Config) *Table {
 		Columns: []string{"device", "cost$", "plt_s(mean±std)"}}
 	pages := corpus(cfg)
 	for _, spec := range device.Catalog() {
-		s := avgPLTOn(spec, pages)
+		s := avgPLTOn(cfg, spec, pages)
 		t.AddRow(spec.Name, fmt.Sprintf("%d", spec.CostUSD), meanStd(s.Mean(), s.Std()))
 	}
 	t.Notes = append(t.Notes,
@@ -75,7 +75,7 @@ func fig3a(cfg Config) *Table {
 		Columns: []string{"clock_mhz", "plt_s(mean±std)"}}
 	pages := corpus(cfg)
 	for _, f := range device.Nexus4FreqSteps() {
-		s := avgPLTOn(device.Nexus4(), pages, core.WithClock(f))
+		s := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(f))
 		t.AddRow(fmt.Sprintf("%.0f", f.MHz()), meanStd(s.Mean(), s.Std()))
 	}
 	t.Notes = append(t.Notes, "paper shape: ~4-5x PLT growth from 1512 to 384 MHz")
@@ -87,7 +87,7 @@ func fig3b(cfg Config) *Table {
 		Columns: []string{"ram_gb", "plt_s(mean±std)"}}
 	pages := corpus(cfg)
 	for _, ram := range []units.ByteSize{512 * units.MB, 1 * units.GB, 3 * units.GB / 2, 2 * units.GB} {
-		s := avgPLTOn(device.Nexus4(), pages,
+		s := avgPLTOn(cfg, device.Nexus4(), pages,
 			core.WithGovernor(cpu.Performance), core.WithRAM(ram))
 		t.AddRow(fmt.Sprintf("%.1f", ram.GBf()), meanStd(s.Mean(), s.Std()))
 	}
@@ -100,7 +100,7 @@ func fig3c(cfg Config) *Table {
 		Columns: []string{"cores", "plt_s(mean±std)"}}
 	pages := corpus(cfg)
 	for cores := 1; cores <= 4; cores++ {
-		s := avgPLTOn(device.Nexus4(), pages,
+		s := avgPLTOn(cfg, device.Nexus4(), pages,
 			core.WithGovernor(cpu.Performance), core.WithCores(cores))
 		t.AddRow(fmt.Sprintf("%d", cores), meanStd(s.Mean(), s.Std()))
 	}
@@ -114,7 +114,7 @@ func fig3d(cfg Config) *Table {
 		Columns: []string{"governor", "plt_s(mean±std)"}}
 	pages := corpus(cfg)
 	for _, gov := range cpu.Governors() {
-		s := avgPLTOn(device.Nexus4(), pages, core.WithGovernor(gov))
+		s := avgPLTOn(cfg, device.Nexus4(), pages, core.WithGovernor(gov))
 		t.AddRow(string(gov), meanStd(s.Mean(), s.Std()))
 	}
 	t.Notes = append(t.Notes, "paper shape: powersave ≈ +50% over the others")
@@ -128,7 +128,7 @@ func textCrit(cfg Config) *Table {
 	for _, mhz := range []float64{1512, 384} {
 		var total, network, compute, script stats.Sample
 		for _, p := range pages {
-			sys := core.NewSystem(device.Nexus4(), core.WithClock(units.MHz(mhz)))
+			sys := cfg.newSystem(device.Nexus4(), core.WithClock(units.MHz(mhz)))
 			res := sys.LoadPage(p)
 			st := wprof.FromResult(res).CriticalPath()
 			total.Add(st.Total.Seconds())
@@ -155,8 +155,8 @@ func textCategories(cfg Config) *Table {
 			pages = append(pages,
 				webpage.Generate(fmt.Sprintf("%s-cat-%d.example", cat, i), cat, cfg.Seed))
 		}
-		hi := avgPLTOn(device.Nexus4(), pages, core.WithClock(units.MHz(1512)))
-		lo := avgPLTOn(device.Nexus4(), pages, core.WithClock(units.MHz(384)))
+		hi := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(1512)))
+		lo := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(384)))
 		t.AddRow(string(cat), ratio(hi.Mean()), ratio(lo.Mean()), ratio(lo.Mean()/hi.Mean()))
 	}
 	t.Notes = append(t.Notes,

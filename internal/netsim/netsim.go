@@ -22,6 +22,7 @@ import (
 	"mobileqoe/internal/cpu"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/stats"
+	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 )
 
@@ -69,6 +70,14 @@ type Config struct {
 	HTTP2 bool
 
 	RNG *stats.RNG // loss randomness; default seeded deterministically
+
+	// Trace, when non-nil, receives per-transfer spans (one lane per
+	// connection), a cwnd counter track, and loss instants under category
+	// "netsim", attributed to TracePid. Metrics, when non-nil, accumulates
+	// netsim.segments, netsim.acks, and netsim.cwnd_resets.
+	Trace    *trace.Tracer
+	TracePid int
+	Metrics  *trace.Metrics
 }
 
 func (c *Config) setDefaults() {
@@ -107,6 +116,11 @@ type Network struct {
 	up      *link // device -> AP
 	dns     dnsState
 	stats   Stats
+
+	// Metrics handles, resolved once in New; nil-safe when metrics are off.
+	mSegments   *trace.Counter
+	mAcks       *trace.Counter
+	mCwndResets *trace.Counter
 }
 
 // New builds a network attached to the given device CPU. The softirq thread
@@ -121,6 +135,9 @@ func New(s *sim.Sim, c *cpu.CPU, cfg Config) *Network {
 	if c != nil {
 		n.softirq = c.NewThread("softirq", false)
 	}
+	n.mSegments = cfg.Metrics.Counter("netsim.segments")
+	n.mAcks = cfg.Metrics.Counter("netsim.acks")
+	n.mCwndResets = cfg.Metrics.Counter("netsim.cwnd_resets")
 	return n
 }
 
@@ -201,8 +218,10 @@ const (
 // active at a time; with Config.HTTP2 concurrent requests multiplex as
 // streams sharing the connection's congestion window.
 type Conn struct {
-	net  *Network
-	name string
+	net      *Network
+	name     string
+	tid      int // trace lane, 0 when tracing is off
+	lastCwnd int // last integer cwnd sampled onto the counter track
 
 	established  bool
 	connecting   bool
@@ -240,7 +259,24 @@ type transfer struct {
 
 // NewConn creates an idle connection.
 func (n *Network) NewConn(name string) *Conn {
-	return &Conn{net: n, name: name}
+	c := &Conn{net: n, name: name}
+	if tr := n.cfg.Trace; tr != nil {
+		c.tid = tr.Thread(n.cfg.TracePid, "net:"+name)
+	}
+	return c
+}
+
+// traceCwnd samples the connection's congestion window onto its counter
+// track whenever the integer value changes.
+func (c *Conn) traceCwnd() {
+	tr := c.net.cfg.Trace
+	if tr == nil {
+		return
+	}
+	if w := int(c.cwnd); w != c.lastCwnd {
+		c.lastCwnd = w
+		tr.Counter("netsim", "cwnd:"+c.name, c.net.cfg.TracePid, c.net.s.Now(), float64(w))
+	}
 }
 
 // Connect performs the three-way handshake; fn runs once the connection is
@@ -368,12 +404,17 @@ func (c *Conn) sendSegment(t *transfer, seg units.ByteSize) {
 	if n.cfg.Loss > 0 && n.cfg.RNG.Float64() < n.cfg.Loss {
 		// Lost in the air: recover after an RTO-ish delay with a halved window.
 		n.stats.SegmentsLost++
+		if tr := n.cfg.Trace; tr != nil {
+			tr.Instant("netsim", "tcp-loss", n.cfg.TracePid, c.tid, n.s.Now())
+		}
 		n.s.After(n.cfg.RTT*2+10*time.Millisecond, func() {
 			c.ssthresh = c.cwnd / 2
 			if c.ssthresh < 2 {
 				c.ssthresh = 2
 			}
 			c.cwnd = c.ssthresh
+			n.mCwndResets.Add(1)
+			c.traceCwnd()
 			c.sendSegment(t, seg) // retransmit
 		})
 		return
@@ -388,6 +429,7 @@ func (c *Conn) onSegment(t *transfer, seg units.ByteSize) {
 	n := c.net
 	n.stats.SegmentsDelivered++
 	n.stats.BytesDelivered += int64(seg)
+	n.mSegments.Add(1)
 	c.inflight--
 	if c.cwnd < c.ssthresh {
 		c.cwnd++ // slow start
@@ -397,12 +439,14 @@ func (c *Conn) onSegment(t *transfer, seg units.ByteSize) {
 	if c.cwnd > maxCwnd {
 		c.cwnd = maxCwnd
 	}
+	c.traceCwnd()
 	// Delayed ACK: every other segment (or the last one) costs a tx.
 	c.acksSinceACK++
 	sendAck := c.acksSinceACK >= ackEvery || t.remaining <= seg
 	if sendAck {
 		c.acksSinceACK = 0
 		n.stats.AcksSent++
+		n.mAcks.Add(1)
 		n.txCharge(0, func() {
 			n.up.deliver(0, func() { c.onAck(t) })
 		})
@@ -424,6 +468,11 @@ func (c *Conn) finish(t *transfer) {
 			c.actives = append(c.actives[:i], c.actives[i+1:]...)
 			break
 		}
+	}
+	if tr := c.net.cfg.Trace; tr != nil {
+		tr.Span("netsim", "xfer:"+t.name, c.net.cfg.TracePid, c.tid,
+			t.started, c.net.s.Now(),
+			trace.Arg{Key: "bytes", Val: float64(t.downBytes)})
 	}
 	if t.done != nil {
 		t.done()

@@ -148,6 +148,15 @@ func Run(ctx context.Context, ids []string, cfg experiments.Config, opts Options
 		}
 		if r.Err == nil {
 			r.Table = experiments.MergeTrials(per)
+			if r.Table != nil && r.Table.Metrics != nil {
+				// Wall-clock per cell, observed strictly in cell-index order
+				// (the merge discipline); the values themselves are host
+				// timing, the only non-virtual quantity in the registry.
+				h := r.Table.Metrics.Histogram("runner.cell_wall_ms")
+				for t := 0; t < trials; t++ {
+					h.Observe(float64(took[k*trials+t]) / float64(time.Millisecond))
+				}
+			}
 		}
 		results[k] = r
 	}

@@ -169,3 +169,51 @@ func TestEmptyRun(t *testing.T) {
 		t.Fatalf("empty run: res=%v err=%v", res, err)
 	}
 }
+
+// stripHostTiming drops the registry rows holding wall-clock host timing —
+// the only values legitimately different between otherwise identical runs.
+func stripHostTiming(table string) string {
+	var keep []string
+	for _, line := range strings.Split(table, "\n") {
+		if strings.Contains(line, "runner.cell_wall_ms") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestMetricsMergeParallelDeterminism asserts the merged registry of a
+// multi-trial run is independent of the worker count: trial registries fold
+// strictly in trial order, never completion order.
+func TestMetricsMergeParallelDeterminism(t *testing.T) {
+	cfg := quick()
+	cfg.Trials = 3
+	cfg.Metrics = true
+	ids := []string{"fig3d", "abl-hwdecoder"}
+	seq, err := runner.Run(context.Background(), ids, cfg, runner.Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := runner.Run(context.Background(), ids, cfg, runner.Options{Parallel: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("%s errored: seq=%v par=%v", id, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Table.Metrics == nil || par[i].Table.Metrics == nil {
+			t.Fatalf("%s: missing merged metrics registry", id)
+		}
+		s := stripHostTiming(seq[i].Table.Metrics.Table())
+		p := stripHostTiming(par[i].Table.Metrics.Table())
+		if s != p {
+			t.Errorf("%s: parallel registry differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", id, s, p)
+		}
+		// Wall-clock is still recorded: one observation per cell.
+		if got := seq[i].Table.Metrics.Histogram("runner.cell_wall_ms").Count(); got != int64(cfg.Trials) {
+			t.Errorf("%s: runner.cell_wall_ms count = %d, want %d", id, got, cfg.Trials)
+		}
+	}
+}

@@ -5,6 +5,16 @@
 // whole-system runs reproducible regardless of map iteration or goroutine
 // scheduling. The kernel is single-threaded by design: all model code runs
 // inside event callbacks.
+//
+// # Virtual-time guarantee
+//
+// The kernel never reads the wall clock, and no model code may either: every
+// timestamp observable from inside a simulation (Now, Event.When, the Hook's
+// StepInfo) is virtual time derived purely from the scheduled event sequence.
+// Two runs of the same model at the same seed therefore execute the same
+// events at the same virtual instants, which is what makes whole-run
+// artifacts — tables, metrics registries, exported traces — byte-identical
+// and safe for golden tests.
 package sim
 
 import (
@@ -21,14 +31,35 @@ type Event struct {
 	fn       func()
 	index    int // heap index, -1 when not queued
 	canceled bool
+	fired    bool
 }
 
 // When reports the virtual time at which the event fires (or would have
 // fired, if canceled).
 func (e *Event) When() time.Duration { return e.at }
 
-// Canceled reports whether Cancel was called on the event.
+// Canceled reports whether Cancel removed the event before it fired. A
+// fired event is never canceled (see Cancel).
 func (e *Event) Canceled() bool { return e.canceled }
+
+// Fired reports whether the event's callback has executed. Exactly one of
+// Fired and Canceled becomes true over an event's lifetime; while queued,
+// both are false.
+func (e *Event) Fired() bool { return e.fired }
+
+// StepInfo describes one executed event, as seen by a Hook after the
+// event's callback returned. All times are virtual.
+type StepInfo struct {
+	At        time.Duration // the event's fire time (== Now during the hook)
+	Step      uint64        // 1-based ordinal of the event in this run
+	Scheduled int           // events the callback itself scheduled
+	Pending   int           // queue depth after the callback ran
+}
+
+// Hook observes kernel activity. It runs synchronously after every event
+// callback, so it must not mutate simulation state; scheduling from a hook
+// panics via a re-entrancy guard in Step.
+type Hook func(StepInfo)
 
 // Sim is a discrete-event simulator. The zero value is ready to use.
 type Sim struct {
@@ -37,7 +68,14 @@ type Sim struct {
 	seq     uint64
 	stopped bool
 	steps   uint64
+	pending int // live count of queued, non-canceled events
+	hook    Hook
+	inHook  bool
 }
+
+// SetHook installs (or with nil, removes) the kernel observation hook.
+// When no hook is installed the per-event overhead is a single nil check.
+func (s *Sim) SetHook(h Hook) { s.hook = h }
 
 // New returns a simulator with the clock at zero.
 func New() *Sim { return &Sim{} }
@@ -58,8 +96,12 @@ func (s *Sim) At(t time.Duration, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
+	if s.inHook {
+		panic("sim: scheduling from inside a Hook")
+	}
 	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
 	s.seq++
+	s.pending++
 	heap.Push(&s.queue, e)
 	return e
 }
@@ -69,17 +111,19 @@ func (s *Sim) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
-// Cancel removes an event from the queue. Canceling an already-fired or
-// already-canceled event is a no-op.
+// Cancel removes an event from the queue. Canceling an already-fired event
+// is a no-op that leaves Fired() true and Canceled() false — the callback
+// ran, and pretending otherwise would corrupt any accounting keyed on it.
+// Canceling an already-canceled event is also a no-op.
 func (s *Sim) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		if e != nil {
-			e.canceled = true
-		}
+	if e == nil || e.canceled || e.fired {
 		return
 	}
 	e.canceled = true
-	heap.Remove(&s.queue, e.index)
+	if e.index >= 0 {
+		s.pending--
+		heap.Remove(&s.queue, e.index)
+	}
 }
 
 // Step executes the earliest pending event, advancing the clock to its time.
@@ -90,9 +134,20 @@ func (s *Sim) Step() bool {
 		if e.canceled {
 			continue
 		}
+		s.pending--
+		e.fired = true
 		s.now = e.at
 		s.steps++
+		if s.hook == nil {
+			e.fn()
+			return true
+		}
+		pre := s.seq
 		e.fn()
+		s.inHook = true
+		s.hook(StepInfo{At: e.at, Step: s.steps,
+			Scheduled: int(s.seq - pre), Pending: s.pending})
+		s.inHook = false
 		return true
 	}
 	return false
@@ -125,16 +180,10 @@ func (s *Sim) RunUntil(t time.Duration) {
 // callback completes. Pending events stay queued.
 func (s *Sim) Stop() { s.stopped = true }
 
-// Pending returns the number of queued (non-canceled) events.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of queued (non-canceled) events. The count is
+// maintained live by At/Cancel/Step, so this is O(1) and cheap enough for
+// per-event instrumentation.
+func (s *Sim) Pending() int { return s.pending }
 
 // eventQueue implements heap.Interface ordered by (at, seq).
 type eventQueue []*Event

@@ -243,3 +243,118 @@ func TestStepsCounter(t *testing.T) {
 		t.Fatalf("Steps = %d, want 7", s.Steps())
 	}
 }
+
+func TestCancelAfterFireSemantics(t *testing.T) {
+	s := New()
+	e := s.At(time.Second, func() {})
+	if e.Fired() || e.Canceled() {
+		t.Fatal("fresh event already fired or canceled")
+	}
+	s.Run()
+	if !e.Fired() {
+		t.Fatal("Fired() = false after the event ran")
+	}
+	// Cancel after fire is a no-op: the callback ran, so the event must not
+	// become indistinguishable from one that was removed while queued.
+	s.Cancel(e)
+	if e.Canceled() {
+		t.Fatal("Cancel after fire marked the event canceled")
+	}
+	if !e.Fired() {
+		t.Fatal("Cancel after fire cleared Fired()")
+	}
+}
+
+func TestExactlyOneOfFiredCanceled(t *testing.T) {
+	s := New()
+	fire := s.At(time.Second, func() {})
+	cancel := s.At(2*time.Second, func() {})
+	s.Cancel(cancel)
+	s.Run()
+	if !fire.Fired() || fire.Canceled() {
+		t.Errorf("fired event: Fired=%v Canceled=%v, want true/false", fire.Fired(), fire.Canceled())
+	}
+	if cancel.Fired() || !cancel.Canceled() {
+		t.Errorf("canceled event: Fired=%v Canceled=%v, want false/true", cancel.Fired(), cancel.Canceled())
+	}
+}
+
+// TestPendingLiveCount pins the O(1) Pending counter against every queue
+// mutation: schedule, cancel (queued and already-fired), and step.
+func TestPendingLiveCount(t *testing.T) {
+	s := New()
+	var es []*Event
+	for i := 1; i <= 5; i++ {
+		es = append(es, s.At(time.Duration(i)*time.Second, func() {}))
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", s.Pending())
+	}
+	s.Cancel(es[2])
+	s.Cancel(es[2]) // double cancel must not double-decrement
+	if s.Pending() != 4 {
+		t.Fatalf("pending after cancel = %d, want 4", s.Pending())
+	}
+	s.Step()
+	if s.Pending() != 3 {
+		t.Fatalf("pending after step = %d, want 3", s.Pending())
+	}
+	s.Cancel(es[0]) // already fired: no-op
+	if s.Pending() != 3 {
+		t.Fatalf("pending after cancel-after-fire = %d, want 3", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("pending after run = %d, want 0", s.Pending())
+	}
+}
+
+func TestHookObservesSteps(t *testing.T) {
+	s := New()
+	var infos []StepInfo
+	s.SetHook(func(si StepInfo) { infos = append(infos, si) })
+	s.At(time.Second, func() {
+		s.After(time.Second, func() {})
+		s.After(2*time.Second, func() {})
+	})
+	s.Run()
+	if len(infos) != 3 {
+		t.Fatalf("hook saw %d events, want 3", len(infos))
+	}
+	first := infos[0]
+	if first.At != time.Second || first.Step != 1 || first.Scheduled != 2 || first.Pending != 2 {
+		t.Errorf("first StepInfo = %+v, want At=1s Step=1 Scheduled=2 Pending=2", first)
+	}
+	last := infos[2]
+	if last.Step != 3 || last.Scheduled != 0 || last.Pending != 0 {
+		t.Errorf("last StepInfo = %+v, want Step=3 Scheduled=0 Pending=0", last)
+	}
+}
+
+func TestHookMayNotSchedule(t *testing.T) {
+	s := New()
+	s.SetHook(func(StepInfo) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling from a hook did not panic")
+			}
+		}()
+		s.After(time.Second, func() {})
+	})
+	s.At(time.Second, func() {})
+	s.Run()
+}
+
+func TestSetHookNilRemoves(t *testing.T) {
+	s := New()
+	n := 0
+	s.SetHook(func(StepInfo) { n++ })
+	s.At(time.Second, func() {})
+	s.Step()
+	s.SetHook(nil)
+	s.At(2*time.Second, func() {})
+	s.Run()
+	if n != 1 {
+		t.Fatalf("hook ran %d times, want 1", n)
+	}
+}

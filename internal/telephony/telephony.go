@@ -21,6 +21,7 @@
 package telephony
 
 import (
+	"fmt"
 	"time"
 
 	"mobileqoe/internal/cpu"
@@ -28,6 +29,7 @@ import (
 	"mobileqoe/internal/mem"
 	"mobileqoe/internal/netsim"
 	"mobileqoe/internal/sim"
+	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 )
 
@@ -91,6 +93,14 @@ type Config struct {
 	DisableABR bool
 	// ForceSoftwareCodec disables the hardware codec (ablation).
 	ForceSoftwareCodec bool
+
+	// Trace, when non-nil, receives per-stage setup spans and frame-drop /
+	// ABR instants under category "telephony", attributed to TracePid.
+	// Metrics, when non-nil, accumulates telephony.frames_displayed,
+	// telephony.frames_dropped, and telephony.abr_downswitches.
+	Trace    *trace.Tracer
+	TracePid int
+	Metrics  *trace.Metrics
 }
 
 // CallConfig describes the call.
@@ -129,6 +139,9 @@ func Call(cfg Config, cc CallConfig, done func(Metrics)) {
 		c.factor = cfg.Mem.Slowdown(appWorkingSet)
 	}
 	c.media = cfg.Spec.MediaScale()
+	if cfg.Trace != nil {
+		c.tid = cfg.Trace.Thread(cfg.TracePid, "tele:call")
+	}
 	c.main = cfg.CPU.NewThread("call-main", true)
 	c.tx = cfg.CPU.NewThread("call-tx", false)
 	c.rx = cfg.CPU.NewThread("call-rx", false)
@@ -155,6 +168,16 @@ type call struct {
 	sent, displayed, dropped int
 	windowDisplayed          int
 	finished                 bool
+	tid                      int // trace lane, 0 when tracing is off
+}
+
+// recordDrop accounts one dropped frame on the named pipeline stage.
+func (c *call) recordDrop(stage string) {
+	c.dropped++
+	c.cfg.Metrics.Counter("telephony.frames_dropped").Add(1)
+	if tr := c.cfg.Trace; tr != nil {
+		tr.Instant("telephony", "frame-drop:"+stage, c.cfg.TracePid, c.tid, c.now())
+	}
 }
 
 func (c *call) now() time.Duration { return c.cfg.Sim.Now() }
@@ -164,12 +187,21 @@ func (c *call) now() time.Duration { return c.cfg.Sim.Now() }
 func (c *call) setup(stage int) {
 	if stage >= setupExchanges {
 		c.setupDelay = c.now() - c.started
+		if tr := c.cfg.Trace; tr != nil {
+			tr.Span("telephony", "setup", c.cfg.TracePid, c.tid, c.started, c.now())
+		}
 		c.startMedia()
 		return
 	}
 	per := setupCycles / setupExchanges * c.factor
+	stageStart := c.now()
 	c.main.Exec("signaling", per, func() {
 		c.conn.Request("exchange", setupMsgBytes, setupMsgBytes, serverThink, func() {
+			if tr := c.cfg.Trace; tr != nil {
+				tr.Instant("telephony", fmt.Sprintf("setup-stage:%d", stage),
+					c.cfg.TracePid, c.tid, c.now(),
+					trace.Arg{Key: "seconds", Val: (c.now() - stageStart).Seconds()})
+			}
 			c.setup(stage + 1)
 		})
 	})
@@ -209,7 +241,7 @@ func (c *call) captureLoop() {
 	}
 	c.cfg.Sim.After(c.frameInterval(), func() { c.captureLoop() })
 	if c.tx.QueueLen() >= dropQueueLimit {
-		c.dropped++
+		c.recordDrop("tx")
 		return // encoder back-pressure: skip this capture
 	}
 	scale := c.res().Scale
@@ -241,7 +273,7 @@ func (c *call) peerLoop() {
 	size := units.ByteSize(float64(frameBytesAt720p) * scale)
 	c.cfg.Net.RecvDatagram(size, func() {
 		if c.rx.QueueLen() >= dropQueueLimit {
-			c.dropped++
+			c.recordDrop("rx")
 			return // receive queue overflow: late frame discarded
 		}
 		cycles := (rxFixedCycles + rxScaleCycles*scale) * c.factor * c.media
@@ -253,6 +285,7 @@ func (c *call) peerLoop() {
 				if c.now() < c.mediaEnd+decodeLatency+time.Second {
 					c.displayed++
 					c.windowDisplayed++
+					c.cfg.Metrics.Counter("telephony.frames_displayed").Add(1)
 				}
 			})
 		})
@@ -270,6 +303,11 @@ func (c *call) abrLoop() {
 		c.windowDisplayed = 0
 		if !c.cfg.DisableABR && fps < 0.8*float64(c.cc.TargetFPS) && c.rung < len(Ladder)-1 {
 			c.rung++
+			c.cfg.Metrics.Counter("telephony.abr_downswitches").Add(1)
+			if tr := c.cfg.Trace; tr != nil {
+				tr.Instant("telephony", "abr:"+c.res().Name, c.cfg.TracePid, c.tid, c.now(),
+					trace.Arg{Key: "fps", Val: fps})
+			}
 		}
 		c.abrLoop()
 	})

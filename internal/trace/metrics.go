@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is a registry of named counters and histograms aggregated over one
+// run (one experiment trial). Registries from different trials merge
+// deterministically — Merge is order-insensitive for counters and histogram
+// bounds, and trials are merged in index order regardless of worker count,
+// the same discipline internal/runner uses for tables.
+//
+// A nil *Metrics (and the nil handles it hands out) is the no-op default, so
+// hot paths resolve a handle once and pay a nil check per update. A Metrics
+// is NOT safe for concurrent use: each trial cell owns a private registry.
+type Metrics struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+}
+
+// Counter is a monotonically accumulated sum.
+type Counter struct{ v float64 }
+
+// Add accumulates d (no-op on nil).
+func (c *Counter) Add(d float64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Value returns the accumulated sum.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Histogram summarizes observed values: count, sum, min, max.
+type Histogram struct {
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// Observe records v (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Counter returns (creating if needed) the named counter handle. Resolve
+// once and hold the handle on hot paths. Returns nil on a nil registry.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns (creating if needed) the named histogram handle.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Merge folds o into m: counters add, histograms combine (counts and sums
+// add, bounds widen). A nil o is a no-op.
+func (m *Metrics) Merge(o *Metrics) {
+	if m == nil || o == nil {
+		return
+	}
+	for name, c := range o.counters {
+		m.Counter(name).Add(c.v)
+	}
+	for name, h := range o.hists {
+		if h.n == 0 {
+			continue
+		}
+		d := m.Histogram(name)
+		if d.n == 0 || h.min < d.min {
+			d.min = h.min
+		}
+		if d.n == 0 || h.max > d.max {
+			d.max = h.max
+		}
+		d.n += h.n
+		d.sum += h.sum
+	}
+}
+
+// Names returns every registered metric name, sorted.
+func (m *Metrics) Names() []string {
+	if m == nil {
+		return nil
+	}
+	out := make([]string, 0, len(m.counters)+len(m.hists))
+	for n := range m.counters {
+		out = append(out, n)
+	}
+	for n := range m.hists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table renders the registry as an aligned ASCII table, sorted by metric
+// name, deterministic for a given registry state.
+func (m *Metrics) Table() string {
+	if m == nil {
+		return ""
+	}
+	rows := [][]string{{"metric", "kind", "count", "value/mean", "min", "max"}}
+	for _, name := range m.Names() {
+		if c, ok := m.counters[name]; ok {
+			rows = append(rows, []string{name, "counter", "-", num(c.v), "-", "-"})
+			continue
+		}
+		h := m.hists[name]
+		rows = append(rows, []string{name, "hist",
+			strconv.FormatInt(h.n, 10), num(h.Mean()), num(h.min), num(h.max)})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, r := range rows {
+		for i, cell := range r {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("== metrics ==\n")
+	for ri, r := range rows {
+		for i, cell := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// num renders an aggregate value compactly and platform-stably.
+func num(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

@@ -28,6 +28,7 @@ import (
 	"mobileqoe/internal/mem"
 	"mobileqoe/internal/netsim"
 	"mobileqoe/internal/sim"
+	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 )
 
@@ -79,6 +80,14 @@ type Config struct {
 	// DisablePrefetch caps the read-ahead at one segment (ablation: what
 	// makes streaming different from telephony).
 	DisablePrefetch bool
+
+	// Trace, when non-nil, receives the startup span, a playback-buffer
+	// counter track, and ABR/stall instants under category "video",
+	// attributed to TracePid. Metrics, when non-nil, accumulates
+	// video.stalls, video.stall_seconds, and video.abr_switches.
+	Trace    *trace.Tracer
+	TracePid int
+	Metrics  *trace.Metrics
 }
 
 // StreamConfig describes the clip and player policy.
@@ -127,6 +136,9 @@ func Stream(cfg Config, sc StreamConfig, done func(Metrics)) {
 		ws := appWorkingSet + 2*units.BitRate(p.rung.Bitrate).BytesIn(sc.ReadAhead)
 		p.factor = cfg.Mem.Slowdown(ws)
 	}
+	if cfg.Trace != nil {
+		p.tid = cfg.Trace.Thread(cfg.TracePid, "video:player")
+	}
 	p.main = cfg.CPU.NewThread("player-main", true)
 	p.render = cfg.CPU.NewThread("player-render", true)
 	p.render.SetWeight(8) // compositor runs at real-time priority
@@ -164,6 +176,25 @@ type player struct {
 	stallTime  time.Duration
 	playedTime time.Duration
 	finished   bool
+	tid        int // trace lane, 0 when tracing is off
+}
+
+// traceBuffer samples the playback buffer depth onto its counter track.
+func (p *player) traceBuffer() {
+	if tr := p.cfg.Trace; tr != nil {
+		tr.Counter("video", "buffer_s", p.cfg.TracePid, p.now(), p.bufferedAhead())
+	}
+}
+
+// recordStall accounts one stall interval to the trace and metrics.
+func (p *player) recordStall(d time.Duration) {
+	p.stallTime += d
+	p.cfg.Metrics.Counter("video.stalls").Add(1)
+	p.cfg.Metrics.Counter("video.stall_seconds").Add(d.Seconds())
+	if tr := p.cfg.Trace; tr != nil {
+		tr.Instant("video", "stall", p.cfg.TracePid, p.tid, p.now(),
+			trace.Arg{Key: "seconds", Val: d.Seconds()})
+	}
 }
 
 // pickRung applies the paper's device-specific ABR: YouTube does not serve
@@ -199,6 +230,7 @@ func (p *player) observeThroughput(bytes units.ByteSize, elapsed time.Duration) 
 		p.ewmaMbps = 0.7*p.ewmaMbps + 0.3*mbps
 	}
 	cur := Ladder[p.rungIdx].Bitrate.Mbpsf()
+	prev := p.rungIdx
 	switch {
 	case p.ewmaMbps < cur*1.15 && p.rungIdx > 0:
 		p.rungIdx--
@@ -206,6 +238,13 @@ func (p *player) observeThroughput(bytes units.ByteSize, elapsed time.Duration) 
 		p.rungIdx++
 	}
 	p.rung = Ladder[p.rungIdx]
+	if p.rungIdx != prev {
+		p.cfg.Metrics.Counter("video.abr_switches").Add(1)
+		if tr := p.cfg.Trace; tr != nil {
+			tr.Instant("video", "abr:"+p.rung.Name, p.cfg.TracePid, p.tid, p.now(),
+				trace.Arg{Key: "est_mbps", Val: p.ewmaMbps})
+		}
+	}
 }
 
 func (p *player) now() time.Duration { return p.cfg.Sim.Now() }
@@ -284,6 +323,7 @@ func (p *player) demux(idx int) {
 				if p.readySeconds > p.sc.Duration.Seconds() {
 					p.readySeconds = p.sc.Duration.Seconds()
 				}
+				p.traceBuffer()
 				p.maybeDisplay()
 				p.pump()
 			})
@@ -298,6 +338,9 @@ func (p *player) maybeDisplay() {
 		return
 	}
 	p.startupAt = p.now() // first frame hits the screen now
+	if tr := p.cfg.Trace; tr != nil {
+		tr.Span("video", "startup", p.cfg.TracePid, p.tid, p.started, p.startupAt)
+	}
 	p.displayBatch()
 }
 
@@ -317,7 +360,7 @@ func (p *player) displayBatch() {
 		// Underrun: wait for the next segment to become ready.
 		waitStart := p.now()
 		p.waitForBuffer(batch, func() {
-			p.stallTime += p.now() - waitStart
+			p.recordStall(p.now() - waitStart)
 			p.renderAndPlay(batch)
 		})
 		return
@@ -346,11 +389,12 @@ func (p *player) renderAndPlay(batch float64) {
 		if renderTime > batch {
 			// Missed the deadline: frames were repeated while compositing
 			// lagged; the overrun is perceived as a stall.
-			p.stallTime += time.Duration((renderTime - batch) * float64(time.Second))
+			p.recordStall(time.Duration((renderTime - batch) * float64(time.Second)))
 			display = renderTime
 		}
 		p.playhead += batch
 		p.playedTime += time.Duration(batch * float64(time.Second))
+		p.traceBuffer()
 		p.pump()
 		p.cfg.Sim.After(time.Duration((display-renderTime)*float64(time.Second)), func() {
 			p.displayBatch()

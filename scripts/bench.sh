@@ -1,0 +1,38 @@
+#!/bin/sh
+# scripts/bench.sh — run the benchmark harness and archive the results as
+# machine-readable JSON, one file per day:
+#
+#	scripts/bench.sh                  # full suite -> BENCH_<yyyy-mm-dd>.json
+#	scripts/bench.sh Fig3a            # only benchmarks matching a pattern
+#	BENCH_COUNT=5 scripts/bench.sh    # more repetitions per benchmark
+#
+# Each output line is one JSON object: {"name", "iters", "ns_op", "b_op",
+# "allocs_op"}. Compare two archives with e.g.
+#
+#	join <(jq -r '[.name,.ns_op]|@tsv' BENCH_A.json | sort) \
+#	     <(jq -r '[.name,.ns_op]|@tsv' BENCH_B.json | sort)
+set -eu
+
+pattern="${1:-.}"
+count="${BENCH_COUNT:-1}"
+out="BENCH_$(date +%Y-%m-%d).json"
+
+cd "$(dirname "$0")/.."
+
+go test -run '^$' -bench "$pattern" -benchmem -count "$count" . |
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+			printf "{\"name\":\"%s\",\"iters\":%s,\"ns_op\":%s,\"b_op\":%s,\"allocs_op\":%s}\n",
+				name, $2, $3, $5, $7
+		}
+	' >"$out"
+
+n=$(wc -l <"$out")
+if [ "$n" -eq 0 ]; then
+	echo "bench.sh: no benchmarks matched '$pattern'" >&2
+	rm -f "$out"
+	exit 1
+fi
+echo "wrote $n benchmark results to $out"
