@@ -21,6 +21,7 @@ import (
 	"mobileqoe/internal/browser"
 	"mobileqoe/internal/core"
 	"mobileqoe/internal/device"
+	"mobileqoe/internal/profile"
 	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 	"mobileqoe/internal/webpage"
@@ -38,6 +39,8 @@ func main() {
 		waterfall = flag.Bool("waterfall", false, "print the full activity waterfall")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the load to this file")
 		timeline  = flag.Bool("timeline", false, "print an ASCII timeline of the trace (implies tracing)")
+		prof      = flag.Bool("profile", false, "print an aggregated virtual-time profile of the load (implies tracing)")
+		folded    = flag.String("folded", "", "write folded stacks (flamegraph.pl / speedscope) of the load to this file (implies tracing)")
 	)
 	flag.Parse()
 
@@ -63,7 +66,7 @@ func main() {
 		page.Name, page.Category, len(page.Resources), page.TotalBytes(), spec)
 
 	var tr *trace.Tracer
-	if *traceOut != "" || *timeline {
+	if *traceOut != "" || *timeline || *prof || *folded != "" {
 		tr = trace.New()
 		opts = append(opts, core.WithTrace(tr))
 	}
@@ -112,6 +115,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pageload:", err)
 			os.Exit(1)
 		}
+	}
+	if *prof {
+		fmt.Println()
+		fmt.Print(profile.FromTracer(tr).Table(30))
+	}
+	if *folded != "" {
+		f, err := os.Create(*folded)
+		if err == nil {
+			err = profile.FromTracer(tr).WriteFolded(f, profile.WeightTime)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pageload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote folded stacks to %s\n", *folded)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

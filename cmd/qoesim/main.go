@@ -10,9 +10,21 @@
 //	qoesim -run fig2a -csv           # machine-readable output
 //	qoesim -run fig3a -pages 12 -seed 7
 //	qoesim -run all -trials 20 -parallel 8   # paper-style replicated trials
+//	qoesim -run fig3a -trace out.json            # one combined trace file
+//	qoesim -run fig3a -trials 4 -parallel 4 -trace out.json  # per-trial files
+//	qoesim -run fig3a -profile -folded out.folded            # profile the run
+//	qoesim -run all -checktrace                  # trace invariant check
 //
 // Tables go to stdout; progress and timing go to stderr, so table output is
 // byte-identical for a given seed regardless of -parallel.
+//
+// Tracing and -parallel compose as follows: with -parallel 1 (the default
+// once -trace is given) the whole run shares one tracer and -trace writes a
+// single combined file. With an explicit -parallel > 1 every (experiment,
+// trial) cell gets its own tracer, and -trace <out>.json writes one file per
+// cell: <out>.trial<N>.json for a single experiment, <out>.<id>.trial<N>.json
+// when several experiments ran. Per-cell traces are byte-identical to a
+// sequential run's, because each cell owns its tracer.
 package main
 
 import (
@@ -21,10 +33,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"mobileqoe/internal/experiments"
+	"mobileqoe/internal/profile"
 	"mobileqoe/internal/runner"
 	"mobileqoe/internal/trace"
 )
@@ -42,7 +57,62 @@ func writeTrace(path string, tr *trace.Tracer) error {
 	return f.Close()
 }
 
-func main() {
+// traceSink hands a fresh tracer to every (experiment, trial) cell, so a
+// parallel run's per-trial traces match a sequential run's byte for byte.
+type traceSink struct {
+	mu      sync.Mutex
+	tracers map[string]map[int]*trace.Tracer
+}
+
+func newTraceSink() *traceSink {
+	return &traceSink{tracers: map[string]map[int]*trace.Tracer{}}
+}
+
+func (s *traceSink) factory(id string, trial int) *trace.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr := trace.New()
+	if s.tracers[id] == nil {
+		s.tracers[id] = map[int]*trace.Tracer{}
+	}
+	s.tracers[id][trial] = tr
+	return tr
+}
+
+// writeAll writes one file per cell. Naming: <stem>.trial<N><ext> for a
+// single experiment, <stem>.<id>.trial<N><ext> when several ran; stem/ext
+// split the -trace argument at its last dot (no dot: ext ".json").
+func (s *traceSink) writeAll(out string, ids []string, trials int) error {
+	stem, ext := out, ".json"
+	if i := strings.LastIndexByte(out, '.'); i > strings.LastIndexByte(out, '/') {
+		stem, ext = out[:i], out[i:]
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		for t := 0; t < trials; t++ {
+			tr := s.tracers[id][t]
+			if tr == nil {
+				continue // cell failed or was never scheduled
+			}
+			path := fmt.Sprintf("%s.trial%d%s", stem, t, ext)
+			if len(ids) > 1 {
+				path = fmt.Sprintf("%s.%s.trial%d%s", stem, id, t, ext)
+			}
+			if err := writeTrace(path, tr); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "qoesim: wrote %d trace events to %s\n", tr.Len(), path)
+		}
+	}
+	return nil
+}
+
+// main defers to realMain so deferred profile writers (pprof) run before the
+// process exits.
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
 		report   = flag.String("report", "", "run everything and write a markdown report to this file")
@@ -56,20 +126,64 @@ func main() {
 		trials   = flag.Int("trials", 0, "independent trials per experiment (default 1); >1 merges mean/p50/ci95 columns")
 		parallel = flag.Int("parallel", 0, "worker goroutines for -run (default GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "abort -run after this wall-clock duration (0 = no limit)")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (forces -parallel 1)")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (per-trial files when -parallel > 1; see package doc)")
 		metrics  = flag.Bool("metrics", false, "print the run's metrics registry after each table")
+		profOut  = flag.Bool("profile", false, "print an aggregated virtual-time profile of the traced run (implies tracing; forces -parallel 1)")
+		folded   = flag.String("folded", "", "write folded stacks (flamegraph.pl / speedscope) of the traced run to this file (implies tracing; forces -parallel 1)")
+		weight   = flag.String("weight", "time", "folded-stack weight: 'time' (self virtual µs) or 'cycles'")
+		check    = flag.Bool("checktrace", false, "run the trace invariant checker over the run (implies tracing and metrics; forces -parallel 1; violations exit nonzero)")
+		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile of the qoesim process to this file")
+		memProf  = flag.String("memprofile", "", "write a Go heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-16s %s\n", id, experiments.Describe(id))
 		}
-		return
+		return 0
 	}
 	if *run == "" && *report == "" {
 		fmt.Fprintln(os.Stderr, "qoesim: use -list to see experiments, -run <id> to execute one, or -report <file>")
-		os.Exit(2)
+		return 2
+	}
+	var by profile.Weight
+	switch *weight {
+	case "time":
+		by = profile.WeightTime
+	case "cycles":
+		by = profile.WeightCycles
+	default:
+		fmt.Fprintf(os.Stderr, "qoesim: -weight must be 'time' or 'cycles', got %q\n", *weight)
+		return 2
 	}
 
 	cfg := experiments.Config{Seed: *seed, Pages: *pages, ClipDuration: *clip, CallDuration: *call}
@@ -79,16 +193,37 @@ func main() {
 	}
 	cfg.Trials = *trials
 	cfg.Metrics = *metrics
+	if *check {
+		// The checker cross-validates the trace against the metrics registry,
+		// so it needs both channels on.
+		cfg.Metrics = true
+	}
+
+	// Trace wiring. Analysis flags (-profile/-folded/-checktrace) consume the
+	// whole run as one trace, so they run the cells sequentially on a shared
+	// tracer; plain -trace does too unless the user explicitly asked for
+	// -parallel > 1, in which case each cell gets its own tracer and its own
+	// output file (see traceSink.writeAll for the naming scheme).
+	analyze := *profOut || *folded != "" || *check
 	var tracer *trace.Tracer
-	if *traceOut != "" {
+	var sink *traceSink
+	switch {
+	case analyze:
+		if *parallel > 1 {
+			fmt.Fprintln(os.Stderr, "qoesim: -profile/-folded/-checktrace force -parallel 1 for one combined deterministic trace")
+		}
+		*parallel = 1
 		tracer = trace.New()
 		cfg.Trace = tracer
+	case *traceOut != "" && *parallel > 1:
+		sink = newTraceSink()
+		cfg.TraceFactory = sink.factory
+	case *traceOut != "":
 		// Concurrent cells interleave span emission nondeterministically;
-		// byte-identical traces need the cells run one at a time.
-		if *parallel != 1 {
-			fmt.Fprintln(os.Stderr, "qoesim: -trace forces -parallel 1 for a deterministic trace")
-			*parallel = 1
-		}
+		// one combined byte-identical trace needs the cells run one at a time.
+		*parallel = 1
+		tracer = trace.New()
+		cfg.Trace = tracer
 	}
 	// A zero passed explicitly on the command line means "really zero", not
 	// "use the default"; map those flags to the Config sentinels.
@@ -112,11 +247,11 @@ func main() {
 	if *report != "" {
 		if err := writeReport(*report, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *report)
 		if *run == "" {
-			return
+			return 0
 		}
 	}
 
@@ -148,7 +283,7 @@ func main() {
 		runner.Options{Parallel: *parallel, Timeout: *timeout, Progress: progress})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	exit := 0
 	for _, r := range results {
@@ -168,20 +303,76 @@ func main() {
 			fmt.Println()
 		}
 	}
-	if tracer != nil {
+	if tracer != nil && *traceOut != "" {
 		if err := writeTrace(*traceOut, tracer); err != nil {
 			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "qoesim: wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+	}
+	if sink != nil {
+		if err := sink.writeAll(*traceOut, ids, norm.Trials); err != nil {
+			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+			return 1
+		}
+	}
+	if analyze {
+		if code := analyzeTrace(tracer, results, *profOut, *folded, by, *check); code != 0 {
+			exit = code
+		}
 	}
 	if totalCells > 1 {
 		fmt.Fprintf(os.Stderr, "qoesim: %d experiments × %d trials on %d workers in %v\n",
 			len(ids), norm.Trials, workers, time.Since(start).Round(time.Millisecond))
 	}
-	if exit != 0 {
-		os.Exit(exit)
+	return exit
+}
+
+// analyzeTrace runs the post-run trace consumers: the aggregated profile
+// table, the folded-stack export, and the invariant checker (cross-checking
+// the trace against every result's metrics registry merged together).
+// Returns a nonzero exit code when the checker found violations.
+func analyzeTrace(tracer *trace.Tracer, results []runner.Result,
+	printProfile bool, foldedPath string, by profile.Weight, check bool) int {
+	events := tracer.Events()
+	if printProfile {
+		fmt.Print(profile.FromEvents(events).Table(30))
+		fmt.Println()
 	}
+	if foldedPath != "" {
+		f, err := os.Create(foldedPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+			return 1
+		}
+		err = profile.FromEvents(events).WriteFolded(f, by)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "qoesim: wrote folded stacks to %s\n", foldedPath)
+	}
+	if check {
+		merged := trace.NewMetrics()
+		for _, r := range results {
+			if r.Table != nil && r.Table.Metrics != nil {
+				merged.Merge(r.Table.Metrics)
+			}
+		}
+		violations := profile.Check(events, merged)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "qoesim: invariant violation: %s\n", v)
+		}
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "qoesim: %d invariant violations\n", len(violations))
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "qoesim: trace invariants ok (%d events checked)\n", len(events))
+	}
+	return 0
 }
 
 // writeReport regenerates every artifact and renders a single markdown

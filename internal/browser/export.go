@@ -78,7 +78,23 @@ func (r Result) WriteJSON(w io.Writer) error {
 // lane, image decodes on "browser:raster", fetches on "browser:net", plus a
 // "load-event" instant at PLT. Activities are already complete when this
 // runs, so the load itself pays no tracing cost. A nil tracer is a no-op.
+//
+// Note the replayed spans cover [exec request, completion], so they include
+// queueing behind other work on the same simulated thread — which is why
+// spans on browser:* lanes may legitimately overlap (the trace invariant
+// checker exempts them from the serialization rule).
 func (r Result) EmitTrace(tr *trace.Tracer, pid int) {
+	r.EmitTraceWith(tr, pid, nil)
+}
+
+// EmitTraceWith is EmitTrace plus per-activity critical-path attribution:
+// critMs maps activity IDs to their critical-path segment in milliseconds
+// (see wprof.PathStats.Segments), emitted as a "crit_ms" span annotation.
+// Because segments telescope, the crit_ms values of one load sum exactly to
+// its PLT — the property the differential trace profiler relies on to
+// attribute an ePLT gap activity by activity. A nil critMs emits no
+// annotations.
+func (r Result) EmitTraceWith(tr *trace.Tracer, pid int, critMs map[int]float64) {
 	if tr == nil || len(r.Activities) == 0 {
 		return
 	}
@@ -99,6 +115,9 @@ func (r Result) EmitTrace(tr *trace.Tracer, pid int) {
 		}
 		if a.Bytes > 0 {
 			args = append(args, trace.Arg{Key: "bytes", Val: float64(a.Bytes)})
+		}
+		if c, ok := critMs[a.ID]; ok {
+			args = append(args, trace.Arg{Key: "crit_ms", Val: c})
 		}
 		tr.Span("browser", a.Name, pid, tid, a.Start, a.End, args...)
 	}

@@ -284,7 +284,17 @@ func (sys *System) LoadPage(page *webpage.Page) browser.Result {
 			sys.CPU.Stop()
 		})
 	sys.run(30*time.Minute, &done)
-	res.EmitTrace(sys.opts.tr, sys.pid)
+	if sys.opts.tr != nil {
+		// Annotate the replayed waterfall with each activity's critical-path
+		// segment so trace consumers (internal/profile, tracediff) can
+		// attribute PLT — and PLT deltas between devices — span by span.
+		st := wprof.FromResult(res).CriticalPath()
+		critMs := make(map[int]float64, len(st.Segments))
+		for _, seg := range st.Segments {
+			critMs[seg.NodeID] = float64(seg.Dur) / 1e6
+		}
+		res.EmitTraceWith(sys.opts.tr, sys.pid, critMs)
+	}
 	sys.opts.metrics.Histogram("browser.plt_ms").Observe(float64(res.PLT) / 1e6)
 	return res
 }

@@ -37,6 +37,16 @@ type Config struct {
 	// so byte-identical traces require running the cells sequentially.
 	Trace *trace.Tracer
 
+	// TraceFactory, when non-nil, overrides Trace with a fresh tracer per
+	// (experiment, trial) cell: RunTrial calls it once at the start of each
+	// trial and attaches the returned tracer (nil disables tracing for that
+	// cell). Because every cell writes its own tracer, parallel multi-trial
+	// runs produce the same per-trial traces as sequential ones — this is how
+	// qoesim -trace -parallel N writes byte-identical out.trial<N>.json files.
+	// The factory is called from worker goroutines and must be safe for
+	// concurrent use.
+	TraceFactory func(id string, trial int) *trace.Tracer
+
 	// Metrics enables the per-trial metrics registry: each trial accumulates
 	// counters/histograms into a fresh registry attached to its Table (see
 	// Table.Metrics), and MergeTrials folds them together in trial order.
@@ -236,6 +246,9 @@ func RunTrial(id string, cfg Config, trial int) (*Table, error) {
 		c.Seed = TrialSeed(c.Seed, trial)
 	}
 	c.Trials = 1
+	if c.TraceFactory != nil {
+		c.Trace = c.TraceFactory(id, trial)
+	}
 	if c.Metrics {
 		c.reg = trace.NewMetrics()
 	}

@@ -1,0 +1,249 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mobileqoe/internal/trace"
+)
+
+// Rule-driven trace invariant checker. A Rule asserts one property over a
+// whole trace (and optionally the run's metrics registry); Check runs a
+// rule set and collects violations. The default rules encode what the
+// simulation guarantees by construction, so a violation is a simulator bug,
+// not a workload property — they run green over every experiment in the
+// suite and are cheap enough to run from tests and the CLI after any run.
+
+// Violation is one invariant failure.
+type Violation struct {
+	Rule   string
+	Detail string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// Rule checks one invariant over a trace.
+type Rule interface {
+	// Name labels violations.
+	Name() string
+	// Check returns all violations found in the context.
+	Check(c *Context) []Violation
+}
+
+// Context is the prepared input rules run against.
+type Context struct {
+	Events []trace.Event
+	// Metrics is the run's registry; nil when the trace was re-imported
+	// from a file (rules needing it must then skip).
+	Metrics *trace.Metrics
+
+	lanes     map[laneKey][]trace.Event // spans per lane, sorted by start
+	laneNames map[laneKey]string
+	laneOrder []laneKey
+}
+
+// laneName returns the display name of a lane ("tid N" when unnamed).
+func (c *Context) laneName(k laneKey) string {
+	if n := c.laneNames[k]; n != "" {
+		return n
+	}
+	return fmt.Sprintf("pid %d tid %d", k.pid, k.tid)
+}
+
+// newContext indexes the events once for all rules.
+func newContext(events []trace.Event, m *trace.Metrics) *Context {
+	c := &Context{Events: events, Metrics: m,
+		lanes: map[laneKey][]trace.Event{}, laneNames: map[laneKey]string{}}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindMeta:
+			if e.Name == "thread_name" {
+				c.laneNames[laneKey{e.Pid, e.Tid}] = e.Meta
+			}
+		case trace.KindSpan:
+			k := laneKey{e.Pid, e.Tid}
+			if _, ok := c.lanes[k]; !ok {
+				c.laneOrder = append(c.laneOrder, k)
+			}
+			c.lanes[k] = append(c.lanes[k], e)
+		}
+	}
+	for _, k := range c.laneOrder {
+		spans := c.lanes[k]
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].Ts != spans[j].Ts {
+				return spans[i].Ts < spans[j].Ts
+			}
+			return spans[i].End() > spans[j].End()
+		})
+	}
+	return c
+}
+
+// Check runs the rules (DefaultRules when none are given) over the trace
+// and returns every violation, in rule order.
+func Check(events []trace.Event, m *trace.Metrics, rules ...Rule) []Violation {
+	if len(rules) == 0 {
+		rules = DefaultRules()
+	}
+	c := newContext(events, m)
+	var out []Violation
+	for _, r := range rules {
+		out = append(out, r.Check(c)...)
+	}
+	return out
+}
+
+// DefaultRules returns the standard invariant set:
+//
+//   - SpansNest on execution lanes (cpu:*, sim.kernel, video:player,
+//     tele:call); browser:*, net:* and dsp:* lanes are exempt because their
+//     spans include queueing or multiplexed transfer time and legitimately
+//     overlap.
+//   - SpanBounds everywhere (no negative durations or timestamps).
+//   - NonNegativeCounter for the video buffer ("buffer_s" never dips below
+//     zero — the player must stall instead of playing unbuffered content).
+//   - StallsMatchMetrics (stall instants in the trace equal the metrics
+//     registry's video.stalls counter).
+func DefaultRules() []Rule {
+	return []Rule{
+		SpansNest{Exempt: DefaultOverlapExempt},
+		SpanBounds{},
+		NonNegativeCounter{Counter: "buffer_s", Eps: 1e-9},
+		StallsMatchMetrics{},
+	}
+}
+
+// DefaultOverlapExempt reports lanes whose spans legitimately overlap:
+// replayed browser waterfall lanes (span = request→completion, includes
+// main-thread queueing), per-connection transfer lanes (HTTP/2 multiplexes
+// transfers on one connection), and the DSP lane (FastRPC spans include
+// queue time behind the single offload engine).
+func DefaultOverlapExempt(lane string) bool {
+	return strings.HasPrefix(lane, "browser:") ||
+		strings.HasPrefix(lane, "net:") ||
+		strings.HasPrefix(lane, "dsp:")
+}
+
+// SpansNest asserts that spans on each lane either nest (one fully inside
+// the other) or are disjoint — never partially overlapping. On execution
+// lanes this is the serialization guarantee: a simulated thread runs one
+// task at a time.
+type SpansNest struct {
+	// Exempt skips lanes whose spans include queue/multiplex time. Nil
+	// checks every lane.
+	Exempt func(lane string) bool
+}
+
+// Name implements Rule.
+func (SpansNest) Name() string { return "spans-nest" }
+
+// Check implements Rule.
+func (r SpansNest) Check(c *Context) []Violation {
+	var out []Violation
+	for _, k := range c.laneOrder {
+		lane := c.laneName(k)
+		if r.Exempt != nil && r.Exempt(lane) {
+			continue
+		}
+		var stack []trace.Event
+		for _, s := range c.lanes[k] {
+			for len(stack) > 0 && stack[len(stack)-1].End() <= s.Ts {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && stack[len(stack)-1].End() < s.End() {
+				top := stack[len(stack)-1]
+				out = append(out, Violation{r.Name(), fmt.Sprintf(
+					"lane %q: span %q [%v,%v] partially overlaps %q [%v,%v]",
+					lane, s.Name, s.Ts, s.End(), top.Name, top.Ts, top.End())})
+				stack = stack[:len(stack)-1] // resynchronize
+			}
+			stack = append(stack, s)
+		}
+	}
+	return out
+}
+
+// SpanBounds asserts every event has a non-negative timestamp and duration.
+type SpanBounds struct{}
+
+// Name implements Rule.
+func (SpanBounds) Name() string { return "span-bounds" }
+
+// Check implements Rule.
+func (r SpanBounds) Check(c *Context) []Violation {
+	var out []Violation
+	for _, e := range c.Events {
+		if e.Kind == trace.KindMeta {
+			continue
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			out = append(out, Violation{r.Name(), fmt.Sprintf(
+				"event %q (cat %s): ts %v dur %v", e.Name, e.Cat, e.Ts, e.Dur)})
+		}
+	}
+	return out
+}
+
+// NonNegativeCounter asserts every sample of the named counter series stays
+// at or above zero (within Eps).
+type NonNegativeCounter struct {
+	Counter string  // counter event name (e.g. "buffer_s")
+	Eps     float64 // tolerance for float accumulation error
+}
+
+// Name implements Rule.
+func (r NonNegativeCounter) Name() string { return "counter-nonneg:" + r.Counter }
+
+// Check implements Rule.
+func (r NonNegativeCounter) Check(c *Context) []Violation {
+	var out []Violation
+	for _, e := range c.Events {
+		if e.Kind != trace.KindCounter || e.Name != r.Counter {
+			continue
+		}
+		if v := argVal(e, "value"); v < -r.Eps {
+			out = append(out, Violation{r.Name(), fmt.Sprintf(
+				"at %v: value %g < 0", e.Ts, v)})
+		}
+	}
+	return out
+}
+
+// StallsMatchMetrics cross-checks the two observability channels: the
+// number of "stall" instants in the trace (category "video") must equal the
+// metrics registry's video.stalls counter, since both are emitted from the
+// same player event. Skipped when no registry is attached or when neither
+// channel saw any video activity.
+type StallsMatchMetrics struct{}
+
+// Name implements Rule.
+func (StallsMatchMetrics) Name() string { return "stalls-match-metrics" }
+
+// Check implements Rule.
+func (r StallsMatchMetrics) Check(c *Context) []Violation {
+	if c.Metrics == nil {
+		return nil
+	}
+	instants := 0
+	videoSeen := false
+	for _, e := range c.Events {
+		if e.Cat != "video" {
+			continue
+		}
+		videoSeen = true
+		if e.Kind == trace.KindInstant && e.Name == "stall" {
+			instants++
+		}
+	}
+	if !videoSeen {
+		return nil
+	}
+	want := c.Metrics.Counter("video.stalls").Value()
+	if float64(instants) != want {
+		return []Violation{{r.Name(), fmt.Sprintf(
+			"%d stall instants in trace, video.stalls counter = %g", instants, want)}}
+	}
+	return nil
+}

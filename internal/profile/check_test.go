@@ -1,0 +1,104 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mobileqoe/internal/trace"
+)
+
+func msec(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSpansNestAcceptsNestingAndTouching(t *testing.T) {
+	tr := trace.New()
+	pid := tr.Process("dev")
+	tid := tr.Thread(pid, "cpu:main")
+	tr.Span("c", "outer", pid, tid, msec(0), msec(50))
+	tr.Span("c", "inner", pid, tid, msec(10), msec(20))
+	tr.Span("c", "next", pid, tid, msec(50), msec(70)) // touches outer's end
+	if v := Check(tr.Events(), nil, SpansNest{}); len(v) != 0 {
+		t.Errorf("clean lane reported violations: %v", v)
+	}
+}
+
+func TestSpansNestFlagsPartialOverlap(t *testing.T) {
+	tr := trace.New()
+	pid := tr.Process("dev")
+	tid := tr.Thread(pid, "cpu:main")
+	tr.Span("c", "a", pid, tid, msec(0), msec(50))
+	tr.Span("c", "b", pid, tid, msec(30), msec(80))
+	v := Check(tr.Events(), nil, SpansNest{})
+	if len(v) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(v), v)
+	}
+	if !strings.Contains(v[0].Detail, "partially overlaps") {
+		t.Errorf("unexpected detail: %s", v[0].Detail)
+	}
+}
+
+func TestSpansNestExemptLanes(t *testing.T) {
+	tr := trace.New()
+	pid := tr.Process("dev")
+	net := tr.Thread(pid, "net:example.com#0")
+	tr.Span("netsim", "xfer:a", pid, net, msec(0), msec(50))
+	tr.Span("netsim", "xfer:b", pid, net, msec(30), msec(80))
+	if v := Check(tr.Events(), nil, SpansNest{Exempt: DefaultOverlapExempt}); len(v) != 0 {
+		t.Errorf("exempt lane reported violations: %v", v)
+	}
+	// Without the exemption the same lane fails, proving the rule looked.
+	if v := Check(tr.Events(), nil, SpansNest{}); len(v) == 0 {
+		t.Error("overlap not detected when exemption removed")
+	}
+}
+
+func TestNonNegativeCounter(t *testing.T) {
+	tr := trace.New()
+	pid := tr.Process("dev")
+	tr.Counter("video", "buffer_s", pid, msec(1), 4.5)
+	tr.Counter("video", "buffer_s", pid, msec(2), 0)
+	if v := Check(tr.Events(), nil, NonNegativeCounter{Counter: "buffer_s"}); len(v) != 0 {
+		t.Errorf("non-negative series flagged: %v", v)
+	}
+	tr.Counter("video", "buffer_s", pid, msec(3), -0.25)
+	v := Check(tr.Events(), nil, NonNegativeCounter{Counter: "buffer_s"})
+	if len(v) != 1 {
+		t.Fatalf("got %d violations, want 1: %v", len(v), v)
+	}
+}
+
+func TestStallsMatchMetrics(t *testing.T) {
+	tr := trace.New()
+	pid := tr.Process("dev")
+	tid := tr.Thread(pid, "video:player")
+	tr.Instant("video", "stall", pid, tid, msec(5))
+	tr.Instant("video", "stall", pid, tid, msec(9))
+	m := trace.NewMetrics()
+	m.Counter("video.stalls").Add(2)
+	if v := Check(tr.Events(), m, StallsMatchMetrics{}); len(v) != 0 {
+		t.Errorf("matching stalls flagged: %v", v)
+	}
+	m.Counter("video.stalls").Add(1) // now 3 vs 2 instants
+	if v := Check(tr.Events(), m, StallsMatchMetrics{}); len(v) != 1 {
+		t.Errorf("mismatch not flagged: %v", v)
+	}
+	// Without a registry the rule skips rather than guessing.
+	if v := Check(tr.Events(), nil, StallsMatchMetrics{}); len(v) != 0 {
+		t.Errorf("nil registry flagged: %v", v)
+	}
+}
+
+func TestSpanBounds(t *testing.T) {
+	// The Tracer clamps end < start itself, so build the event directly.
+	events := []trace.Event{{Kind: trace.KindSpan, Cat: "c", Name: "bad",
+		Ts: -time.Millisecond}}
+	if v := Check(events, nil, SpanBounds{}); len(v) != 1 {
+		t.Errorf("negative ts not flagged: %v", v)
+	}
+}
+
+func TestDefaultRulesOnCleanScenario(t *testing.T) {
+	if v := Check(nestedScenario().Events(), nil); len(v) != 0 {
+		t.Errorf("default rules flagged a clean trace: %v", v)
+	}
+}

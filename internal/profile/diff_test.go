@@ -1,0 +1,126 @@
+package profile_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mobileqoe/internal/core"
+	"mobileqoe/internal/device"
+	"mobileqoe/internal/profile"
+	"mobileqoe/internal/trace"
+	"mobileqoe/internal/webpage"
+)
+
+// loadProfile runs one traced page load of the seeded page on the device and
+// returns its profile. Same seed on two devices replays the same activities,
+// which is what makes the differential profile align span-by-span.
+func loadProfile(spec device.Spec, seed uint64) *profile.Profile {
+	tr := trace.New()
+	sys := core.NewObservedSystem(tr, nil, spec)
+	sys.LoadPage(webpage.Generate("news-diff.example", webpage.News, seed))
+	return profile.FromTracer(tr)
+}
+
+func deviceDiff(t *testing.T, seed uint64) *profile.Diff {
+	t.Helper()
+	fast := loadProfile(device.Pixel2(), seed)
+	slow := loadProfile(device.IntexAmaze(), seed)
+	return profile.Compare(fast, slow)
+}
+
+func TestDiffDeterministicByteIdentical(t *testing.T) {
+	var first string
+	for i := 0; i < 3; i++ {
+		d := deviceDiff(t, 42)
+		var buf bytes.Buffer
+		if err := d.WriteTable(&buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+			continue
+		}
+		if buf.String() != first {
+			t.Fatalf("run %d diff table differs from run 0:\n%s\n--- vs ---\n%s",
+				i, buf.String(), first)
+		}
+	}
+	if !strings.Contains(first, "tracediff: ePLT delta") {
+		t.Errorf("diff table missing header:\n%s", first)
+	}
+}
+
+func TestDiffDeltasSumToEPLTGap(t *testing.T) {
+	for _, seed := range []uint64{7, 42, 1512} {
+		d := deviceDiff(t, seed)
+		if d.EPLTDeltaMs() <= 0 {
+			t.Errorf("seed %d: slow device not slower: ePLT A %.3f B %.3f",
+				seed, d.EPLTmsA, d.EPLTmsB)
+		}
+		var sum float64
+		for _, e := range d.Entries {
+			sum += e.DCrit()
+		}
+		// Per-activity critical-path deltas attribute the whole ePLT gap:
+		// segments telescope to PLT on each side, so the sums reconcile up
+		// to float accumulation error.
+		if diff := math.Abs(sum - d.EPLTDeltaMs()); diff > 1e-6 {
+			t.Errorf("seed %d: summed DCrit %.9f ms vs ePLT delta %.9f ms (|diff| %g)",
+				seed, sum, d.EPLTDeltaMs(), diff)
+		}
+		if diff := math.Abs(d.CritDeltaMs() - sum); diff > 1e-9 {
+			t.Errorf("seed %d: network+compute split %.9f != summed deltas %.9f",
+				seed, d.CritDeltaMs(), sum)
+		}
+	}
+}
+
+func TestDiffEntriesAlignAcrossDevices(t *testing.T) {
+	d := deviceDiff(t, 42)
+	aligned := 0
+	for _, e := range d.Entries {
+		if !strings.HasPrefix(e.Lane, "browser:") {
+			continue // kernel/cpu lanes batch differently per device
+		}
+		if e.CountA == 0 || e.CountB == 0 {
+			t.Errorf("browser entry %s/%s present on only one device (A %d, B %d)",
+				e.Lane, e.Name, e.CountA, e.CountB)
+			continue
+		}
+		aligned++
+		if e.CountA != e.CountB {
+			t.Errorf("entry %s/%s: count A %d != count B %d (same seed must replay same activities)",
+				e.Lane, e.Name, e.CountA, e.CountB)
+		}
+	}
+	if aligned == 0 {
+		t.Fatal("no entries aligned across the two runs")
+	}
+	// Both network and compute classes must appear in a real page load.
+	var sawNet, sawComp bool
+	for _, e := range d.Entries {
+		if e.Network {
+			sawNet = true
+		} else {
+			sawComp = true
+		}
+	}
+	if !sawNet || !sawComp {
+		t.Errorf("diff missing a class: network=%t compute=%t", sawNet, sawComp)
+	}
+}
+
+func TestDiffIdenticalRunsIsZero(t *testing.T) {
+	d := profile.Compare(loadProfile(device.Pixel2(), 42), loadProfile(device.Pixel2(), 42))
+	if d.EPLTDeltaMs() != 0 {
+		t.Errorf("identical runs: ePLT delta %g, want 0", d.EPLTDeltaMs())
+	}
+	for _, e := range d.Entries {
+		if e.DTotal() != 0 || e.DCrit() != 0 {
+			t.Errorf("identical runs: entry %s/%s has nonzero delta %v / %g",
+				e.Lane, e.Name, e.DTotal(), e.DCrit())
+		}
+	}
+}

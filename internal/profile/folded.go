@@ -1,0 +1,54 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Folded-stack export: one line per distinct stack, Brendan Gregg's
+// "collapsed stack" format as consumed by flamegraph.pl and speedscope's
+// folded-text importer:
+//
+//	frame;frame;frame <integer weight>
+//
+// Stacks are rooted at process;lane, then follow span nesting. Weights are
+// self weights (a frame's own time excluding nested spans), so a flame
+// graph renders parent frames as wide as their children plus self time.
+
+// Weight selects the folded-stack weight unit.
+type Weight int
+
+// Weight units.
+const (
+	// WeightTime weights stacks by self virtual time in microseconds — the
+	// wall-clock-free flame graph of the simulated run.
+	WeightTime Weight = iota
+	// WeightCycles weights stacks by the summed "cycles" span annotations —
+	// a clock-independent compute flame graph (device-frequency-invariant,
+	// so two devices' cycle graphs differ only in what work they did).
+	WeightCycles
+)
+
+// WriteFolded writes the folded-stack lines with the chosen weight unit.
+// Zero-weight stacks are skipped (folded parsers require positive integer
+// weights). Lines are sorted by stack string, so output is deterministic.
+func (p *Profile) WriteFolded(w io.Writer, by Weight) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range p.Folded {
+		var weight int64
+		switch by {
+		case WeightCycles:
+			weight = int64(f.Cycles)
+		default:
+			weight = f.SelfUS
+		}
+		if weight <= 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d\n", f.Stack, weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,210 @@
+package profile
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mobileqoe/internal/trace"
+)
+
+// nestedScenario builds a tracer with a known nesting structure:
+//
+//	lane "cpu:main":   outer [0,100ms] > inner [10,40ms] > leaf [15,20ms]
+//	                   sibling [40,60ms] (touches inner's end)
+//	lane "cpu:aux":    solo [0,30ms] ×2 (disjoint repeats)
+func nestedScenario() *trace.Tracer {
+	tr := trace.New()
+	pid := tr.Process("TestDevice")
+	main := tr.Thread(pid, "cpu:main")
+	aux := tr.Thread(pid, "cpu:aux")
+	msec := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	tr.Span("cpu", "outer", pid, main, msec(0), msec(100), trace.Arg{Key: "cycles", Val: 1000})
+	tr.Span("cpu", "inner", pid, main, msec(10), msec(40))
+	tr.Span("cpu", "leaf", pid, main, msec(15), msec(20))
+	tr.Span("cpu", "sibling", pid, main, msec(40), msec(60))
+	tr.Span("cpu", "solo", pid, aux, msec(0), msec(30))
+	tr.Span("cpu", "solo", pid, aux, msec(50), msec(80))
+	return tr
+}
+
+func entryFor(t *testing.T, p *Profile, lane, name string) Entry {
+	t.Helper()
+	for _, e := range p.Entries {
+		if e.Lane == lane && e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("no entry for %s/%s in %+v", lane, name, p.Entries)
+	return Entry{}
+}
+
+func TestSelfAndTotalTimes(t *testing.T) {
+	p := FromTracer(nestedScenario())
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+	outer := entryFor(t, p, "cpu:main", "outer")
+	if outer.Total != ms(100) {
+		t.Errorf("outer total = %v, want 100ms", outer.Total)
+	}
+	// outer's direct children: inner (30ms) + sibling (20ms) -> self 50ms.
+	if outer.Self != ms(50) {
+		t.Errorf("outer self = %v, want 50ms", outer.Self)
+	}
+	inner := entryFor(t, p, "cpu:main", "inner")
+	if inner.Total != ms(30) || inner.Self != ms(25) { // leaf takes 5ms
+		t.Errorf("inner total/self = %v/%v, want 30ms/25ms", inner.Total, inner.Self)
+	}
+	leaf := entryFor(t, p, "cpu:main", "leaf")
+	if leaf.Total != ms(5) || leaf.Self != ms(5) {
+		t.Errorf("leaf total/self = %v/%v, want 5ms/5ms", leaf.Total, leaf.Self)
+	}
+	solo := entryFor(t, p, "cpu:aux", "solo")
+	if solo.Count != 2 || solo.Total != ms(60) || solo.Self != ms(60) {
+		t.Errorf("solo = %+v, want count 2, total/self 60ms", solo)
+	}
+	if outer.Cycles != 1000 {
+		t.Errorf("outer cycles = %v, want 1000", outer.Cycles)
+	}
+}
+
+func TestEntriesSortedBySelfDescending(t *testing.T) {
+	p := FromTracer(nestedScenario())
+	for i := 1; i < len(p.Entries); i++ {
+		if p.Entries[i].Self > p.Entries[i-1].Self {
+			t.Fatalf("entries not sorted by self: %v after %v",
+				p.Entries[i].Self, p.Entries[i-1].Self)
+		}
+	}
+}
+
+func TestTableDeterministicAndTruncates(t *testing.T) {
+	a := FromTracer(nestedScenario()).Table(0)
+	b := FromTracer(nestedScenario()).Table(0)
+	if a != b {
+		t.Error("same trace produced different tables")
+	}
+	short := FromTracer(nestedScenario()).Table(2)
+	if !strings.Contains(short, "more entries") {
+		t.Errorf("truncated table missing marker:\n%s", short)
+	}
+}
+
+// foldedLine validates speedscope's folded-text grammar: frames separated
+// by ';', no spaces inside the stack, one space, positive integer weight.
+var foldedLine = regexp.MustCompile(`^[^ ;]+(;[^ ;]+)* [1-9][0-9]*$`)
+
+func TestFoldedFormatConformance(t *testing.T) {
+	for _, by := range []Weight{WeightTime, WeightCycles} {
+		var buf bytes.Buffer
+		if err := FromTracer(nestedScenario()).WriteFolded(&buf, by); err != nil {
+			t.Fatal(err)
+		}
+		out := strings.TrimRight(buf.String(), "\n")
+		if out == "" {
+			t.Fatalf("weight %d: no folded output", by)
+		}
+		for _, line := range strings.Split(out, "\n") {
+			if !foldedLine.MatchString(line) {
+				t.Errorf("weight %d: line not in folded format: %q", by, line)
+			}
+		}
+	}
+}
+
+func TestFoldedStacksEncodeNesting(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FromTracer(nestedScenario()).WriteFolded(&buf, WeightTime); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantStacks := map[string]int64{
+		"TestDevice;cpu:main;outer":            50_000, // self µs
+		"TestDevice;cpu:main;outer;inner":      25_000,
+		"TestDevice;cpu:main;outer;inner;leaf": 5_000,
+		"TestDevice;cpu:main;outer;sibling":    20_000,
+		"TestDevice;cpu:aux;solo":              60_000,
+	}
+	got := map[string]int64{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		i := strings.LastIndexByte(line, ' ')
+		w, err := strconv.ParseInt(line[i+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad weight in %q: %v", line, err)
+		}
+		got[line[:i]] = w
+	}
+	for stack, want := range wantStacks {
+		if got[stack] != want {
+			t.Errorf("stack %q weight = %d, want %d (all: %v)", stack, got[stack], want, got)
+		}
+	}
+	if len(got) != len(wantStacks) {
+		t.Errorf("got %d stacks, want %d:\n%s", len(got), len(wantStacks), out)
+	}
+}
+
+func TestFoldedWeightCycles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FromTracer(nestedScenario()).WriteFolded(&buf, WeightCycles); err != nil {
+		t.Fatal(err)
+	}
+	// Only "outer" carries a cycles annotation.
+	want := "TestDevice;cpu:main;outer 1000\n"
+	if buf.String() != want {
+		t.Errorf("cycles folded output = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestSanitizeFrames(t *testing.T) {
+	tr := trace.New()
+	pid := tr.Process("Device With Spaces")
+	tid := tr.Thread(pid, "lane;semi")
+	tr.Span("c", "span name", pid, tid, 0, time.Millisecond)
+	var buf bytes.Buffer
+	if err := FromTracer(tr).WriteFolded(&buf, WeightTime); err != nil {
+		t.Fatal(err)
+	}
+	want := "Device_With_Spaces;lane:semi;span_name 1000\n"
+	if buf.String() != want {
+		t.Errorf("sanitized output = %q, want %q", buf.String(), want)
+	}
+}
+
+// TestProfileFromImportedTrace closes the loop with the trace importer: a
+// profile built from a re-imported trace equals the in-memory one.
+func TestProfileFromImportedTrace(t *testing.T) {
+	tr := nestedScenario()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := trace.Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := FromTracer(tr).Table(0)
+	b := FromTracer(imported).Table(0)
+	if a != b {
+		t.Errorf("imported profile differs:\n--- direct ---\n%s--- imported ---\n%s", a, b)
+	}
+}
+
+func TestPartialOverlapTreatedAsSiblings(t *testing.T) {
+	tr := trace.New()
+	pid := tr.Process("dev")
+	tid := tr.Thread(pid, "lane")
+	msec := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	tr.Span("c", "first", pid, tid, msec(0), msec(50))
+	tr.Span("c", "second", pid, tid, msec(30), msec(80)) // partial overlap
+	p := FromTracer(tr)
+	first := entryFor(t, p, "lane", "first")
+	second := entryFor(t, p, "lane", "second")
+	// Neither is the other's child: both keep full self time.
+	if first.Self != msec(50) || second.Self != msec(50) {
+		t.Errorf("self times %v/%v, want 50ms/50ms", first.Self, second.Self)
+	}
+}

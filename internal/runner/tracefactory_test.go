@@ -1,0 +1,117 @@
+package runner_test
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"mobileqoe/internal/experiments"
+	"mobileqoe/internal/runner"
+	"mobileqoe/internal/trace"
+)
+
+// tracerSink collects per-(experiment, trial) tracers handed out by a
+// Config.TraceFactory. Safe for concurrent use, as the factory contract
+// requires.
+type tracerSink struct {
+	mu  sync.Mutex
+	out map[string]map[int]*trace.Tracer
+}
+
+func newTracerSink() *tracerSink {
+	return &tracerSink{out: map[string]map[int]*trace.Tracer{}}
+}
+
+func (s *tracerSink) factory(id string, trial int) *trace.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr := trace.New()
+	if s.out[id] == nil {
+		s.out[id] = map[int]*trace.Tracer{}
+	}
+	s.out[id][trial] = tr
+	return tr
+}
+
+func (s *tracerSink) serialized(t *testing.T, id string, trial int) []byte {
+	t.Helper()
+	s.mu.Lock()
+	tr := s.out[id][trial]
+	s.mu.Unlock()
+	if tr == nil {
+		t.Fatalf("no tracer recorded for %s trial %d", id, trial)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceFactoryPerTrialTracesMatchSequential runs a multi-trial experiment
+// once sequentially and once on the parallel worker pool, with a fresh tracer
+// per (experiment, trial) cell, and asserts every per-trial trace serializes
+// to the same bytes either way. This is the property that lets qoesim -trace
+// keep -parallel > 1: each trial owns its tracer, so scheduling order cannot
+// leak into any trace.
+func TestTraceFactoryPerTrialTracesMatchSequential(t *testing.T) {
+	const trials = 3
+	cfg := experiments.Config{Seed: 1, Pages: 1, ClipDuration: 5 * time.Second,
+		CallDuration: 2 * time.Second, IperfDuration: time.Second, Trials: trials}
+
+	seq := newTracerSink()
+	seqCfg := cfg
+	seqCfg.TraceFactory = seq.factory
+	if _, err := experiments.Run("fig3a", seqCfg); err != nil {
+		t.Fatal(err)
+	}
+
+	par := newTracerSink()
+	parCfg := cfg
+	parCfg.TraceFactory = par.factory
+	res, err := runner.Run(context.Background(), []string{"fig3a"}, parCfg,
+		runner.Options{Parallel: trials})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		a := seq.serialized(t, "fig3a", trial)
+		b := par.serialized(t, "fig3a", trial)
+		if !bytes.Equal(a, b) {
+			t.Errorf("trial %d: parallel trace differs from sequential (%d vs %d bytes)",
+				trial, len(b), len(a))
+		}
+		if len(a) == 0 {
+			t.Errorf("trial %d: empty trace", trial)
+		}
+	}
+	// Distinct trials run distinct seeds, so their traces must differ.
+	if bytes.Equal(seq.serialized(t, "fig3a", 0), seq.serialized(t, "fig3a", 1)) {
+		t.Error("trials 0 and 1 produced identical traces; per-trial seeds not applied")
+	}
+}
+
+// TestTraceFactoryOverridesTrace asserts the factory takes precedence over a
+// directly attached tracer, so harnesses can set both without double-writing.
+func TestTraceFactoryOverridesTrace(t *testing.T) {
+	shared := trace.New()
+	sink := newTracerSink()
+	cfg := experiments.Config{Seed: 1, Pages: 1, ClipDuration: 5 * time.Second,
+		CallDuration: 2 * time.Second, IperfDuration: time.Second,
+		Trace: shared, TraceFactory: sink.factory}
+	if _, err := experiments.RunTrial("fig3a", cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(shared.Events()); n != 0 {
+		t.Errorf("shared tracer received %d events; factory should have replaced it", n)
+	}
+	if got := sink.serialized(t, "fig3a", 0); len(got) == 0 {
+		t.Error("factory tracer is empty")
+	}
+}

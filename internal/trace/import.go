@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Chrome trace-event import — the inverse of WriteJSON. A trace exported by
+// this package round-trips byte-identically: export → Import → export yields
+// the same bytes, because timestamps are written with full nanosecond
+// precision and arg values with shortest-round-trip formatting, and the
+// importer preserves the (already sorted) event order of the file.
+//
+// Import accepts the subset of the trace-event format this package emits
+// (phases M, X, i, C); anything else is an error, which keeps the importer
+// honest about what it can reproduce.
+
+// Import reads a Chrome trace-event JSON array (as written by WriteJSON)
+// back into a Tracer. The returned tracer is fully functional: further
+// Process/Thread calls allocate ids above the imported ones.
+func Import(r io.Reader) (*Tracer, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("trace: import: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("trace: import: expected a JSON array, got %v", tok)
+	}
+	tr := New()
+	for i := 0; dec.More(); i++ {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("trace: import: event %d: %w", i, err)
+		}
+		e, err := parseEvent(raw)
+		if err != nil {
+			return nil, fmt.Errorf("trace: import: event %d: %w", i, err)
+		}
+		tr.events = append(tr.events, e)
+		if e.Pid > tr.nextPid {
+			tr.nextPid = e.Pid
+		}
+		if e.Tid > tr.nextTid[e.Pid] {
+			tr.nextTid[e.Pid] = e.Tid
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing ']'
+		return nil, fmt.Errorf("trace: import: %w", err)
+	}
+	return tr, nil
+}
+
+// parseEvent decodes one trace-event object. It walks the object with a
+// token decoder (not a map) so the order of "args" keys is preserved — the
+// property the byte-identical round trip depends on.
+func parseEvent(raw json.RawMessage) (Event, error) {
+	var e Event
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if _, err := dec.Token(); err != nil { // opening '{'
+		return e, err
+	}
+	var ph string
+	var metaName string
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return e, err
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "ph":
+			if ph, err = strField(dec); err != nil {
+				return e, err
+			}
+		case "cat":
+			if e.Cat, err = strField(dec); err != nil {
+				return e, err
+			}
+		case "name":
+			if e.Name, err = strField(dec); err != nil {
+				return e, err
+			}
+		case "pid":
+			if e.Pid, err = intField(dec); err != nil {
+				return e, err
+			}
+		case "tid":
+			if e.Tid, err = intField(dec); err != nil {
+				return e, err
+			}
+		case "ts":
+			us, err := floatField(dec)
+			if err != nil {
+				return e, err
+			}
+			e.Ts = time.Duration(math.Round(us * 1e3))
+		case "dur":
+			us, err := floatField(dec)
+			if err != nil {
+				return e, err
+			}
+			e.Dur = time.Duration(math.Round(us * 1e3))
+		case "s":
+			if _, err := strField(dec); err != nil { // instant scope, always "t"
+				return e, err
+			}
+		case "args":
+			args, name, err := parseArgs(dec)
+			if err != nil {
+				return e, err
+			}
+			e.Args, metaName = args, name
+		default:
+			return e, fmt.Errorf("unsupported field %q", key)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return e, err
+	}
+	switch ph {
+	case "M":
+		e.Kind = KindMeta
+		e.Meta = metaName
+		e.Args = nil
+	case "X":
+		e.Kind = KindSpan
+	case "i":
+		e.Kind = KindInstant
+	case "C":
+		e.Kind = KindCounter
+	default:
+		return e, fmt.Errorf("unsupported phase %q", ph)
+	}
+	return e, nil
+}
+
+// parseArgs decodes the "args" object in key order. Numeric values become
+// Args entries; a string value (only metadata has one) is returned as name.
+func parseArgs(dec *json.Decoder) ([]Arg, string, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, "", err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return nil, "", fmt.Errorf("args is not an object")
+	}
+	var args []Arg
+	var name string
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, "", err
+		}
+		key, _ := keyTok.(string)
+		valTok, err := dec.Token()
+		if err != nil {
+			return nil, "", err
+		}
+		switch v := valTok.(type) {
+		case json.Number:
+			f, err := strconv.ParseFloat(v.String(), 64)
+			if err != nil {
+				return nil, "", err
+			}
+			args = append(args, Arg{Key: key, Val: f})
+		case string:
+			if key != "name" {
+				return nil, "", fmt.Errorf("unexpected string arg %q", key)
+			}
+			name = v
+		default:
+			return nil, "", fmt.Errorf("unsupported arg value for %q: %v", key, valTok)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return nil, "", err
+	}
+	return args, name, nil
+}
+
+func strField(dec *json.Decoder) (string, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return "", err
+	}
+	s, ok := tok.(string)
+	if !ok {
+		return "", fmt.Errorf("expected string, got %v", tok)
+	}
+	return s, nil
+}
+
+func intField(dec *json.Decoder) (int, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return 0, err
+	}
+	n, ok := tok.(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("expected number, got %v", tok)
+	}
+	v, err := strconv.Atoi(n.String())
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func floatField(dec *json.Decoder) (float64, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return 0, err
+	}
+	n, ok := tok.(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("expected number, got %v", tok)
+	}
+	return strconv.ParseFloat(n.String(), 64)
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestImportRoundTrip pins the importer's core guarantee: export → import →
+// export is byte-identical.
+func TestImportRoundTrip(t *testing.T) {
+	var first bytes.Buffer
+	if err := buildScenario().WriteJSON(&first); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := Import(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := imported.WriteJSON(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("round trip changed bytes.\n--- first ---\n%s--- second ---\n%s",
+			first.String(), second.String())
+	}
+}
+
+// TestImportPreservesEvents checks field-level fidelity, not just bytes.
+func TestImportPreservesEvents(t *testing.T) {
+	orig := buildScenario()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := orig.Events(), imported.Events()
+	if len(got) != len(want) {
+		t.Fatalf("imported %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Kind != g.Kind || w.Cat != g.Cat || w.Name != g.Name ||
+			w.Pid != g.Pid || w.Tid != g.Tid || w.Ts != g.Ts || w.Dur != g.Dur ||
+			w.Meta != g.Meta || len(w.Args) != len(g.Args) {
+			t.Fatalf("event %d: got %+v, want %+v", i, g, w)
+		}
+		for j := range w.Args {
+			if w.Args[j] != g.Args[j] {
+				t.Fatalf("event %d arg %d: got %+v, want %+v", i, j, g.Args[j], w.Args[j])
+			}
+		}
+	}
+}
+
+// TestImportedTracerAllocatesAboveImportedIDs asserts Import restores the
+// pid/tid allocators, so an imported tracer can keep recording.
+func TestImportedTracerAllocatesAboveImportedIDs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildScenario().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pid := imported.Process("second-device"); pid != 2 {
+		t.Errorf("next pid = %d, want 2", pid)
+	}
+	if tid := imported.Thread(1, "extra-lane"); tid != 3 {
+		t.Errorf("next tid under pid 1 = %d, want 3", tid)
+	}
+}
+
+// TestImportSubNanosecondTimestampFidelity exercises the µs-with-3-decimals
+// parse at odd nanosecond offsets.
+func TestImportSubNanosecondTimestampFidelity(t *testing.T) {
+	tr := New()
+	pid := tr.Process("dev")
+	tid := tr.Thread(pid, "lane")
+	// Deliberately awkward values: 1 ns, a prime ns count, and a large span.
+	tr.Span("c", "tiny", pid, tid, 1, 2)
+	tr.Span("c", "prime", pid, tid, 104729, 7919*time.Microsecond)
+	tr.Span("c", "big", pid, tid, 3*time.Hour, 4*time.Hour+1)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := tr.Events(), imported.Events()
+	for i := range want {
+		if want[i].Ts != got[i].Ts || want[i].Dur != got[i].Dur {
+			t.Errorf("event %d: ts/dur %v/%v, want %v/%v",
+				i, got[i].Ts, got[i].Dur, want[i].Ts, want[i].Dur)
+		}
+	}
+}
+
+func TestImportRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not an array":  `{"ph":"X"}`,
+		"unknown phase": `[{"ph":"Z","name":"x","pid":1,"tid":1,"ts":0}]`,
+		"unknown field": `[{"ph":"X","bogus":1,"pid":1}]`,
+		"string arg":    `[{"ph":"X","cat":"c","name":"n","pid":1,"tid":1,"ts":0,"dur":1,"args":{"url":"http"}}]`,
+	}
+	for name, in := range cases {
+		if _, err := Import(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Import accepted %q", name, in)
+		}
+	}
+}

@@ -11,6 +11,12 @@
 #
 #	join <(jq -r '[.name,.ns_op]|@tsv' BENCH_A.json | sort) \
 #	     <(jq -r '[.name,.ns_op]|@tsv' BENCH_B.json | sort)
+#
+# The final line is a Go runtime snapshot from scripts/runtimestats — GC
+# count, summed GC pause, peak heap, and total allocation over a fixed traced
+# workload: {"workload", "num_gc", "gc_pause_total_ms", "peak_heap_bytes",
+# "alloc_total_bytes", "heap_objects"}. Filter it out of benchmark queries
+# with jq 'select(.name)'.
 set -eu
 
 pattern="${1:-.}"
@@ -35,4 +41,7 @@ if [ "$n" -eq 0 ]; then
 	rm -f "$out"
 	exit 1
 fi
-echo "wrote $n benchmark results to $out"
+
+go run ./scripts/runtimestats >>"$out"
+
+echo "wrote $n benchmark results (+ runtime stats) to $out"

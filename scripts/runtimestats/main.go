@@ -1,0 +1,39 @@
+// Command runtimestats runs a representative simulation workload (one traced
+// fig3a trial) and prints one JSON line of Go runtime statistics — GC pauses,
+// peak heap, total allocation — so scripts/bench.sh can archive allocator
+// behavior next to the per-benchmark numbers. The workload is fixed and
+// seeded, making archives comparable across commits.
+//
+// Output schema (one object, one line):
+//
+//	{"workload":"fig3a","num_gc":N,"gc_pause_total_ms":F,
+//	 "peak_heap_bytes":N,"alloc_total_bytes":N,"heap_objects":N}
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mobileqoe/internal/experiments"
+	"mobileqoe/internal/trace"
+)
+
+func main() {
+	cfg := experiments.Config{Seed: 1, Pages: 2,
+		ClipDuration:  10 * time.Second,
+		CallDuration:  5 * time.Second,
+		IperfDuration: time.Second,
+		Trace:         trace.New(), // tracing on: the allocation-heaviest path
+		Metrics:       true,
+	}
+	if _, err := experiments.RunTrial("fig3a", cfg, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "runtimestats: %v\n", err)
+		os.Exit(1)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf(`{"workload":"fig3a","num_gc":%d,"gc_pause_total_ms":%.3f,"peak_heap_bytes":%d,"alloc_total_bytes":%d,"heap_objects":%d}`+"\n",
+		ms.NumGC, float64(ms.PauseTotalNs)/1e6, ms.HeapSys, ms.TotalAlloc, ms.HeapObjects)
+}
