@@ -6,23 +6,40 @@
 //	iperfsim                          # the full Nexus4 clock sweep
 //	iperfsim -duration 10s            # longer measurements
 //	iperfsim -free                    # ablation: packet processing costs nothing
+//	iperfsim -faults default          # throughput under the mixed fault plan
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"mobileqoe/internal/core"
 	"mobileqoe/internal/device"
+	"mobileqoe/internal/fault"
 )
 
 func main() {
 	var (
 		duration = flag.Duration("duration", 3*time.Second, "measurement duration per step")
 		free     = flag.Bool("free", false, "do not charge packet processing to the CPU (ablation)")
+		faults   = flag.String("faults", "", "fault-injection plan: a JSON plan file, or 'default' for the built-in mixed plan")
+		seed     = flag.Uint64("seed", 1, "fault-injector seed")
 	)
 	flag.Parse()
+
+	var plan *fault.Plan
+	if *faults != "" {
+		plan = fault.Default()
+		if *faults != "default" {
+			var err error
+			if plan, err = fault.LoadPlan(*faults); err != nil {
+				fmt.Fprintln(os.Stderr, "iperfsim:", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	fmt.Printf("iperf server -> Nexus4 over the 72 Mbps AP (10 ms RTT), %v per step\n", *duration)
 	fmt.Printf("%-10s %s\n", "clock", "goodput")
@@ -30,6 +47,9 @@ func main() {
 		opts := []core.Option{core.WithClock(f)}
 		if *free {
 			opts = append(opts, core.WithoutPacketCPUCharge())
+		}
+		if plan != nil {
+			opts = append(opts, core.WithFaultPlan(plan, *seed))
 		}
 		sys := core.NewSystem(device.Nexus4(), opts...)
 		r := sys.Iperf(*duration)

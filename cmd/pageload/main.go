@@ -8,6 +8,7 @@
 //	pageload -device "Google Pixel2"           # another catalog device
 //	pageload -mhz 384 -category sports         # pinned clock, category pick
 //	pageload -cores 1 -ram 512MB
+//	pageload -faults default                   # load under the mixed fault plan
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"mobileqoe/internal/browser"
 	"mobileqoe/internal/core"
 	"mobileqoe/internal/device"
+	"mobileqoe/internal/fault"
 	"mobileqoe/internal/profile"
 	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
@@ -41,6 +43,7 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print an ASCII timeline of the trace (implies tracing)")
 		prof      = flag.Bool("profile", false, "print an aggregated virtual-time profile of the load (implies tracing)")
 		folded    = flag.String("folded", "", "write folded stacks (flamegraph.pl / speedscope) of the load to this file (implies tracing)")
+		faults    = flag.String("faults", "", "fault-injection plan: a JSON plan file, or 'default' for the built-in mixed plan")
 	)
 	flag.Parse()
 
@@ -59,6 +62,17 @@ func main() {
 	if *ramMB > 0 {
 		opts = append(opts, core.WithRAM(units.ByteSize(*ramMB)*units.MB))
 	}
+	if *faults != "" {
+		plan := fault.Default()
+		if *faults != "default" {
+			var err error
+			if plan, err = fault.LoadPlan(*faults); err != nil {
+				fmt.Fprintln(os.Stderr, "pageload:", err)
+				os.Exit(1)
+			}
+		}
+		opts = append(opts, core.WithFaultPlan(plan, *seed))
+	}
 
 	page := webpage.Generate(fmt.Sprintf("%s-cli.example", *category),
 		webpage.Category(*category), *seed)
@@ -74,7 +88,12 @@ func main() {
 	sys := core.NewSystem(spec, opts...)
 	res := sys.LoadPage(page)
 
-	fmt.Printf("PLT: %v\n\n", res.PLT.Round(time.Millisecond))
+	fmt.Printf("PLT: %v\n", res.PLT.Round(time.Millisecond))
+	if res.Degraded {
+		fmt.Printf("DEGRADED: %d resources abandoned, %d mem-kill restarts (ePLT over what rendered)\n",
+			len(res.FailedResources), res.Restarts)
+	}
+	fmt.Println()
 
 	// Compute breakdown by activity kind.
 	byKind := map[browser.ActivityKind]time.Duration{}

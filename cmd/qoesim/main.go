@@ -14,6 +14,8 @@
 //	qoesim -run fig3a -trials 4 -parallel 4 -trace out.json  # per-trial files
 //	qoesim -run fig3a -profile -folded out.folded            # profile the run
 //	qoesim -run all -checktrace                  # trace invariant check
+//	qoesim -run fig3a -faults default            # built-in mixed fault plan
+//	qoesim -run fig3a -faults plan.json -retries 2   # custom plan, cell retries
 //
 // Tables go to stdout; progress and timing go to stderr, so table output is
 // byte-identical for a given seed regardless of -parallel.
@@ -39,6 +41,7 @@ import (
 	"time"
 
 	"mobileqoe/internal/experiments"
+	"mobileqoe/internal/fault"
 	"mobileqoe/internal/profile"
 	"mobileqoe/internal/runner"
 	"mobileqoe/internal/trace"
@@ -126,6 +129,8 @@ func realMain() int {
 		trials   = flag.Int("trials", 0, "independent trials per experiment (default 1); >1 merges mean/p50/ci95 columns")
 		parallel = flag.Int("parallel", 0, "worker goroutines for -run (default GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "abort -run after this wall-clock duration (0 = no limit)")
+		faults   = flag.String("faults", "", "fault-injection plan: a JSON plan file, or 'default' for the built-in mixed plan")
+		retries  = flag.Int("retries", 0, "extra attempts per failed (experiment, trial) cell")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (per-trial files when -parallel > 1; see package doc)")
 		metrics  = flag.Bool("metrics", false, "print the run's metrics registry after each table")
 		profOut  = flag.Bool("profile", false, "print an aggregated virtual-time profile of the traced run (implies tracing; forces -parallel 1)")
@@ -193,6 +198,14 @@ func realMain() int {
 	}
 	cfg.Trials = *trials
 	cfg.Metrics = *metrics
+	if *faults != "" {
+		plan, err := loadFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+			return 2
+		}
+		cfg.Faults = plan
+	}
 	if *check {
 		// The checker cross-validates the trace against the metrics registry,
 		// so it needs both channels on.
@@ -280,7 +293,8 @@ func realMain() int {
 	}
 	start := time.Now()
 	results, err := runner.Run(context.Background(), ids, cfg,
-		runner.Options{Parallel: *parallel, Timeout: *timeout, Progress: progress})
+		runner.Options{Parallel: *parallel, Timeout: *timeout, Retries: *retries,
+			Progress: progress})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
 		return 1
@@ -288,8 +302,12 @@ func realMain() int {
 	exit := 0
 	for _, r := range results {
 		if r.Err != nil {
+			// Cells still failed after every retry: report and exit nonzero,
+			// but print whatever partial table the surviving trials merged.
 			fmt.Fprintf(os.Stderr, "qoesim: %v\n", r.Err)
 			exit = 1
+		}
+		if r.Table == nil {
 			continue
 		}
 		if *csv {
@@ -326,6 +344,15 @@ func realMain() int {
 			len(ids), norm.Trials, workers, time.Since(start).Round(time.Millisecond))
 	}
 	return exit
+}
+
+// loadFaultPlan resolves the -faults argument: the literal "default" selects
+// the built-in mixed plan, anything else is a JSON plan file.
+func loadFaultPlan(arg string) (*fault.Plan, error) {
+	if arg == "default" {
+		return fault.Default(), nil
+	}
+	return fault.LoadPlan(arg)
 }
 
 // analyzeTrace runs the post-run trace consumers: the aggregated profile

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"mobileqoe/internal/cpu"
+	"mobileqoe/internal/fault"
 	"mobileqoe/internal/mem"
 	"mobileqoe/internal/netsim"
 	"mobileqoe/internal/sim"
@@ -41,6 +42,15 @@ const (
 	ReflowFraction       = 0.3    // incremental layout after each blocking script
 	requestHeaderBytes   = 420    // HTTP request size
 	connsPerDomain       = 2
+)
+
+// Resilience parameters, active only under fault injection (Config.Faults):
+// each resource fetch gets fetchAttempts tries, each bounded by fetchTimeout.
+// A resource that exhausts its attempts is abandoned and the load degrades
+// gracefully instead of wedging.
+const (
+	fetchAttempts = 3
+	fetchTimeout  = 20 * time.Second
 )
 
 // ActivityKind labels a trace activity.
@@ -78,6 +88,9 @@ type Activity struct {
 	Profile *webpage.Profile
 	// MainThread marks activities serialized on the browser main thread.
 	MainThread bool
+	// Failed marks an abandoned fetch (every attempt timed out or errored
+	// under fault injection); Bytes is 0 and dependents never ran.
+	Failed bool
 }
 
 // Duration returns End-Start.
@@ -90,6 +103,17 @@ type Result struct {
 	Activities []Activity
 	// StartedAt is the virtual time the load began (PLT is relative to it).
 	StartedAt time.Duration
+	// Degraded reports that the load completed without some of its
+	// resources: fetches that kept failing under fault injection were
+	// abandoned after bounded retries (or a memory kill forced a restart),
+	// and PLT covers only what actually rendered.
+	Degraded bool
+	// FailedResources lists the webpage resource IDs whose fetches were
+	// abandoned (-1 entries denote the document itself).
+	FailedResources []int
+	// Restarts counts memory-pressure kills that forced the load to start
+	// over from the document fetch.
+	Restarts int
 }
 
 // ComputeTime sums compute activity durations (wall-clock, may overlap).
@@ -135,6 +159,12 @@ type Config struct {
 	// Engine selects the browser implementation profile; the zero value is
 	// Chrome 63, the paper's measurement browser.
 	Engine Engine
+	// Faults, when non-nil, arms the browser's resilience machinery: fetch
+	// timeouts and bounded retries, graceful degradation on abandoned
+	// resources, and a full restart on an injected memory-pressure kill.
+	// Nil (the fault-free default) schedules no timeout events at all, so
+	// the load is byte-identical to a build without fault injection.
+	Faults *fault.Injector
 }
 
 // Load starts loading page and calls done with the result when the load
@@ -156,6 +186,9 @@ func Load(cfg Config, page *webpage.Page, done func(Result)) {
 	}
 	if cfg.Mem != nil {
 		l.factor = cfg.Mem.Slowdown(page.WorkingSet())
+	}
+	if cfg.Faults != nil {
+		cfg.Faults.OnFault(fault.MemKill, l.memKill)
 	}
 	l.start()
 }
@@ -180,6 +213,40 @@ type loader struct {
 	parseDone   bool
 	layoutDone  bool
 	finished    bool
+
+	// epoch is bumped by a memory-kill restart; callbacks capture the epoch
+	// they were issued under and in-flight work from an earlier life of the
+	// process is dropped on completion.
+	epoch    int
+	restarts int
+	degraded bool
+	failed   []int // resource IDs of abandoned fetches
+}
+
+// memKill handles an injected memory-pressure kill: the OS killed the
+// renderer mid-load, so all in-progress work is dropped and the load starts
+// over (recorded activities survive — they model what the first life of the
+// process did on screen before dying).
+func (l *loader) memKill() {
+	if l.finished {
+		return
+	}
+	l.epoch++
+	l.restarts++
+	l.degraded = true
+	for _, pool := range l.conns {
+		for _, c := range pool {
+			c.Abort()
+		}
+	}
+	l.conns = map[string][]*netsim.Conn{}
+	l.rr = nil
+	l.outstanding = 0
+	l.cssPending = 0
+	l.cssWaiters = nil
+	l.parseDone = false
+	l.layoutDone = false
+	l.start()
 }
 
 // record appends a completed activity and returns its ID.
@@ -238,10 +305,13 @@ func (l *loader) fireLoad() {
 	}
 	l.finished = true
 	res := Result{
-		Page:       l.page,
-		PLT:        l.now() - l.started,
-		Activities: l.acts,
-		StartedAt:  l.started,
+		Page:            l.page,
+		PLT:             l.now() - l.started,
+		Activities:      l.acts,
+		StartedAt:       l.started,
+		Degraded:        l.degraded,
+		FailedResources: l.failed,
+		Restarts:        l.restarts,
 	}
 	if l.done != nil {
 		l.done(res)
@@ -249,26 +319,72 @@ func (l *loader) fireLoad() {
 }
 
 // fetch retrieves a resource and records the fetch activity; cb receives the
-// activity ID. The first fetch against a domain resolves it (a no-op unless
-// the network enables DNS).
+// activity ID, or -1 when every attempt failed and the resource was
+// abandoned (possible only under fault injection — call sites degrade
+// gracefully instead of waiting forever). The first fetch against a domain
+// resolves it (a no-op unless the network enables DNS).
 func (l *loader) fetch(name, domain string, size units.ByteSize, resID int, deps []int, cb func(actID int)) {
 	l.begin()
 	start := l.now()
 	size = units.ByteSize(float64(size) * l.engine.BytesScale)
-	l.cfg.Net.Resolve(domain, func() {
-		l.fetchResolved(name, domain, size, resID, deps, start, cb)
-	})
+	l.fetchAttempt(name, domain, size, resID, deps, start, 1, cb)
 }
 
-func (l *loader) fetchResolved(name, domain string, size units.ByteSize, resID int,
-	deps []int, start time.Duration, cb func(actID int)) {
-	l.conn(domain).Request(name, requestHeaderBytes, size, 0, func() {
-		id := l.record(Activity{
+func (l *loader) fetchAttempt(name, domain string, size units.ByteSize, resID int,
+	deps []int, start time.Duration, attempt int, cb func(actID int)) {
+	ep := l.epoch
+	fail := func() {
+		if attempt < fetchAttempts {
+			l.fetchAttempt(name, domain, size, resID, deps, start, attempt+1, cb)
+			return
+		}
+		// Abandon the resource: record the failed fetch so the waterfall
+		// shows the hole, flag the load degraded, and let dependents skip.
+		l.degraded = true
+		l.failed = append(l.failed, resID)
+		l.record(Activity{
 			Kind: Fetch, Name: name, Resource: resID,
-			Start: start, End: l.now(), Deps: deps, Bytes: size,
+			Start: start, End: l.now(), Deps: deps, Failed: true,
 		})
-		cb(id)
+		cb(-1)
 		l.finishUnit()
+	}
+	l.cfg.Net.ResolveE(domain, func(dnsErr error) {
+		if ep != l.epoch {
+			return // the process this fetch belonged to was killed
+		}
+		if dnsErr != nil {
+			fail()
+			return
+		}
+		settled := false
+		if l.cfg.Faults != nil {
+			// Per-attempt watchdog: a transfer starved by faults is treated
+			// as failed; a late completion after the timeout is ignored.
+			l.cfg.Sim.After(fetchTimeout, func() {
+				if settled || ep != l.epoch {
+					return
+				}
+				settled = true
+				fail()
+			})
+		}
+		l.conn(domain).RequestE(name, requestHeaderBytes, size, 0, func(reqErr error) {
+			if settled || ep != l.epoch {
+				return
+			}
+			settled = true
+			if reqErr != nil {
+				fail()
+				return
+			}
+			id := l.record(Activity{
+				Kind: Fetch, Name: name, Resource: resID,
+				Start: start, End: l.now(), Deps: deps, Bytes: size,
+			})
+			cb(id)
+			l.finishUnit()
+		})
 	})
 }
 
@@ -278,7 +394,11 @@ func (l *loader) exec(th *cpu.Thread, kind ActivityKind, name string, cycles flo
 	cycles *= l.engineScale(kind)
 	l.begin()
 	start := l.now()
+	ep := l.epoch
 	th.Exec(name, cycles*l.factor, func() {
+		if ep != l.epoch {
+			return // queued work from before a memory-kill restart
+		}
 		id := l.record(Activity{
 			Kind: kind, Name: name, Resource: resID,
 			Start: start, End: l.now(), Deps: deps, Cycles: cycles,
@@ -312,6 +432,15 @@ func (l *loader) engineScale(kind ActivityKind) float64 {
 
 func (l *loader) start() {
 	l.fetch("document", l.page.Name, l.page.HTMLSize, -1, nil, func(fetchID int) {
+		if fetchID < 0 {
+			// The document itself was abandoned: nothing renders, so there
+			// is no closing layout/paint; the load "completes" degraded.
+			l.parseDone = true
+			l.layoutDone = true
+			l.begin()
+			l.finishUnit()
+			return
+		}
 		l.parseSegment(0, fetchID)
 	})
 }
@@ -371,7 +500,9 @@ func (l *loader) discover(segIdx int, parseID int) {
 }
 
 // runBlockers executes the blocking-script launch functions sequentially,
-// threading each script's activity ID to the next step.
+// threading each script's activity ID to the next step. A failed script
+// (sid < 0 under fault injection) keeps the previous gate so parsing still
+// resumes.
 func runBlockers(blockers []func(next func(scriptID int)), done func(lastScriptID int)) {
 	var step func(i, lastID int)
 	step = func(i, lastID int) {
@@ -379,29 +510,49 @@ func runBlockers(blockers []func(next func(scriptID int)), done func(lastScriptI
 			done(lastID)
 			return
 		}
-		blockers[i](func(sid int) { step(i+1, sid) })
+		blockers[i](func(sid int) {
+			if sid < 0 {
+				sid = lastID
+			}
+			step(i+1, sid)
+		})
 	}
 	step(0, -1)
 }
 
+// cssDone retires one pending stylesheet and releases scripts waiting on
+// the CSSOM once none remain.
+func (l *loader) cssDone() {
+	l.cssPending--
+	if l.cssPending == 0 {
+		ws := l.cssWaiters
+		l.cssWaiters = nil
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
 func (l *loader) fetchCSS(r *webpage.Resource, parseID int) {
 	l.fetch(r.URL, r.Domain, r.Size, r.ID, []int{parseID}, func(fetchID int) {
+		if fetchID < 0 {
+			// Abandoned stylesheet: render without it, but unblock scripts
+			// waiting on the CSSOM — a missing sheet must not wedge the load.
+			l.cssDone()
+			return
+		}
 		cycles := float64(r.Size) * StyleCyclesPerByte
 		l.exec(l.main, Style, "style:"+r.URL, cycles, r.ID, []int{fetchID}, nil, func(int) {
-			l.cssPending--
-			if l.cssPending == 0 {
-				ws := l.cssWaiters
-				l.cssWaiters = nil
-				for _, w := range ws {
-					w()
-				}
-			}
+			l.cssDone()
 		})
 	})
 }
 
 func (l *loader) fetchImage(r *webpage.Resource, depID int) {
 	l.fetch(r.URL, r.Domain, r.Size, r.ID, []int{depID}, func(fetchID int) {
+		if fetchID < 0 {
+			return // abandoned image: the page renders without it
+		}
 		cycles := float64(r.Size) * DecodeCyclesPerByte
 		l.exec(l.raster, Decode, "decode:"+r.URL, cycles, r.ID, []int{fetchID}, nil, func(int) {})
 	})
@@ -412,6 +563,14 @@ func (l *loader) fetchImage(r *webpage.Resource, depID int) {
 // receiving the script's activity ID.
 func (l *loader) fetchScript(r *webpage.Resource, parseID int, next func(scriptID int)) {
 	l.fetch(r.URL, r.Domain, r.Size, r.ID, []int{parseID}, func(fetchID int) {
+		if fetchID < 0 {
+			// Abandoned script: its side effects (injected resources,
+			// reflow) never happen; a parser-blocking one resumes parsing.
+			if next != nil {
+				next(-1)
+			}
+			return
+		}
 		run := func() {
 			// JS source must be parsed and compiled on the main thread before
 			// it executes.

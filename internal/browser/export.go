@@ -119,8 +119,17 @@ func (r Result) EmitTraceWith(tr *trace.Tracer, pid int, critMs map[int]float64)
 		if c, ok := critMs[a.ID]; ok {
 			args = append(args, trace.Arg{Key: "crit_ms", Val: c})
 		}
+		if a.Failed {
+			// Per-resource failure span: the abandoned fetch's whole
+			// retry window, flagged for trace consumers (tracediff shows
+			// exactly which resources a degraded load gave up on).
+			args = append(args, trace.Arg{Key: "failed", Val: 1})
+		}
 		tr.Span("browser", a.Name, pid, tid, a.Start, a.End, args...)
 	}
-	tr.Instant("browser", "load-event", pid, main, r.StartedAt+r.PLT,
-		trace.Arg{Key: "plt_ms", Val: float64(r.PLT) / 1e6})
+	loadArgs := []trace.Arg{{Key: "plt_ms", Val: float64(r.PLT) / 1e6}}
+	if r.Degraded {
+		loadArgs = append(loadArgs, trace.Arg{Key: "degraded", Val: 1})
+	}
+	tr.Instant("browser", "load-event", pid, main, r.StartedAt+r.PLT, loadArgs...)
 }

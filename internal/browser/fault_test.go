@@ -1,0 +1,122 @@
+package browser
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"mobileqoe/internal/cpu"
+	"mobileqoe/internal/fault"
+	"mobileqoe/internal/mem"
+	"mobileqoe/internal/netsim"
+	"mobileqoe/internal/sim"
+	"mobileqoe/internal/stats"
+)
+
+// faultLoad is load with a fault injector wired into both the network and
+// the browser, the way core.System assembles them.
+func faultLoad(t *testing.T, lc loadCfg, plan *fault.Plan, seed uint64) Result {
+	t.Helper()
+	s := sim.New()
+	ccfg := cpu.FromSpec(lc.spec, lc.governor)
+	ccfg.UserspaceFreq = lc.usFreq
+	c := cpu.New(s, ccfg)
+	inj := fault.NewInjector(s, plan, stats.NewRNG(seed), fault.Config{})
+	n := netsim.New(s, c, netsim.Config{ChargeCPU: true, Faults: inj})
+	m := mem.New(mem.Config{RAM: lc.spec.RAM})
+	var res Result
+	fired := false
+	Load(Config{Sim: s, CPU: c, Net: n, Mem: m, Faults: inj}, newsPage(), func(r Result) {
+		res = r
+		fired = true
+		c.Stop()
+	})
+	s.RunUntil(10 * time.Minute)
+	c.Stop()
+	s.Run()
+	if !fired {
+		t.Fatalf("faulted load never completed (resilience machinery wedged)")
+	}
+	return res
+}
+
+// window is a plan with a single fault window.
+func window(k fault.Kind, at, dur time.Duration, set func(*fault.Spec)) *fault.Plan {
+	sp := fault.Spec{Kind: k, AtMs: float64(at.Milliseconds()), DurMs: float64(dur.Milliseconds())}
+	if set != nil {
+		set(&sp)
+	}
+	return &fault.Plan{Name: "test", Faults: []fault.Spec{sp}}
+}
+
+func TestServerErrorsDegradeButCompleteTheLoad(t *testing.T) {
+	// Every request during the window errors (prob 1), and the window is
+	// long enough that all fetchAttempts retries of mid-load resources land
+	// inside it. The load must still complete — degraded, with the
+	// abandoned resources named — instead of wedging.
+	plan := window(fault.ServerError, 1500*time.Millisecond, 2*time.Minute,
+		func(sp *fault.Spec) { sp.Prob = 1 })
+	res := faultLoad(t, nexus4At(1512), plan, 7)
+	if !res.Degraded {
+		t.Fatal("load with every post-1.5s request erroring is not Degraded")
+	}
+	if len(res.FailedResources) == 0 {
+		t.Fatal("degraded load lists no failed resources")
+	}
+	failed := 0
+	for _, a := range res.Activities {
+		if a.Failed {
+			failed++
+		}
+	}
+	if failed != len(res.FailedResources) {
+		t.Fatalf("%d failed fetch activities vs %d FailedResources",
+			failed, len(res.FailedResources))
+	}
+	if res.PLT <= 0 {
+		t.Fatalf("degraded load has no ePLT: %v", res.PLT)
+	}
+}
+
+func TestMemKillRestartsTheLoad(t *testing.T) {
+	plan := window(fault.MemKill, 1200*time.Millisecond, 100*time.Millisecond, nil)
+	res := faultLoad(t, nexus4At(1512), plan, 7)
+	if res.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", res.Restarts)
+	}
+	base, _ := load(t, newsPage(), nexus4At(1512))
+	if res.PLT <= base.PLT {
+		t.Fatalf("restarted load PLT %v not slower than fault-free %v", res.PLT, base.PLT)
+	}
+}
+
+func TestFaultedLoadIsDeterministic(t *testing.T) {
+	plan := window(fault.ServerError, 1500*time.Millisecond, 2*time.Minute,
+		func(sp *fault.Spec) { sp.Prob = 1 })
+	a := faultLoad(t, nexus4At(1512), plan, 7)
+	b := faultLoad(t, nexus4At(1512), plan, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same plan + seed gave different results:\nPLT %v vs %v, failed %v vs %v",
+			a.PLT, b.PLT, a.FailedResources, b.FailedResources)
+	}
+}
+
+func TestIdleFaultWindowsLeaveTheLoadUntouched(t *testing.T) {
+	// A plan whose only window opens long after the load finished arms the
+	// browser's watchdogs but never fires a fault. The result must be
+	// byte-identical to the fault-free load: the machinery costs nothing
+	// when quiet.
+	plan := window(fault.BurstLoss, 9*time.Minute, time.Second, nil)
+	faulted := faultLoad(t, nexus4At(1512), plan, 7)
+	base, _ := load(t, newsPage(), nexus4At(1512))
+	if faulted.Degraded || faulted.Restarts != 0 || len(faulted.FailedResources) != 0 {
+		t.Fatalf("idle plan degraded the load: %+v", faulted)
+	}
+	if faulted.PLT != base.PLT {
+		t.Fatalf("idle plan changed PLT: %v vs %v", faulted.PLT, base.PLT)
+	}
+	if !reflect.DeepEqual(faulted.Activities, base.Activities) {
+		t.Fatalf("idle plan changed the activity stream (%d vs %d activities)",
+			len(faulted.Activities), len(base.Activities))
+	}
+}

@@ -27,9 +27,11 @@ import (
 	"mobileqoe/internal/device"
 	"mobileqoe/internal/dsp"
 	"mobileqoe/internal/energy"
+	"mobileqoe/internal/fault"
 	"mobileqoe/internal/mem"
 	"mobileqoe/internal/netsim"
 	"mobileqoe/internal/sim"
+	"mobileqoe/internal/stats"
 	"mobileqoe/internal/telephony"
 	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
@@ -52,6 +54,8 @@ type options struct {
 	forceSWDec bool
 	noPrefetch bool
 	noABR      bool
+	faultPlan  *fault.Plan
+	faultSeed  uint64
 	tr         *trace.Tracer
 	metrics    *trace.Metrics
 }
@@ -102,6 +106,20 @@ func WithEngine(e browser.Engine) Option { return func(o *options) { o.engine = 
 // (zero-value Config selects the Hexagon-like defaults).
 func WithDSP(cfg dsp.Config) Option { return func(o *options) { o.dspCfg = &cfg } }
 
+// WithFaultPlan attaches a fault-injection plan, replayed against the
+// system's clock by an injector seeded with seed. Every subsystem then
+// degrades gracefully instead of assuming a clean testbed: netsim retries
+// lost segments and reconnects after resets, the browser abandons starved
+// resources and reports a degraded load, the video player downswitches, and
+// the DSP falls back to CPU execution. A nil plan (or one with no faults)
+// attaches nothing and the run is byte-identical to an unfaulted build.
+func WithFaultPlan(p *fault.Plan, seed uint64) Option {
+	return func(o *options) {
+		o.faultPlan = p
+		o.faultSeed = seed
+	}
+}
+
 // WithoutHardwareDecoder is the streaming/telephony counterfactual ablation.
 func WithoutHardwareDecoder() Option { return func(o *options) { o.forceSWDec = true } }
 
@@ -131,6 +149,9 @@ type System struct {
 	Mem   *mem.Memory
 	Meter *energy.Meter
 	DSP   *dsp.DSP
+	// Faults is the fault injector attached via WithFaultPlan; nil when the
+	// system runs fault-free.
+	Faults *fault.Injector
 
 	opts options
 	pid  int // trace process id, 0 when tracing is off
@@ -192,25 +213,33 @@ func build(spec device.Spec, o options) *System {
 	if ram == 0 {
 		ram = spec.RAM
 	}
+	var inj *fault.Injector
+	if o.faultPlan != nil {
+		inj = fault.NewInjector(s, o.faultPlan, stats.NewRNG(o.faultSeed),
+			fault.Config{Trace: o.tr, TracePid: pid, Metrics: o.metrics})
+	}
 	netCfg := o.netCfg
 	netCfg.Trace, netCfg.TracePid, netCfg.Metrics = o.tr, pid, o.metrics
+	netCfg.Faults = inj
 	sys := &System{
-		Spec:  spec,
-		Sim:   s,
-		CPU:   c,
-		Net:   netsim.New(s, c, netCfg),
-		Mem:   mem.New(mem.Config{RAM: ram}),
-		Meter: meter,
-		opts:  o,
-		pid:   pid,
+		Spec:   spec,
+		Sim:    s,
+		CPU:    c,
+		Net:    netsim.New(s, c, netCfg),
+		Mem:    mem.New(mem.Config{RAM: ram}),
+		Meter:  meter,
+		Faults: inj,
+		opts:   o,
+		pid:    pid,
 	}
 	if o.dspCfg != nil {
 		cfg := *o.dspCfg
 		cfg.Meter = meter
+		cfg.Faults = inj
 		cfg.Trace, cfg.TracePid, cfg.Metrics = o.tr, pid, o.metrics
 		sys.DSP = dsp.New(s, cfg)
 	} else if spec.Has(device.DSP) {
-		sys.DSP = dsp.New(s, dsp.Config{Meter: meter,
+		sys.DSP = dsp.New(s, dsp.Config{Meter: meter, Faults: inj,
 			Trace: o.tr, TracePid: pid, Metrics: o.metrics})
 	}
 	return sys
@@ -277,7 +306,7 @@ func (sys *System) LoadPage(page *webpage.Page) browser.Result {
 	var res browser.Result
 	done := false
 	browser.Load(browser.Config{Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem,
-		Engine: sys.opts.engine},
+		Engine: sys.opts.engine, Faults: sys.Faults},
 		page, func(r browser.Result) {
 			res = r
 			done = true
@@ -312,6 +341,7 @@ func (sys *System) StreamVideo(sc video.StreamConfig) video.Metrics {
 		Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem, Spec: sys.Spec,
 		ForceSoftwareDecode: sys.opts.forceSWDec,
 		DisablePrefetch:     sys.opts.noPrefetch,
+		Faults:              sys.Faults,
 		Trace:               sys.opts.tr, TracePid: sys.pid, Metrics: sys.opts.metrics,
 	}, sc, func(got video.Metrics) {
 		m = got

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"mobileqoe/internal/energy"
+	"mobileqoe/internal/fault"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
@@ -48,9 +49,18 @@ type Config struct {
 	IdleWatts    float64       // leakage; default 0.005 W
 	Meter        *energy.Meter // optional; component "dsp"
 
+	// Faults, when non-nil, can fail FastRPC calls (kind dsp-fail); the call
+	// then degrades gracefully to CPU execution of the backtracking engine at
+	// FallbackFreq, paying the penalty instead of erroring out.
+	Faults *fault.Injector
+	// FallbackFreq is the application-core clock used to price the CPU
+	// fallback; default 2 GHz.
+	FallbackFreq units.Freq
+
 	// Trace, when non-nil, receives one FastRPC span per call on a
 	// "dsp:fastrpc" lane under category "dsp", attributed to TracePid.
-	// Metrics, when non-nil, accumulates dsp.calls and dsp.service_us.
+	// Metrics, when non-nil, accumulates dsp.calls and dsp.service_us (and,
+	// under fault injection, dsp.fallbacks and dsp.fallback_us).
 	Trace    *trace.Tracer
 	TracePid int
 	Metrics  *trace.Metrics
@@ -72,6 +82,9 @@ func (c *Config) setDefaults() {
 	if c.IdleWatts == 0 {
 		c.IdleWatts = 0.005
 	}
+	if c.FallbackFreq == 0 {
+		c.FallbackFreq = units.MHz(2000)
+	}
 }
 
 // DSP is a simulated coprocessor.
@@ -80,11 +93,14 @@ type DSP struct {
 	cfg       Config
 	busyUntil time.Duration
 	calls     int64
+	fallbacks int64
 	busyTotal time.Duration
 	tid       int // trace lane, 0 when tracing is off
 
-	mCalls     *trace.Counter
-	mServiceUs *trace.Histogram
+	mCalls      *trace.Counter
+	mServiceUs  *trace.Histogram
+	mFallbacks  *trace.Counter
+	mFallbackUs *trace.Histogram
 }
 
 // New constructs a DSP on the simulator.
@@ -96,6 +112,8 @@ func New(s *sim.Sim, cfg Config) *DSP {
 	}
 	d.mCalls = cfg.Metrics.Counter("dsp.calls")
 	d.mServiceUs = cfg.Metrics.Histogram("dsp.service_us")
+	d.mFallbacks = cfg.Metrics.Counter("dsp.fallbacks")
+	d.mFallbackUs = cfg.Metrics.Histogram("dsp.fallback_us")
 	if cfg.Meter != nil {
 		cfg.Meter.SetPower("dsp", cfg.IdleWatts)
 	}
@@ -107,6 +125,10 @@ func (d *DSP) Config() Config { return d.cfg }
 
 // Calls returns the number of served calls.
 func (d *DSP) Calls() int64 { return d.calls }
+
+// Fallbacks returns the number of calls that failed over to CPU execution
+// because an injected fault broke the FastRPC path.
+func (d *DSP) Fallbacks() int64 { return d.fallbacks }
 
 // BusyTime returns total service time so far.
 func (d *DSP) BusyTime() time.Duration { return d.busyTotal }
@@ -138,6 +160,26 @@ func (d *DSP) rpcCost(inputBytes int) time.Duration {
 // synchronous), which is exactly why offload frees the CPU core.
 func (d *DSP) Call(pikeSteps int64, inputBytes int, done func()) {
 	now := d.s.Now()
+	if d.cfg.Faults.DSPCallFails() {
+		// FastRPC failed (DSP restart, SMMU fault): degrade gracefully by
+		// running the backtracking engine on the application core instead.
+		// The caller pays the RPC attempt plus the CPU-priced execution; the
+		// DSP's own FIFO is untouched.
+		d.fallbacks++
+		lat := d.rpcCost(inputBytes) + units.DurationFor(CPUCycles(pikeSteps), d.cfg.FallbackFreq)
+		d.mFallbacks.Add(1)
+		d.mFallbackUs.Observe(float64(lat) / 1e3)
+		if tr := d.cfg.Trace; tr != nil {
+			tr.Span("dsp", "cpu-fallback", d.cfg.TracePid, d.tid, now, now+lat,
+				trace.Arg{Key: "pike_steps", Val: float64(pikeSteps)})
+		}
+		d.s.After(lat, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
 	start := now + d.rpcCost(inputBytes)/2 // request marshal before service
 	if d.busyUntil > start {
 		start = d.busyUntil

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"mobileqoe/internal/fault"
 	"mobileqoe/internal/trace"
 )
 
@@ -52,9 +53,21 @@ type Config struct {
 	// Table.Metrics), and MergeTrials folds them together in trial order.
 	Metrics bool
 
+	// Faults, when non-nil, attaches this fault plan to every system a trial
+	// builds. Each system's injector is seeded from the trial seed and the
+	// system's ordinal within the trial (see faultSeed), so a faulted trial
+	// is byte-identical whether the harness runs it sequentially or on a
+	// worker pool.
+	Faults *fault.Plan
+
 	// reg is the registry of the currently executing trial; RunTrial creates
 	// it when Metrics is set and runners thread it into their systems.
 	reg *trace.Metrics
+
+	// faultSeq numbers the systems built so far by the currently executing
+	// trial, so each gets a distinct, position-stable injector seed. RunTrial
+	// allocates it per trial when Faults is set.
+	faultSeq *uint64
 }
 
 // Sentinels distinguishing "explicitly zero" from "unset, use the default".
@@ -230,10 +243,36 @@ func TrialSeed(base uint64, trial int) uint64 {
 	return base*1_000_000 + uint64(trial)
 }
 
+// AttemptSeed derives the seed of retry attempt a of a cell from the cell's
+// trial seed. Attempt 0 is the seed unchanged, so retry-free runs are
+// untouched; later attempts explore a decorrelated seed so a crash tied to
+// one pathological corpus draw does not repeat forever.
+func AttemptSeed(seed uint64, attempt int) uint64 {
+	return seed ^ uint64(attempt)*0x9e3779b97f4a7c15
+}
+
+// faultSeed derives the injector seed of the n-th system a trial builds
+// (splitmix64-style finalizer over the trial seed and the ordinal).
+func faultSeed(seed, n uint64) uint64 {
+	z := seed + (n+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
 // RunTrial executes exactly one trial of an experiment. Single-trial configs
 // run with the base seed unchanged; multi-trial configs (cfg.Trials > 1) run
 // trial t with TrialSeed(base, t). cfg is the caller's un-normalized Config.
 func RunTrial(id string, cfg Config, trial int) (*Table, error) {
+	return RunTrialAttempt(id, cfg, trial, 0)
+}
+
+// RunTrialAttempt is RunTrial for retry harnesses: attempt > 0 reruns the
+// trial under AttemptSeed, which is how internal/runner retries a crashed
+// cell without replaying the exact crashing run.
+func RunTrialAttempt(id string, cfg Config, trial, attempt int) (*Table, error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, unknownErr(id)
@@ -245,12 +284,18 @@ func RunTrial(id string, cfg Config, trial int) (*Table, error) {
 	if c.Trials > 1 {
 		c.Seed = TrialSeed(c.Seed, trial)
 	}
+	if attempt > 0 {
+		c.Seed = AttemptSeed(c.Seed, attempt)
+	}
 	c.Trials = 1
 	if c.TraceFactory != nil {
 		c.Trace = c.TraceFactory(id, trial)
 	}
 	if c.Metrics {
 		c.reg = trace.NewMetrics()
+	}
+	if c.Faults != nil {
+		c.faultSeq = new(uint64)
 	}
 	tab := e.fn(c)
 	tab.Metrics = c.reg

@@ -11,6 +11,14 @@ import (
 // core.NewSystem call would silently drop the trial out of traces and the
 // metrics registry.
 func (c Config) newSystem(spec device.Spec, opts ...core.Option) *core.System {
+	if c.Faults != nil {
+		// Injector seeds are (trial seed, system ordinal)-stable: the n-th
+		// system of a trial always draws the same fault randomness, no matter
+		// which worker runs the trial or what ran before it.
+		n := *c.faultSeq
+		*c.faultSeq++
+		opts = append(opts, core.WithFaultPlan(c.Faults, faultSeed(c.Seed, n)))
+	}
 	if c.Trace == nil && c.reg == nil {
 		return core.NewSystem(spec, opts...)
 	}

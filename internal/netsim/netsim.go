@@ -17,14 +17,25 @@
 package netsim
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"mobileqoe/internal/cpu"
+	"mobileqoe/internal/fault"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/stats"
 	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 )
+
+// ErrServer is the error RequestE reports when an injected server-error
+// fault replaces the response with a short error body.
+var ErrServer = errors.New("netsim: server answered with an error response")
+
+// ErrDNS is the error ResolveE reports when resolver queries keep timing out
+// under an injected dns-timeout fault.
+var ErrDNS = errors.New("netsim: dns lookup timed out")
 
 // Calibration constants for the per-packet CPU cost on the device side.
 // They stand in for the full interrupt → driver → netfilter → TCP → socket
@@ -71,13 +82,48 @@ type Config struct {
 
 	RNG *stats.RNG // loss randomness; default seeded deterministically
 
+	// Faults, when non-nil, is the fault-injection plane (internal/fault):
+	// the network consults it per segment for burst loss, per delivery for
+	// RTT spikes and bandwidth dips, per request for connection resets and
+	// server slowness/errors, and per resolver response for DNS timeouts.
+	// Nil disables injection and keeps the fault-free path byte-identical.
+	Faults *fault.Injector
+
 	// Trace, when non-nil, receives per-transfer spans (one lane per
 	// connection), a cwnd counter track, and loss instants under category
 	// "netsim", attributed to TracePid. Metrics, when non-nil, accumulates
-	// netsim.segments, netsim.acks, and netsim.cwnd_resets.
+	// netsim.segments, netsim.acks, and netsim.cwnd_resets (plus
+	// netsim.retransmits and netsim.conn_resets under fault injection).
 	Trace    *trace.Tracer
 	TracePid int
 	Metrics  *trace.Metrics
+}
+
+// Validate reports a descriptive error for configurations that would
+// produce a nonsensical simulation. It checks fully specified configs: the
+// zero values New's defaulting fills in (rate, RTT, MSS, efficiency) are
+// rejected here because an explicit zero is almost always a bug in the
+// caller's arithmetic, not a request for the default.
+func (c Config) Validate() error {
+	if c.Rate < 0 {
+		return fmt.Errorf("netsim: negative Rate %v", c.Rate)
+	}
+	if c.RTT < 0 {
+		return fmt.Errorf("netsim: negative RTT %v", c.RTT)
+	}
+	if c.Loss < 0 {
+		return fmt.Errorf("netsim: negative Loss %g", c.Loss)
+	}
+	if c.Loss >= 1 {
+		return fmt.Errorf("netsim: Loss %g must be < 1 (a link losing every segment transfers nothing)", c.Loss)
+	}
+	if c.MSS <= 0 {
+		return fmt.Errorf("netsim: MSS %d must be positive", c.MSS)
+	}
+	if c.MACEfficiency < 0 || c.MACEfficiency > 1 {
+		return fmt.Errorf("netsim: MACEfficiency %g outside [0,1]", c.MACEfficiency)
+	}
+	return nil
 }
 
 func (c *Config) setDefaults() {
@@ -118,27 +164,43 @@ type Network struct {
 	stats   Stats
 
 	// Metrics handles, resolved once in New; nil-safe when metrics are off.
-	mSegments   *trace.Counter
-	mAcks       *trace.Counter
-	mCwndResets *trace.Counter
+	mSegments    *trace.Counter
+	mAcks        *trace.Counter
+	mCwndResets  *trace.Counter
+	mRetransmits *trace.Counter
+	mConnResets  *trace.Counter
 }
 
 // New builds a network attached to the given device CPU. The softirq thread
 // is created as a background thread so that big.LITTLE policies place it
-// like Android does.
+// like Android does. It panics on a config Validate rejects.
 func New(s *sim.Sim, c *cpu.CPU, cfg Config) *Network {
 	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic("netsim: invalid config: " + err.Error())
+	}
 	n := &Network{s: s, cfg: cfg, cpu: c}
 	eff := units.BitRate(float64(cfg.Rate) * cfg.MACEfficiency)
-	n.down = &link{s: s, rate: eff, oneWay: cfg.RTT / 2}
-	n.up = &link{s: s, rate: eff, oneWay: cfg.RTT / 2}
+	n.down = &link{s: s, rate: eff, oneWay: cfg.RTT / 2, inj: cfg.Faults}
+	n.up = &link{s: s, rate: eff, oneWay: cfg.RTT / 2, inj: cfg.Faults}
 	if c != nil {
 		n.softirq = c.NewThread("softirq", false)
 	}
 	n.mSegments = cfg.Metrics.Counter("netsim.segments")
 	n.mAcks = cfg.Metrics.Counter("netsim.acks")
 	n.mCwndResets = cfg.Metrics.Counter("netsim.cwnd_resets")
+	n.mRetransmits = cfg.Metrics.Counter("netsim.retransmits")
+	n.mConnResets = cfg.Metrics.Counter("netsim.conn_resets")
 	return n
+}
+
+// segmentLost samples both loss processes for one segment: the configured
+// Bernoulli channel and any active injected burst-loss window.
+func (n *Network) segmentLost() bool {
+	if n.cfg.Loss > 0 && n.cfg.RNG.Float64() < n.cfg.Loss {
+		return true
+	}
+	return n.cfg.Faults.SegmentLost()
 }
 
 // Stats returns a snapshot of the counters.
@@ -176,6 +238,7 @@ type link struct {
 	rate      units.BitRate
 	oneWay    time.Duration
 	busyUntil time.Duration
+	inj       *fault.Injector // nil when fault injection is off
 }
 
 // headerBytes approximates TCP/IP/MAC framing per segment.
@@ -187,9 +250,15 @@ func (l *link) deliver(payload units.ByteSize, fn func()) {
 	if l.busyUntil > start {
 		start = l.busyUntil
 	}
-	ser := l.rate.TimeToSend(payload + headerBytes)
+	rate := l.rate
+	if f := l.inj.RateFactor(); f < 1 {
+		// Injected bandwidth dip: the packet serializes at the dipped rate.
+		rate = units.BitRate(float64(rate) * f)
+	}
+	ser := rate.TimeToSend(payload + headerBytes)
 	l.busyUntil = start + ser
-	l.s.At(l.busyUntil+l.oneWay, fn)
+	// An injected RTT spike stretches propagation; half per direction.
+	l.s.At(l.busyUntil+l.oneWay+l.inj.ExtraRTT()/2, fn)
 }
 
 // queueDelay reports how long a packet enqueued now would wait before
@@ -231,6 +300,15 @@ type Conn struct {
 	acksSinceACK int
 	rr           int // round-robin cursor over active streams
 
+	// gen is the connection generation, bumped by an injected reset; in-flight
+	// delivery callbacks from an earlier generation are dropped on arrival.
+	gen int
+	// retx counts consecutive retransmissions since the last delivered
+	// segment; the RTO backs off exponentially with it.
+	retx int
+	// resets counts injected connection resets, for the reconnect backoff.
+	resets int
+
 	actives []*transfer
 	pending []*transfer
 	waiters []func() // callbacks waiting for connection establishment
@@ -254,8 +332,14 @@ type transfer struct {
 	unsent    units.ByteSize // response bytes the server has not yet sent
 	started   time.Duration
 	serving   bool // the server has the request and is streaming the response
+	failed    bool // an injected server error replaced the response
 	done      func()
+	doneErr   func(error) // set by RequestE; reports injected server errors
 }
+
+// errorBodyBytes is the short 5xx body an injected server error returns in
+// place of the real response.
+const errorBodyBytes = 512 * units.Byte
 
 // NewConn creates an idle connection.
 func (n *Network) NewConn(name string) *Conn {
@@ -330,12 +414,26 @@ func (c *Conn) Connect(fn func()) {
 func (c *Conn) Request(name string, upBytes, downBytes units.ByteSize, think time.Duration, done func()) {
 	t := &transfer{name: name, upBytes: upBytes, downBytes: downBytes,
 		remaining: downBytes, unsent: downBytes, think: think, done: done}
+	c.enqueue(t)
+}
+
+// RequestE is Request with an error-aware completion callback: done receives
+// ErrServer when an injected server-error fault replaced the response with a
+// short error body (the bytes of that error body were still delivered).
+// Without fault injection done always receives nil.
+func (c *Conn) RequestE(name string, upBytes, downBytes units.ByteSize, think time.Duration, done func(error)) {
+	t := &transfer{name: name, upBytes: upBytes, downBytes: downBytes,
+		remaining: downBytes, unsent: downBytes, think: think, doneErr: done}
+	c.enqueue(t)
+}
+
+func (c *Conn) enqueue(t *transfer) {
 	c.pending = append(c.pending, t)
 	c.Connect(func() { c.startNext() })
 }
 
 func (c *Conn) startNext() {
-	for len(c.actives) < c.maxStreams() && len(c.pending) > 0 {
+	for c.established && len(c.actives) < c.maxStreams() && len(c.pending) > 0 {
 		t := c.pending[0]
 		c.pending = c.pending[1:]
 		c.actives = append(c.actives, t)
@@ -346,24 +444,69 @@ func (c *Conn) startNext() {
 
 func (c *Conn) sendRequest(t *transfer) {
 	n := c.net
+	if n.cfg.Faults.ConnResets() {
+		// Injected RST as the request goes out: drop the connection and
+		// replay every active stream after a reconnect (connection-level
+		// retry with exponential backoff).
+		c.reset()
+		return
+	}
 	up := t.upBytes
 	if n.cfg.HTTP2 {
 		// HPACK-style header compression.
 		up = units.ByteSize(float64(up) * 0.3)
 	}
+	gen := c.gen
 	// Upload the request (single logical burst; request bodies in the paper's
 	// workloads are small).
 	n.txCharge(up, func() {
 		n.up.deliver(up, func() {
-			n.s.After(t.think, func() {
+			n.s.After(t.think+n.cfg.Faults.ServerDelay(), func() {
+				if gen != c.gen {
+					return // connection was reset; the request will be replayed
+				}
 				if t.downBytes == 0 {
 					c.finish(t)
 					return
+				}
+				if n.cfg.Faults.ServerErrors() {
+					// The origin answers with a short error body instead of
+					// the payload; the client sees a fast, failed response.
+					t.failed = true
+					body := min(errorBodyBytes, t.downBytes)
+					t.remaining, t.unsent = body, body
 				}
 				t.serving = true
 				c.pump()
 			})
 		})
+	})
+}
+
+// reset models an injected connection reset: every active stream is requeued
+// from the start, the congestion state drops, and the device reconnects
+// after an exponentially backed-off pause before replaying them.
+func (c *Conn) reset() {
+	n := c.net
+	n.mConnResets.Add(1)
+	if tr := n.cfg.Trace; tr != nil {
+		tr.Instant("netsim", "conn-reset", n.cfg.TracePid, c.tid, n.s.Now())
+	}
+	c.gen++
+	for _, t := range c.actives {
+		t.remaining, t.unsent, t.serving, t.failed = t.downBytes, t.downBytes, false, false
+	}
+	c.pending = append(c.actives, c.pending...)
+	c.actives = nil
+	c.inflight = 0
+	c.acksSinceACK = 0
+	c.retx = 0
+	c.established = false
+	c.connecting = false
+	backoff := (n.cfg.RTT*2 + 10*time.Millisecond) << min(c.resets, 4)
+	c.resets++
+	n.s.After(backoff, func() {
+		c.Connect(func() { c.startNext() })
 	})
 }
 
@@ -401,13 +544,23 @@ func (c *Conn) nextSendable() *transfer {
 
 func (c *Conn) sendSegment(t *transfer, seg units.ByteSize) {
 	n := c.net
-	if n.cfg.Loss > 0 && n.cfg.RNG.Float64() < n.cfg.Loss {
-		// Lost in the air: recover after an RTO-ish delay with a halved window.
+	gen := c.gen
+	if n.segmentLost() {
+		// Lost in the air: recover after the RTO with a halved window. The
+		// RTO backs off exponentially with consecutive retransmissions, so a
+		// burst-loss window degrades throughput instead of melting the link
+		// with a retransmission storm.
 		n.stats.SegmentsLost++
 		if tr := n.cfg.Trace; tr != nil {
 			tr.Instant("netsim", "tcp-loss", n.cfg.TracePid, c.tid, n.s.Now())
 		}
-		n.s.After(n.cfg.RTT*2+10*time.Millisecond, func() {
+		rto := (n.cfg.RTT*2 + 10*time.Millisecond) << min(c.retx, 6)
+		c.retx++
+		n.mRetransmits.Add(1)
+		n.s.After(rto, func() {
+			if gen != c.gen {
+				return // connection was reset; the stream will be replayed
+			}
 			c.ssthresh = c.cwnd / 2
 			if c.ssthresh < 2 {
 				c.ssthresh = 2
@@ -420,7 +573,12 @@ func (c *Conn) sendSegment(t *transfer, seg units.ByteSize) {
 		return
 	}
 	n.down.deliver(seg, func() {
-		n.rxCharge(seg, func() { c.onSegment(t, seg) })
+		n.rxCharge(seg, func() {
+			if gen != c.gen {
+				return // stale in-flight segment from before a reset
+			}
+			c.onSegment(t, seg)
+		})
 	})
 }
 
@@ -430,6 +588,7 @@ func (c *Conn) onSegment(t *transfer, seg units.ByteSize) {
 	n.stats.SegmentsDelivered++
 	n.stats.BytesDelivered += int64(seg)
 	n.mSegments.Add(1)
+	c.retx = 0
 	c.inflight--
 	if c.cwnd < c.ssthresh {
 		c.cwnd++ // slow start
@@ -474,7 +633,13 @@ func (c *Conn) finish(t *transfer) {
 			t.started, c.net.s.Now(),
 			trace.Arg{Key: "bytes", Val: float64(t.downBytes)})
 	}
-	if t.done != nil {
+	c.resets = 0 // a completed transfer proves the path is healthy again
+	switch {
+	case t.doneErr != nil && t.failed:
+		t.doneErr(ErrServer)
+	case t.doneErr != nil:
+		t.doneErr(nil)
+	case t.done != nil:
 		t.done()
 	}
 	c.startNext()
@@ -482,11 +647,15 @@ func (c *Conn) finish(t *transfer) {
 }
 
 // Abort drops the active and queued transfers without invoking their done
-// callbacks. Segments already in flight drain harmlessly.
+// callbacks. Segments already in flight are discarded on arrival (the
+// generation bump below), so a connection can be reused immediately.
 func (c *Conn) Abort() {
+	c.gen++
 	c.actives = nil
 	c.pending = nil
 	c.inflight = 0
+	c.retx = 0
+	c.acksSinceACK = 0
 }
 
 // Established reports whether the handshake has completed.
@@ -518,7 +687,7 @@ func (n *Network) SendDatagram(payload units.ByteSize, fn func()) {
 // has processed it (this is where receive-side frame data becomes available
 // to the application).
 func (n *Network) RecvDatagram(payload units.ByteSize, fn func()) {
-	if n.cfg.Loss > 0 && n.cfg.RNG.Float64() < n.cfg.Loss {
+	if n.segmentLost() {
 		n.stats.SegmentsLost++
 		return
 	}

@@ -106,24 +106,29 @@ func Check(events []trace.Event, m *trace.Metrics, rules ...Rule) []Violation {
 //     zero — the player must stall instead of playing unbuffered content).
 //   - StallsMatchMetrics (stall instants in the trace equal the metrics
 //     registry's video.stalls counter).
+//   - FaultsRecovered (every injected fault instant is covered by a matching
+//     recovery span — no fault window is left open).
 func DefaultRules() []Rule {
 	return []Rule{
 		SpansNest{Exempt: DefaultOverlapExempt},
 		SpanBounds{},
 		NonNegativeCounter{Counter: "buffer_s", Eps: 1e-9},
 		StallsMatchMetrics{},
+		FaultsRecovered{},
 	}
 }
 
 // DefaultOverlapExempt reports lanes whose spans legitimately overlap:
 // replayed browser waterfall lanes (span = request→completion, includes
 // main-thread queueing), per-connection transfer lanes (HTTP/2 multiplexes
-// transfers on one connection), and the DSP lane (FastRPC spans include
-// queue time behind the single offload engine).
+// transfers on one connection), the DSP lane (FastRPC spans include queue
+// time behind the single offload engine), and the fault-injector lane
+// (concurrently open fault windows produce overlapping recovery spans).
 func DefaultOverlapExempt(lane string) bool {
 	return strings.HasPrefix(lane, "browser:") ||
 		strings.HasPrefix(lane, "net:") ||
-		strings.HasPrefix(lane, "dsp:")
+		strings.HasPrefix(lane, "dsp:") ||
+		strings.HasPrefix(lane, "fault:")
 }
 
 // SpansNest asserts that spans on each lane either nest (one fully inside
@@ -206,6 +211,52 @@ func (r NonNegativeCounter) Check(c *Context) []Violation {
 		if v := argVal(e, "value"); v < -r.Eps {
 			out = append(out, Violation{r.Name(), fmt.Sprintf(
 				"at %v: value %g < 0", e.Ts, v)})
+		}
+	}
+	return out
+}
+
+// FaultsRecovered asserts the fault-injection contract: every injected fault
+// instant (category "fault", name "fault:<kind>") must be covered by a
+// "recovered:<kind>" span for the same kind on the same lane whose interval
+// brackets the injection time — i.e. every fault window the injector opened
+// was also closed, and the consumers got their recovery notification. A
+// trace with no fault events passes vacuously, which is why the rule can sit
+// in the default set shared by faulted and fault-free suites.
+type FaultsRecovered struct{}
+
+// Name implements Rule.
+func (FaultsRecovered) Name() string { return "faults-recovered" }
+
+// Check implements Rule.
+func (r FaultsRecovered) Check(c *Context) []Violation {
+	type key struct {
+		pid, tid int
+		kind     string
+	}
+	recovered := map[key][]trace.Event{}
+	for _, e := range c.Events {
+		if e.Kind == trace.KindSpan && e.Cat == "fault" && strings.HasPrefix(e.Name, "recovered:") {
+			k := key{e.Pid, e.Tid, strings.TrimPrefix(e.Name, "recovered:")}
+			recovered[k] = append(recovered[k], e)
+		}
+	}
+	var out []Violation
+	for _, e := range c.Events {
+		if e.Kind != trace.KindInstant || e.Cat != "fault" || !strings.HasPrefix(e.Name, "fault:") {
+			continue
+		}
+		k := key{e.Pid, e.Tid, strings.TrimPrefix(e.Name, "fault:")}
+		covered := false
+		for _, sp := range recovered[k] {
+			if sp.Ts <= e.Ts && e.Ts <= sp.End() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, Violation{r.Name(), fmt.Sprintf(
+				"injected fault %q at %v has no covering recovery span", e.Name, e.Ts)})
 		}
 	}
 	return out

@@ -1,0 +1,11 @@
+package runner
+
+import "mobileqoe/internal/experiments"
+
+// SetCellFn substitutes the cell-execution function for crash and timeout
+// tests; it returns a restore function for the caller to defer.
+func SetCellFn(fn func(id string, cfg experiments.Config, trial, attempt int) (*experiments.Table, error)) func() {
+	old := cellFn
+	cellFn = fn
+	return func() { cellFn = old }
+}

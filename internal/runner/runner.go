@@ -27,8 +27,16 @@ type Options struct {
 	Parallel int
 	// Timeout aborts the run after this wall-clock duration. Cells already
 	// executing finish (the simulation kernel is not preemptible); queued
-	// cells fail with the context error. 0 means no limit.
+	// cells fail with an error naming the cell and wrapping the context
+	// error. 0 means no limit.
 	Timeout time.Duration
+	// Retries is how many extra attempts a failed cell gets (a panic inside
+	// a registry runner is recovered into an error and counts as a failure).
+	// Retry attempt a reruns the cell under experiments.AttemptSeed(seed, a),
+	// so a crash tied to one pathological draw does not repeat verbatim.
+	// Context cancellation and timeouts are never retried. 0 means one
+	// attempt only.
+	Retries int
 	// Progress, when non-nil, is called once per completed cell. Calls are
 	// serialized on the collecting goroutine in completion order, which is
 	// nondeterministic — progress is for reporting only and never feeds
@@ -42,6 +50,7 @@ type Event struct {
 	ID          string
 	Trial       int
 	Seed        uint64 // the derived per-trial seed the cell ran with
+	Attempt     int    // attempt the reported outcome came from (0 = first try)
 	Err         error
 	Elapsed     time.Duration
 }
@@ -49,10 +58,53 @@ type Event struct {
 // Result is one experiment's merged outcome. Run returns results in the
 // order the experiments were requested.
 type Result struct {
-	ID      string
-	Table   *experiments.Table // merged across trials; nil when Err != nil
-	Err     error              // first per-trial error, in trial order
-	Elapsed time.Duration      // summed wall-clock of the experiment's cells
+	ID string
+	// Table merges the trials that completed; failed trials appear as
+	// explicit "ERROR: trial N ..." notes on it. It is nil only when every
+	// trial failed.
+	Table   *experiments.Table
+	Err     error         // first per-trial error, in trial order
+	Elapsed time.Duration // summed wall-clock of the experiment's cells
+}
+
+// cellFn executes one attempt of one cell. It is a variable so crash tests
+// can substitute a panicking or canceling implementation (see export_test.go).
+var cellFn = experiments.RunTrialAttempt
+
+// runCellAttempt executes one attempt, recovering a panicking registry
+// runner into an error so one crashing cell cannot take down the pool.
+func runCellAttempt(id string, cfg experiments.Config, trial, attempt int) (tab *experiments.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tab, err = nil, fmt.Errorf("attempt %d: panic: %v", attempt, r)
+		}
+	}()
+	return cellFn(id, cfg, trial, attempt)
+}
+
+// runCell runs one cell to success or exhaustion: up to 1+retries attempts,
+// each under its derived attempt seed. Every returned error names the cell,
+// so a timed-out run reports which trials never started instead of a bare
+// context.DeadlineExceeded.
+func runCell(ctx context.Context, id string, cfg experiments.Config, trial, retries int) (*experiments.Table, int, error) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return nil, attempt - 1, err // report the real failure, not the cutoff
+			}
+			return nil, attempt, fmt.Errorf("%s trial %d: not started: %w", id, trial, cerr)
+		}
+		var tab *experiments.Table
+		tab, err = runCellAttempt(id, cfg, trial, attempt)
+		if err == nil {
+			return tab, attempt, nil
+		}
+		if attempt >= retries {
+			return nil, attempt, fmt.Errorf("%s trial %d: failed after %d attempt(s): %w",
+				id, trial, attempt+1, err)
+		}
+	}
 }
 
 // Run executes cfg.Trials trials of every listed experiment on a worker
@@ -106,16 +158,13 @@ func Run(ctx context.Context, ids []string, cfg experiments.Config, opts Options
 			for i := range queue {
 				c := cells[i]
 				start := time.Now()
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
-				} else {
-					// Pass the caller's un-normalized cfg: RunTrial
-					// normalizes once, exactly like experiments.Run.
-					tables[i], errs[i] = experiments.RunTrial(c.id, cfg, c.trial)
-				}
+				// Pass the caller's un-normalized cfg: RunTrialAttempt
+				// normalizes once, exactly like experiments.Run.
+				var attempt int
+				tables[i], attempt, errs[i] = runCell(ctx, c.id, cfg, c.trial, opts.Retries)
 				took[i] = time.Since(start)
 				events <- Event{ID: c.id, Trial: c.trial, Seed: trialSeed(norm, c.trial),
-					Err: errs[i], Elapsed: took[i]}
+					Attempt: attempt, Err: errs[i], Elapsed: took[i]}
 			}
 		}()
 	}
@@ -138,23 +187,41 @@ func Run(ctx context.Context, ids []string, cfg experiments.Config, opts Options
 	for k, id := range ids {
 		r := Result{ID: id}
 		per := make([]*experiments.Table, 0, trials)
+		var failNotes []string
 		for t := 0; t < trials; t++ {
 			i := k*trials + t
 			r.Elapsed += took[i]
-			if errs[i] != nil && r.Err == nil {
-				r.Err = fmt.Errorf("%s trial %d: %w", id, t, errs[i])
+			if errs[i] != nil {
+				if r.Err == nil {
+					r.Err = errs[i]
+				}
+				failNotes = append(failNotes, "ERROR: "+errs[i].Error())
+				continue
 			}
 			per = append(per, tables[i])
 		}
-		if r.Err == nil {
-			r.Table = experiments.MergeTrials(per)
-			if r.Table != nil && r.Table.Metrics != nil {
-				// Wall-clock per cell, observed strictly in cell-index order
-				// (the merge discipline); the values themselves are host
-				// timing, the only non-virtual quantity in the registry.
+		// Partial merge: the trials that completed still produce a table;
+		// the failures become explicit error notes on it, in trial order. A
+		// crash or timeout therefore loses only its own cells.
+		r.Table = experiments.MergeTrials(per)
+		if r.Table != nil {
+			if len(failNotes) > 0 {
+				// Copy before annotating: MergeTrials returns the sole
+				// surviving trial's table itself when only one completed.
+				annotated := *r.Table
+				annotated.Notes = append(append([]string{}, r.Table.Notes...), failNotes...)
+				r.Table = &annotated
+			}
+			if r.Table.Metrics != nil {
+				// Wall-clock per completed cell, observed strictly in
+				// cell-index order (the merge discipline); the values
+				// themselves are host timing, the only non-virtual quantity
+				// in the registry.
 				h := r.Table.Metrics.Histogram("runner.cell_wall_ms")
 				for t := 0; t < trials; t++ {
-					h.Observe(float64(took[k*trials+t]) / float64(time.Millisecond))
+					if errs[k*trials+t] == nil {
+						h.Observe(float64(took[k*trials+t]) / float64(time.Millisecond))
+					}
 				}
 			}
 		}

@@ -25,6 +25,7 @@ import (
 
 	"mobileqoe/internal/cpu"
 	"mobileqoe/internal/device"
+	"mobileqoe/internal/fault"
 	"mobileqoe/internal/mem"
 	"mobileqoe/internal/netsim"
 	"mobileqoe/internal/sim"
@@ -64,6 +65,13 @@ const (
 	swDecodePenalty = 12.0
 	renderBatch     = 500 * time.Millisecond
 	appWorkingSet   = 400 * units.MB
+
+	// Resilience parameters, active only under fault injection: a segment
+	// fetch that has not completed within segmentDeadline (at least
+	// minFetchDeadline) is aborted and refetched at a lower rung; failed
+	// requests are retried after segmentRetryDelay.
+	minFetchDeadline  = 4 * time.Second
+	segmentRetryDelay = 250 * time.Millisecond
 )
 
 // Config wires the player to the simulated device.
@@ -80,6 +88,13 @@ type Config struct {
 	// DisablePrefetch caps the read-ahead at one segment (ablation: what
 	// makes streaming different from telephony).
 	DisablePrefetch bool
+
+	// Faults, when non-nil, arms the player's resilience machinery: segment
+	// fetches get a watchdog that aborts starved transfers and downswitches
+	// the ABR ladder instead of stalling forever, and failed requests
+	// (injected server errors) are retried. Nil schedules no watchdog
+	// events, keeping the fault-free run byte-identical.
+	Faults *fault.Injector
 
 	// Trace, when non-nil, receives the startup span, a playback-buffer
 	// counter track, and ABR/stall instants under category "video",
@@ -167,6 +182,7 @@ type player struct {
 	readySeconds float64 // demuxed+decoded content, in seconds
 	playhead     float64 // seconds of content displayed
 	fetching     bool
+	fetchSeq     int // identifies the in-flight fetch for the watchdog
 	decoderReady bool
 	rungIdx      int     // current ladder index (ABR state)
 	maxRungIdx   int     // cap from device policy + StreamConfig
@@ -267,10 +283,21 @@ func (p *player) start() {
 	p.segments = 1 + int((rest+p.sc.SegmentLen-1)/p.sc.SegmentLen)
 	// App/player initialization is serial CPU work, then the manifest fetch.
 	p.main.Exec("player-init", playerInitCycles*p.factor, func() {
-		p.conn.Request("manifest", 300, manifestBytes, 0, func() {
-			p.cfg.Sim.After(decoderInitDelay, func() { p.decoderReady = true; p.maybeDisplay() })
-			p.pump()
-		})
+		p.fetchManifest()
+	})
+}
+
+// fetchManifest requests the manifest, retrying after a short delay when an
+// injected fault fails the request (a player cannot start without it). Fault
+// windows are finite, so the retry loop always terminates.
+func (p *player) fetchManifest() {
+	p.conn.RequestE("manifest", 300, manifestBytes, 0, func(err error) {
+		if err != nil {
+			p.cfg.Sim.After(segmentRetryDelay, func() { p.fetchManifest() })
+			return
+		}
+		p.cfg.Sim.After(decoderInitDelay, func() { p.decoderReady = true; p.maybeDisplay() })
+		p.pump()
 	})
 }
 
@@ -290,16 +317,63 @@ func (p *player) pump() {
 		return // buffer full; resume when playback drains it
 	}
 	p.fetching = true
+	p.fetchSeq++
+	seq := p.fetchSeq
 	idx := p.nextFetch
 	p.nextFetch++
 	bytes := p.segBytes(idx)
 	fetchStart := p.now()
-	p.conn.Request("segment", 400, bytes, 0, func() {
+	if p.cfg.Faults != nil {
+		// Watchdog: a fetch starved by burst loss or a bandwidth dip is
+		// abandoned and retried at a lower rung rather than stalling playback
+		// for the rest of the clip. Armed only under fault injection so the
+		// fault-free event sequence is untouched.
+		deadline := 2 * p.segLen(idx)
+		if deadline < minFetchDeadline {
+			deadline = minFetchDeadline
+		}
+		p.cfg.Sim.After(deadline, func() { p.fetchWatchdog(seq, idx) })
+	}
+	p.conn.RequestE("segment", 400, bytes, 0, func(err error) {
+		if seq != p.fetchSeq || !p.fetching {
+			return // the watchdog already gave up on this fetch
+		}
 		p.fetching = false
+		if err != nil {
+			// Injected server error: refetch the same segment shortly.
+			p.nextFetch = idx
+			p.cfg.Sim.After(segmentRetryDelay, func() { p.pump() })
+			return
+		}
 		p.observeThroughput(bytes, p.now()-fetchStart)
 		p.demux(idx)
 		p.pump()
 	})
+}
+
+// fetchWatchdog fires when segment idx (fetch number seq) has been in flight
+// past its deadline: the transfer is aborted, the ABR steps down a rung, the
+// bandwidth estimate is halved, and the same segment is refetched at the
+// cheaper bitrate.
+func (p *player) fetchWatchdog(seq, idx int) {
+	if seq != p.fetchSeq || !p.fetching || p.finished {
+		return // the fetch completed (or was superseded) in time
+	}
+	p.conn.Abort()
+	p.fetching = false
+	p.nextFetch = idx
+	p.ewmaMbps *= 0.5
+	p.cfg.Metrics.Counter("video.fetch_aborts").Add(1)
+	if p.rungIdx > 0 {
+		p.rungIdx--
+		p.rung = Ladder[p.rungIdx]
+		p.cfg.Metrics.Counter("video.abr_switches").Add(1)
+		if tr := p.cfg.Trace; tr != nil {
+			tr.Instant("video", "abr:"+p.rung.Name, p.cfg.TracePid, p.tid, p.now(),
+				trace.Arg{Key: "watchdog", Val: 1})
+		}
+	}
+	p.pump()
 }
 
 // demux fans the segment's post-processing out across the worker threads;
