@@ -1,0 +1,144 @@
+// Package obsflag is the shared flag-wiring helper for the simulator CLIs.
+// The -trace / -metrics / -faults conventions used to be re-implemented in
+// each binary and had started to diverge (iperfsim had no -trace or
+// -metrics at all); the flags now register, translate to options, and flush
+// through one place.
+//
+// qoesim keeps its own trace wiring — its per-(experiment, trial) tracer
+// factory has no single flush point — but shares the -faults resolver, and
+// its flag spellings match the ones registered here.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mobileqoe/internal/core"
+	"mobileqoe/internal/fault"
+	"mobileqoe/internal/obs"
+	"mobileqoe/internal/trace"
+)
+
+// Flags holds the parsed observability flags plus the tracer and metrics
+// registry they materialize into. Every system built from one Flags value
+// shares the same tracer and registry, so a multi-step sweep lands in a
+// single trace file and a single table.
+type Flags struct {
+	// TraceOut is the -trace argument: a Chrome trace-event JSON output
+	// path, empty when tracing was not requested.
+	TraceOut string
+	// Metrics is the -metrics argument: print the run's metrics registry
+	// after the results.
+	Metrics bool
+
+	tr  *trace.Tracer
+	reg *trace.Metrics
+}
+
+// Register installs the shared -trace and -metrics flags on fs (normally
+// flag.CommandLine). traceUsage overrides the -trace help text when the
+// binary needs to qualify it (e.g. a sweep writing one combined file); pass
+// "" for the standard wording.
+func Register(fs *flag.FlagSet, traceUsage string) *Flags {
+	if traceUsage == "" {
+		traceUsage = "write a Chrome trace-event JSON of the run to this file"
+	}
+	f := &Flags{}
+	fs.StringVar(&f.TraceOut, "trace", "", traceUsage)
+	fs.BoolVar(&f.Metrics, "metrics", false, "print the run's metrics registry after the results")
+	return f
+}
+
+// EnableTrace forces the tracer on even when -trace was not given, for
+// flags (like pageload's -timeline) that consume the trace in-process
+// without writing the file. Call before Options or Ctx.
+func (f *Flags) EnableTrace() {
+	if f.tr == nil {
+		f.tr = trace.New()
+	}
+}
+
+// Options translates the parsed flags into core options. Call once after
+// flag.Parse and hand the result to every core.NewSystem of the run.
+func (f *Flags) Options() []core.Option {
+	var opts []core.Option
+	if f.TraceOut != "" {
+		f.EnableTrace()
+	}
+	if f.tr != nil {
+		opts = append(opts, core.WithTrace(f.tr))
+	}
+	if f.Metrics {
+		f.ensureRegistry()
+		opts = append(opts, core.WithMetrics(f.reg))
+	}
+	return opts
+}
+
+// Ctx materializes the flags as an obs.Ctx for CLIs that drive a subsystem
+// directly instead of through core.NewSystem (regexdsp's DSP model). The
+// events are attributed to a fresh trace process named process.
+func (f *Flags) Ctx(process string) obs.Ctx {
+	if f.TraceOut != "" {
+		f.EnableTrace()
+	}
+	if f.Metrics {
+		f.ensureRegistry()
+	}
+	oc := obs.Ctx{Trace: f.tr, Metrics: f.reg}
+	if f.tr != nil {
+		oc.Pid = f.tr.Process(process)
+	}
+	return oc
+}
+
+// Tracer returns the shared tracer, nil when tracing is off.
+func (f *Flags) Tracer() *trace.Tracer { return f.tr }
+
+// Registry returns the shared metrics registry, nil when -metrics is off.
+func (f *Flags) Registry() *trace.Metrics { return f.reg }
+
+func (f *Flags) ensureRegistry() {
+	if f.reg == nil {
+		f.reg = trace.NewMetrics()
+	}
+}
+
+// Flush writes whatever the flags asked for: the metrics table to w, then
+// the trace file (reporting its event count on w). Callers prefix the
+// returned error with their program name.
+func (f *Flags) Flush(w io.Writer) error {
+	if f.reg != nil {
+		fmt.Fprintf(w, "\n%s", f.reg.Table())
+	}
+	if f.TraceOut == "" || f.tr == nil {
+		return nil
+	}
+	file, err := os.Create(f.TraceOut)
+	if err == nil {
+		err = f.tr.WriteJSON(file)
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %d trace events to %s\n", f.tr.Len(), f.TraceOut)
+	return nil
+}
+
+// LoadFaultPlan resolves the shared -faults convention: empty means no
+// plan, the literal "default" selects the built-in mixed plan, anything
+// else is a JSON plan file.
+func LoadFaultPlan(arg string) (*fault.Plan, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	if arg == "default" {
+		return fault.Default(), nil
+	}
+	return fault.LoadPlan(arg)
+}

@@ -7,6 +7,8 @@
 //	iperfsim -duration 10s            # longer measurements
 //	iperfsim -free                    # ablation: packet processing costs nothing
 //	iperfsim -faults default          # throughput under the mixed fault plan
+//	iperfsim -trace sweep.json        # one Chrome trace of the whole sweep
+//	iperfsim -metrics                 # kernel metrics accumulated over the sweep
 package main
 
 import (
@@ -15,9 +17,9 @@ import (
 	"os"
 	"time"
 
+	"mobileqoe/cmd/internal/obsflag"
 	"mobileqoe/internal/core"
 	"mobileqoe/internal/device"
-	"mobileqoe/internal/fault"
 )
 
 func main() {
@@ -27,24 +29,21 @@ func main() {
 		faults   = flag.String("faults", "", "fault-injection plan: a JSON plan file, or 'default' for the built-in mixed plan")
 		seed     = flag.Uint64("seed", 1, "fault-injector seed")
 	)
+	ob := obsflag.Register(flag.CommandLine,
+		"write a Chrome trace-event JSON of the whole sweep to this file (one trace process per clock step)")
 	flag.Parse()
 
-	var plan *fault.Plan
-	if *faults != "" {
-		plan = fault.Default()
-		if *faults != "default" {
-			var err error
-			if plan, err = fault.LoadPlan(*faults); err != nil {
-				fmt.Fprintln(os.Stderr, "iperfsim:", err)
-				os.Exit(1)
-			}
-		}
+	plan, err := obsflag.LoadFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iperfsim:", err)
+		os.Exit(1)
 	}
 
+	obsOpts := ob.Options()
 	fmt.Printf("iperf server -> Nexus4 over the 72 Mbps AP (10 ms RTT), %v per step\n", *duration)
 	fmt.Printf("%-10s %s\n", "clock", "goodput")
 	for _, f := range device.Nexus4FreqSteps() {
-		opts := []core.Option{core.WithClock(f)}
+		opts := append([]core.Option{core.WithClock(f)}, obsOpts...)
 		if *free {
 			opts = append(opts, core.WithoutPacketCPUCharge())
 		}
@@ -54,5 +53,10 @@ func main() {
 		sys := core.NewSystem(device.Nexus4(), opts...)
 		r := sys.Iperf(*duration)
 		fmt.Printf("%-10s %.1f Mbps\n", f, r.Throughput.Mbpsf())
+	}
+
+	if err := ob.Flush(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "iperfsim:", err)
+		os.Exit(1)
 	}
 }

@@ -19,12 +19,11 @@ import (
 	"strings"
 	"time"
 
+	"mobileqoe/cmd/internal/obsflag"
 	"mobileqoe/internal/browser"
 	"mobileqoe/internal/core"
 	"mobileqoe/internal/device"
-	"mobileqoe/internal/fault"
 	"mobileqoe/internal/profile"
-	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 	"mobileqoe/internal/webpage"
 	"mobileqoe/internal/wprof"
@@ -39,12 +38,13 @@ func main() {
 		category  = flag.String("category", "news", "page category: news|sports|business|health|shopping")
 		seed      = flag.Uint64("seed", 1, "page generation seed")
 		waterfall = flag.Bool("waterfall", false, "print the full activity waterfall")
-		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the load to this file")
 		timeline  = flag.Bool("timeline", false, "print an ASCII timeline of the trace (implies tracing)")
 		prof      = flag.Bool("profile", false, "print an aggregated virtual-time profile of the load (implies tracing)")
 		folded    = flag.String("folded", "", "write folded stacks (flamegraph.pl / speedscope) of the load to this file (implies tracing)")
 		faults    = flag.String("faults", "", "fault-injection plan: a JSON plan file, or 'default' for the built-in mixed plan")
 	)
+	ob := obsflag.Register(flag.CommandLine,
+		"write a Chrome trace-event JSON of the load to this file")
 	flag.Parse()
 
 	spec, err := device.ByName(*dev)
@@ -62,15 +62,10 @@ func main() {
 	if *ramMB > 0 {
 		opts = append(opts, core.WithRAM(units.ByteSize(*ramMB)*units.MB))
 	}
-	if *faults != "" {
-		plan := fault.Default()
-		if *faults != "default" {
-			var err error
-			if plan, err = fault.LoadPlan(*faults); err != nil {
-				fmt.Fprintln(os.Stderr, "pageload:", err)
-				os.Exit(1)
-			}
-		}
+	if plan, perr := obsflag.LoadFaultPlan(*faults); perr != nil {
+		fmt.Fprintln(os.Stderr, "pageload:", perr)
+		os.Exit(1)
+	} else if plan != nil {
 		opts = append(opts, core.WithFaultPlan(plan, *seed))
 	}
 
@@ -79,11 +74,10 @@ func main() {
 	fmt.Printf("loading %s (%s, %d resources, %s) on %s\n\n",
 		page.Name, page.Category, len(page.Resources), page.TotalBytes(), spec)
 
-	var tr *trace.Tracer
-	if *traceOut != "" || *timeline || *prof || *folded != "" {
-		tr = trace.New()
-		opts = append(opts, core.WithTrace(tr))
+	if *timeline || *prof || *folded != "" {
+		ob.EnableTrace()
 	}
+	opts = append(opts, ob.Options()...)
 
 	sys := core.NewSystem(spec, opts...)
 	res := sys.LoadPage(page)
@@ -130,19 +124,19 @@ func main() {
 
 	if *timeline {
 		fmt.Println()
-		if err := tr.WriteASCII(os.Stdout, 100); err != nil {
+		if err := ob.Tracer().WriteASCII(os.Stdout, 100); err != nil {
 			fmt.Fprintln(os.Stderr, "pageload:", err)
 			os.Exit(1)
 		}
 	}
 	if *prof {
 		fmt.Println()
-		fmt.Print(profile.FromTracer(tr).Table(30))
+		fmt.Print(profile.FromTracer(ob.Tracer()).Table(30))
 	}
 	if *folded != "" {
 		f, err := os.Create(*folded)
 		if err == nil {
-			err = profile.FromTracer(tr).WriteFolded(f, profile.WeightTime)
+			err = profile.FromTracer(ob.Tracer()).WriteFolded(f, profile.WeightTime)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
@@ -153,18 +147,8 @@ func main() {
 		}
 		fmt.Printf("\nwrote folded stacks to %s\n", *folded)
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err == nil {
-			err = tr.WriteJSON(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pageload:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nwrote %d trace events to %s\n", tr.Len(), *traceOut)
+	if err := ob.Flush(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pageload:", err)
+		os.Exit(1)
 	}
 }

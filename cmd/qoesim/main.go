@@ -16,6 +16,7 @@
 //	qoesim -run all -checktrace                  # trace invariant check
 //	qoesim -run fig3a -faults default            # built-in mixed fault plan
 //	qoesim -run fig3a -faults plan.json -retries 2   # custom plan, cell retries
+//	qoesim -scenario sweep.json                  # declarative scenario file
 //
 // Tables go to stdout; progress and timing go to stderr, so table output is
 // byte-identical for a given seed regardless of -parallel.
@@ -40,10 +41,12 @@ import (
 	"sync"
 	"time"
 
+	"mobileqoe/cmd/internal/obsflag"
 	"mobileqoe/internal/experiments"
 	"mobileqoe/internal/fault"
 	"mobileqoe/internal/profile"
 	"mobileqoe/internal/runner"
+	"mobileqoe/internal/scenario"
 	"mobileqoe/internal/trace"
 )
 
@@ -120,6 +123,7 @@ func realMain() int {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		report   = flag.String("report", "", "run everything and write a markdown report to this file")
 		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		scen     = flag.String("scenario", "", "run a declarative scenario file (JSON; see EXPERIMENTS.md \"Writing scenario files\")")
 		full     = flag.Bool("full", false, "paper-scale configuration (slow)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of an ASCII table")
 		pages    = flag.Int("pages", 0, "pages per web measurement (default 6)")
@@ -176,8 +180,12 @@ func realMain() int {
 		}
 		return 0
 	}
-	if *run == "" && *report == "" {
-		fmt.Fprintln(os.Stderr, "qoesim: use -list to see experiments, -run <id> to execute one, or -report <file>")
+	if *run == "" && *report == "" && *scen == "" {
+		fmt.Fprintln(os.Stderr, "qoesim: use -list to see experiments, -run <id> to execute one, -scenario <file>, or -report <file>")
+		return 2
+	}
+	if *run != "" && *scen != "" {
+		fmt.Fprintln(os.Stderr, "qoesim: -run and -scenario are mutually exclusive")
 		return 2
 	}
 	var by profile.Weight
@@ -199,12 +207,34 @@ func realMain() int {
 	cfg.Trials = *trials
 	cfg.Metrics = *metrics
 	if *faults != "" {
-		plan, err := loadFaultPlan(*faults)
+		plan, err := obsflag.LoadFaultPlan(*faults)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
 			return 2
 		}
 		cfg.Faults = plan
+	}
+	if *scen != "" {
+		sc, err := scenario.Load(*scen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+			return 2
+		}
+		// The scenario registers as "scenario:<name>" and runs through the
+		// same registry/runner path as a built-in id, so every other flag
+		// (-trials, -trace, -metrics, -parallel, ...) composes unchanged.
+		*run = sc.Register()
+		if cfg.Trials == 0 && sc.Trials > 0 {
+			cfg.Trials = sc.Trials
+		}
+		if sc.FaultPlan != "" && cfg.Faults == nil {
+			plan, err := fault.LoadPlan(sc.FaultPlan)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+				return 2
+			}
+			cfg.Faults = plan
+		}
 	}
 	if *check {
 		// The checker cross-validates the trace against the metrics registry,
@@ -344,15 +374,6 @@ func realMain() int {
 			len(ids), norm.Trials, workers, time.Since(start).Round(time.Millisecond))
 	}
 	return exit
-}
-
-// loadFaultPlan resolves the -faults argument: the literal "default" selects
-// the built-in mixed plan, anything else is a JSON plan file.
-func loadFaultPlan(arg string) (*fault.Plan, error) {
-	if arg == "default" {
-		return fault.Default(), nil
-	}
-	return fault.LoadPlan(arg)
 }
 
 // analyzeTrace runs the post-run trace consumers: the aggregated profile

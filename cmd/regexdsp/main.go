@@ -15,10 +15,10 @@ import (
 	"strings"
 	"time"
 
+	"mobileqoe/cmd/internal/obsflag"
 	"mobileqoe/internal/dsp"
 	"mobileqoe/internal/rex"
 	"mobileqoe/internal/sim"
-	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
 )
 
@@ -39,13 +39,14 @@ var suite = []workload{
 
 func main() {
 	var (
-		pattern  = flag.String("pattern", "", "run a single pattern instead of the suite")
-		input    = flag.String("input", "", "input string for -pattern")
-		repeat   = flag.Float64("repeat", 400, "evaluations batched per offloaded RPC")
-		cpuMHz   = flag.Float64("cpu-mhz", 2457, "application core clock (MHz)")
-		cpuIPC   = flag.Float64("cpu-ipc", 1.9, "application core IPC")
-		traceOut = flag.String("trace", "", "replay the suite as simulated FastRPC calls and write a Chrome trace-event JSON to this file")
+		pattern = flag.String("pattern", "", "run a single pattern instead of the suite")
+		input   = flag.String("input", "", "input string for -pattern")
+		repeat  = flag.Float64("repeat", 400, "evaluations batched per offloaded RPC")
+		cpuMHz  = flag.Float64("cpu-mhz", 2457, "application core clock (MHz)")
+		cpuIPC  = flag.Float64("cpu-ipc", 1.9, "application core IPC")
 	)
+	ob := obsflag.Register(flag.CommandLine,
+		"replay the suite as simulated FastRPC calls and write a Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	work := suite
@@ -53,13 +54,8 @@ func main() {
 		work = []workload{{"custom", *pattern, *input}}
 	}
 	s := sim.New()
-	dcfg := dsp.Config{}
-	var tr *trace.Tracer
-	if *traceOut != "" {
-		tr = trace.New()
-		dcfg.Trace = tr
-		dcfg.TracePid = tr.Process("regexdsp")
-	}
+	dcfg := dsp.Config{Obs: ob.Ctx("regexdsp")}
+	tr := ob.Tracer()
 	d := dsp.New(s, dcfg)
 	rate := units.MHz(*cpuMHz).Hz() * *cpuIPC
 
@@ -123,17 +119,9 @@ func main() {
 		}
 		issue(0)
 		s.Run()
-		f, err := os.Create(*traceOut)
-		if err == nil {
-			err = tr.WriteJSON(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "regexdsp:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d trace events to %s\n", tr.Len(), *traceOut)
+	}
+	if err := ob.Flush(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "regexdsp:", err)
+		os.Exit(1)
 	}
 }

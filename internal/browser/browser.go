@@ -26,6 +26,7 @@ import (
 	"mobileqoe/internal/fault"
 	"mobileqoe/internal/mem"
 	"mobileqoe/internal/netsim"
+	"mobileqoe/internal/obs"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/units"
 	"mobileqoe/internal/webpage"
@@ -159,12 +160,13 @@ type Config struct {
 	// Engine selects the browser implementation profile; the zero value is
 	// Chrome 63, the paper's measurement browser.
 	Engine Engine
-	// Faults, when non-nil, arms the browser's resilience machinery: fetch
-	// timeouts and bounded retries, graceful degradation on abandoned
-	// resources, and a full restart on an injected memory-pressure kill.
-	// Nil (the fault-free default) schedules no timeout events at all, so
-	// the load is byte-identical to a build without fault injection.
-	Faults *fault.Injector
+	// Obs bundles the observability/fault plane. Obs.Faults, when non-nil,
+	// arms the browser's resilience machinery: fetch timeouts and bounded
+	// retries, graceful degradation on abandoned resources, and a full
+	// restart on an injected memory-pressure kill. Nil (the fault-free
+	// default) schedules no timeout events at all, so the load is
+	// byte-identical to a build without fault injection.
+	Obs obs.Ctx
 }
 
 // Load starts loading page and calls done with the result when the load
@@ -187,8 +189,8 @@ func Load(cfg Config, page *webpage.Page, done func(Result)) {
 	if cfg.Mem != nil {
 		l.factor = cfg.Mem.Slowdown(page.WorkingSet())
 	}
-	if cfg.Faults != nil {
-		cfg.Faults.OnFault(fault.MemKill, l.memKill)
+	if cfg.Obs.Faults != nil {
+		cfg.Obs.Faults.OnFault(fault.MemKill, l.memKill)
 	}
 	l.start()
 }
@@ -358,7 +360,7 @@ func (l *loader) fetchAttempt(name, domain string, size units.ByteSize, resID in
 			return
 		}
 		settled := false
-		if l.cfg.Faults != nil {
+		if l.cfg.Obs.Faults != nil {
 			// Per-attempt watchdog: a transfer starved by faults is treated
 			// as failed; a late completion after the timeout is ignored.
 			l.cfg.Sim.After(fetchTimeout, func() {

@@ -9,6 +9,7 @@ import (
 	"mobileqoe/internal/fault"
 	"mobileqoe/internal/mem"
 	"mobileqoe/internal/netsim"
+	"mobileqoe/internal/obs"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/stats"
 )
@@ -21,12 +22,12 @@ func faultLoad(t *testing.T, lc loadCfg, plan *fault.Plan, seed uint64) Result {
 	ccfg := cpu.FromSpec(lc.spec, lc.governor)
 	ccfg.UserspaceFreq = lc.usFreq
 	c := cpu.New(s, ccfg)
-	inj := fault.NewInjector(s, plan, stats.NewRNG(seed), fault.Config{})
-	n := netsim.New(s, c, netsim.Config{ChargeCPU: true, Faults: inj})
+	inj := fault.NewInjector(s, plan, stats.NewRNG(seed), nil, 0, nil)
+	n := netsim.New(s, c, netsim.Config{ChargeCPU: true, Obs: obs.Ctx{Faults: inj}})
 	m := mem.New(mem.Config{RAM: lc.spec.RAM})
 	var res Result
 	fired := false
-	Load(Config{Sim: s, CPU: c, Net: n, Mem: m, Faults: inj}, newsPage(), func(r Result) {
+	Load(Config{Sim: s, CPU: c, Net: n, Mem: m, Obs: obs.Ctx{Faults: inj}}, newsPage(), func(r Result) {
 		res = r
 		fired = true
 		c.Stop()

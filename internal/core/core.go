@@ -20,6 +20,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"mobileqoe/internal/browser"
@@ -30,6 +32,7 @@ import (
 	"mobileqoe/internal/fault"
 	"mobileqoe/internal/mem"
 	"mobileqoe/internal/netsim"
+	"mobileqoe/internal/obs"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/stats"
 	"mobileqoe/internal/telephony"
@@ -149,17 +152,18 @@ type System struct {
 	Mem   *mem.Memory
 	Meter *energy.Meter
 	DSP   *dsp.DSP
-	// Faults is the fault injector attached via WithFaultPlan; nil when the
-	// system runs fault-free.
-	Faults *fault.Injector
+	// Obs is the system's observability/fault context, shared by every
+	// subsystem: tracer + trace pid, metrics registry, the fault injector
+	// attached via WithFaultPlan (nil when the system runs fault-free), and
+	// the energy meter. The zero Ctx means the system runs dark.
+	Obs obs.Ctx
 
 	opts options
-	pid  int // trace process id, 0 when tracing is off
 }
 
 // TracePid returns the trace process id the system's events are attributed
 // to (0 when no tracer is attached).
-func (sys *System) TracePid() int { return sys.pid }
+func (sys *System) TracePid() int { return sys.Obs.Pid }
 
 // NewSystem builds a device. The zero option set is the paper's default
 // configuration: interactive governor, all cores, stock RAM, LAN testbed.
@@ -192,16 +196,19 @@ func parseOptions(opts []Option) options {
 
 func build(spec device.Spec, o options) *System {
 	s := sim.New()
-	pid := 0
+	oc := obs.Ctx{Trace: o.tr, Metrics: o.metrics}
 	if o.tr != nil {
-		pid = o.tr.Process(spec.Name)
+		oc.Pid = o.tr.Process(spec.Name)
 	}
-	installKernelHook(s, o.tr, o.metrics, pid)
-	meter := energy.NewMeter(s.Now)
-	meter.SetTrace(o.tr, pid)
+	installKernelHook(s, oc)
+	// Construction order below is load-bearing for determinism: subsystems
+	// schedule their first events as they are built, and the kernel breaks
+	// timestamp ties by insertion order. Meter, CPU, injector, network — the
+	// same order the pre-obs.Ctx code used.
+	oc = oc.WithMeter(energy.NewMeter(s.Now))
+	oc.BindMeter()
 	ccfg := cpu.FromSpec(spec, o.governor)
-	ccfg.Meter = meter
-	ccfg.Trace, ccfg.TracePid, ccfg.Metrics = o.tr, pid, o.metrics
+	ccfg.Obs = oc // the CPU never consults Faults, so the pre-injector Ctx is complete for it
 	if o.clock > 0 {
 		ccfg.UserspaceFreq = o.clock
 	}
@@ -213,34 +220,28 @@ func build(spec device.Spec, o options) *System {
 	if ram == 0 {
 		ram = spec.RAM
 	}
-	var inj *fault.Injector
 	if o.faultPlan != nil {
-		inj = fault.NewInjector(s, o.faultPlan, stats.NewRNG(o.faultSeed),
-			fault.Config{Trace: o.tr, TracePid: pid, Metrics: o.metrics})
+		oc = oc.WithFaults(fault.NewInjector(s, o.faultPlan,
+			stats.NewRNG(o.faultSeed), oc.Trace, oc.Pid, oc.Metrics))
 	}
 	netCfg := o.netCfg
-	netCfg.Trace, netCfg.TracePid, netCfg.Metrics = o.tr, pid, o.metrics
-	netCfg.Faults = inj
+	netCfg.Obs = oc
 	sys := &System{
-		Spec:   spec,
-		Sim:    s,
-		CPU:    c,
-		Net:    netsim.New(s, c, netCfg),
-		Mem:    mem.New(mem.Config{RAM: ram}),
-		Meter:  meter,
-		Faults: inj,
-		opts:   o,
-		pid:    pid,
+		Spec:  spec,
+		Sim:   s,
+		CPU:   c,
+		Net:   netsim.New(s, c, netCfg),
+		Mem:   mem.New(mem.Config{RAM: ram}),
+		Meter: oc.Meter,
+		Obs:   oc,
+		opts:  o,
 	}
 	if o.dspCfg != nil {
 		cfg := *o.dspCfg
-		cfg.Meter = meter
-		cfg.Faults = inj
-		cfg.Trace, cfg.TracePid, cfg.Metrics = o.tr, pid, o.metrics
+		cfg.Obs = oc
 		sys.DSP = dsp.New(s, cfg)
 	} else if spec.Has(device.DSP) {
-		sys.DSP = dsp.New(s, dsp.Config{Meter: meter, Faults: inj,
-			Trace: o.tr, TracePid: pid, Metrics: o.metrics})
+		sys.DSP = dsp.New(s, dsp.Config{Obs: oc})
 	}
 	return sys
 }
@@ -255,16 +256,14 @@ const kernelSpanBatch = 256
 // per kernelSpanBatch events on a "sim.kernel" lane. With neither consumer
 // attached no hook is installed and the kernel keeps its nil-check-only
 // fast path.
-func installKernelHook(s *sim.Sim, tr *trace.Tracer, m *trace.Metrics, pid int) {
-	if tr == nil && m == nil {
+func installKernelHook(s *sim.Sim, oc obs.Ctx) {
+	tr, pid := oc.Trace, oc.Pid
+	if tr == nil && oc.Metrics == nil {
 		return
 	}
-	kern := 0
-	if tr != nil {
-		kern = tr.Thread(pid, "sim.kernel")
-	}
-	mEvents := m.Counter("sim.events")
-	mDepth := m.Histogram("sim.queue_depth")
+	kern := oc.Lane("sim.kernel")
+	mEvents := oc.Counter("sim.events")
+	mDepth := oc.Histogram("sim.queue_depth")
 	var batchStart time.Duration
 	var batchMax, inBatch int
 	s.SetHook(func(si sim.StepInfo) {
@@ -286,46 +285,166 @@ func installKernelHook(s *sim.Sim, tr *trace.Tracer, m *trace.Metrics, pid int) 
 	})
 }
 
-// run drives the simulation until the workload completes or the virtual
-// deadline passes, then drains straggler events. It deliberately does not
-// advance the clock past the last event, so time-integrated measurements
-// (energy) reflect only the workload.
-func (sys *System) run(deadline time.Duration, done *bool) {
-	limit := sys.Sim.Now() + deadline
-	for !*done && sys.Sim.Now() <= limit && sys.Sim.Step() {
-	}
-	sys.CPU.Stop()
-	sys.Sim.Run()
-	if !*done {
-		panic("core: simulation deadline exceeded before the workload finished")
-	}
+// ErrDeadline is the typed error Run returns when the virtual deadline
+// passes before the workload finishes — a wedged simulation (e.g. a fault
+// plan that starves every fetch forever), not a slow one: deadlines are
+// virtual hours. Callers match it with errors.Is.
+var ErrDeadline = errors.New("core: simulation deadline exceeded before the workload finished")
+
+// Result is the outcome of one workload run. Exactly one field is non-nil,
+// the one matching the workload that produced it.
+type Result struct {
+	Page  *browser.Result
+	Video *video.Metrics
+	Call  *telephony.Metrics
+	Iperf *netsim.IperfResult
 }
 
-// LoadPage loads a page in the simulated browser and returns the trace.
-func (sys *System) LoadPage(page *webpage.Page) browser.Result {
-	var res browser.Result
+// Workload is one of the paper's applications, expressed as a unit the
+// generic Run driver can execute: it names itself, bounds itself with a
+// virtual-time deadline, and starts itself on a system, reporting through
+// the callback when finished. The four built-ins are PageLoad, VideoStream,
+// CallWorkload, and IperfWorkload; LoadPage/StreamVideo/PlaceCall/Iperf are
+// thin wrappers over them.
+type Workload interface {
+	Name() string
+	Deadline() time.Duration
+	Start(sys *System, done func(Result))
+}
+
+// finisher is the optional post-drain hook a workload can implement for
+// work that must run after the simulation has fully settled (trace
+// annotation, summary metrics). It runs only on success.
+type finisher interface {
+	finish(sys *System, res *Result)
+}
+
+// Run drives the simulation until w completes or its virtual deadline
+// passes, then drains straggler events. It deliberately does not advance
+// the clock past the last event, so time-integrated measurements (energy)
+// reflect only the workload. On deadline it returns an error wrapping
+// ErrDeadline (and the zero Result); the system is left drained but the
+// workload's own state is abandoned mid-flight, so a deadlined System
+// should not be reused.
+func (sys *System) Run(w Workload) (Result, error) {
+	var res Result
 	done := false
+	w.Start(sys, func(r Result) {
+		res = r
+		done = true
+		sys.CPU.Stop()
+	})
+	limit := sys.Sim.Now() + w.Deadline()
+	for !done && sys.Sim.Now() <= limit && sys.Sim.Step() {
+	}
+	sys.CPU.Stop()
+	if !done {
+		// Bounded drain only: a wedged workload may be holding a perpetually
+		// self-rescheduling event chain, and a full drain would spin forever —
+		// exactly the hang the deadline exists to convert into an error.
+		sys.Sim.RunUntil(sys.Sim.Now())
+		return Result{}, fmt.Errorf("%s: %w", w.Name(), ErrDeadline)
+	}
+	sys.Sim.Run()
+	if f, ok := w.(finisher); ok {
+		f.finish(sys, &res)
+	}
+	return res, nil
+}
+
+// PageLoad is the web-browsing workload (Fig. 2a, 3): load one page, PLT is
+// the metric.
+type PageLoad struct {
+	Page *webpage.Page
+}
+
+func (PageLoad) Name() string            { return "pageload" }
+func (PageLoad) Deadline() time.Duration { return 30 * time.Minute }
+
+func (w PageLoad) Start(sys *System, done func(Result)) {
 	browser.Load(browser.Config{Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem,
-		Engine: sys.opts.engine, Faults: sys.Faults},
-		page, func(r browser.Result) {
-			res = r
-			done = true
-			sys.CPU.Stop()
+		Engine: sys.opts.engine, Obs: sys.Obs},
+		w.Page, func(r browser.Result) {
+			done(Result{Page: &r})
 		})
-	sys.run(30*time.Minute, &done)
-	if sys.opts.tr != nil {
+}
+
+func (PageLoad) finish(sys *System, res *Result) {
+	if sys.Obs.Trace != nil {
 		// Annotate the replayed waterfall with each activity's critical-path
 		// segment so trace consumers (internal/profile, tracediff) can
 		// attribute PLT — and PLT deltas between devices — span by span.
-		st := wprof.FromResult(res).CriticalPath()
+		st := wprof.FromResult(*res.Page).CriticalPath()
 		critMs := make(map[int]float64, len(st.Segments))
 		for _, seg := range st.Segments {
 			critMs[seg.NodeID] = float64(seg.Dur) / 1e6
 		}
-		res.EmitTraceWith(sys.opts.tr, sys.pid, critMs)
+		res.Page.EmitTraceWith(sys.Obs.Trace, sys.Obs.Pid, critMs)
 	}
-	sys.opts.metrics.Histogram("browser.plt_ms").Observe(float64(res.PLT) / 1e6)
-	return res
+	sys.Obs.Histogram("browser.plt_ms").Observe(float64(res.Page.PLT) / 1e6)
+}
+
+// VideoStream is the streaming workload (Fig. 2b, 4).
+type VideoStream struct {
+	Config video.StreamConfig
+}
+
+func (VideoStream) Name() string            { return "video" }
+func (VideoStream) Deadline() time.Duration { return 4 * time.Hour }
+
+func (w VideoStream) Start(sys *System, done func(Result)) {
+	video.Stream(video.Config{
+		Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem, Spec: sys.Spec,
+		ForceSoftwareDecode: sys.opts.forceSWDec,
+		DisablePrefetch:     sys.opts.noPrefetch,
+		Obs:                 sys.Obs,
+	}, w.Config, func(m video.Metrics) {
+		done(Result{Video: &m})
+	})
+}
+
+// CallWorkload is the telephony workload (Fig. 2c, 5).
+type CallWorkload struct {
+	Config telephony.CallConfig
+}
+
+func (CallWorkload) Name() string            { return "call" }
+func (CallWorkload) Deadline() time.Duration { return 4 * time.Hour }
+
+func (w CallWorkload) Start(sys *System, done func(Result)) {
+	telephony.Call(telephony.Config{
+		Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem, Spec: sys.Spec,
+		DisableABR:         sys.opts.noABR,
+		ForceSoftwareCodec: sys.opts.forceSWDec,
+		Obs:                sys.Obs,
+	}, w.Config, func(m telephony.Metrics) {
+		done(Result{Call: &m})
+	})
+}
+
+// IperfWorkload is the bulk-TCP throughput workload (§4.1, Fig. 6).
+type IperfWorkload struct {
+	Duration time.Duration
+}
+
+func (IperfWorkload) Name() string              { return "iperf" }
+func (w IperfWorkload) Deadline() time.Duration { return w.Duration + time.Minute }
+
+func (w IperfWorkload) Start(sys *System, done func(Result)) {
+	sys.Net.Iperf(w.Duration, func(r netsim.IperfResult) {
+		done(Result{Iperf: &r})
+	})
+}
+
+// LoadPage loads a page in the simulated browser and returns the trace. It
+// panics if the run deadlines; harnesses that must survive wedged cells use
+// Run(PageLoad{...}) and handle ErrDeadline.
+func (sys *System) LoadPage(page *webpage.Page) browser.Result {
+	res, err := sys.Run(PageLoad{Page: page})
+	if err != nil {
+		panic(err)
+	}
+	return *res.Page
 }
 
 // Analyze builds the WProf dependency graph for a load result.
@@ -333,54 +452,34 @@ func (sys *System) Analyze(res browser.Result) *wprof.Graph {
 	return wprof.FromResult(res)
 }
 
-// StreamVideo plays a clip and returns the streaming QoE metrics.
+// StreamVideo plays a clip and returns the streaming QoE metrics. It panics
+// on deadline; see LoadPage.
 func (sys *System) StreamVideo(sc video.StreamConfig) video.Metrics {
-	var m video.Metrics
-	done := false
-	video.Stream(video.Config{
-		Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem, Spec: sys.Spec,
-		ForceSoftwareDecode: sys.opts.forceSWDec,
-		DisablePrefetch:     sys.opts.noPrefetch,
-		Faults:              sys.Faults,
-		Trace:               sys.opts.tr, TracePid: sys.pid, Metrics: sys.opts.metrics,
-	}, sc, func(got video.Metrics) {
-		m = got
-		done = true
-		sys.CPU.Stop()
-	})
-	sys.run(4*time.Hour, &done)
-	return m
+	res, err := sys.Run(VideoStream{Config: sc})
+	if err != nil {
+		panic(err)
+	}
+	return *res.Video
 }
 
-// PlaceCall runs a video call and returns the telephony QoE metrics.
+// PlaceCall runs a video call and returns the telephony QoE metrics. It
+// panics on deadline; see LoadPage.
 func (sys *System) PlaceCall(cc telephony.CallConfig) telephony.Metrics {
-	var m telephony.Metrics
-	done := false
-	telephony.Call(telephony.Config{
-		Sim: sys.Sim, CPU: sys.CPU, Net: sys.Net, Mem: sys.Mem, Spec: sys.Spec,
-		DisableABR:         sys.opts.noABR,
-		ForceSoftwareCodec: sys.opts.forceSWDec,
-		Trace:              sys.opts.tr, TracePid: sys.pid, Metrics: sys.opts.metrics,
-	}, cc, func(got telephony.Metrics) {
-		m = got
-		done = true
-		sys.CPU.Stop()
-	})
-	sys.run(4*time.Hour, &done)
-	return m
+	res, err := sys.Run(CallWorkload{Config: cc})
+	if err != nil {
+		panic(err)
+	}
+	return *res.Call
 }
 
-// Iperf measures bulk TCP goodput for the given duration (§4.1).
+// Iperf measures bulk TCP goodput for the given duration (§4.1). It panics
+// on deadline; see LoadPage.
 func (sys *System) Iperf(duration time.Duration) netsim.IperfResult {
-	var r netsim.IperfResult
-	done := false
-	sys.Net.Iperf(duration, func(got netsim.IperfResult) {
-		r = got
-		done = true
-		sys.CPU.Stop()
-	})
-	sys.run(duration+time.Minute, &done)
-	return r
+	res, err := sys.Run(IperfWorkload{Duration: duration})
+	if err != nil {
+		panic(err)
+	}
+	return *res.Iperf
 }
 
 // EffectiveRate returns the foreground cycles/second of the current

@@ -18,6 +18,7 @@ import (
 
 	"mobileqoe/internal/device"
 	"mobileqoe/internal/energy"
+	"mobileqoe/internal/obs"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
@@ -55,16 +56,15 @@ type Config struct {
 	Little          *device.Cluster // nil for single-cluster SoCs
 	ForegroundOnBig bool            // vendor scheduler policy (see device.Spec)
 	Governor        GovernorKind
-	UserspaceFreq   units.Freq    // target for the userspace governor; 0 = median step
-	Meter           *energy.Meter // optional; component "cpu"
+	UserspaceFreq   units.Freq // target for the userspace governor; 0 = median step
 
-	// Trace, when non-nil, receives task spans (one lane per thread),
-	// per-cluster frequency counter tracks, and hotplug instants under
-	// category "cpu", attributed to process TracePid. Metrics, when non-nil,
-	// accumulates cpu.governor_transitions, cpu.tasks, and cpu.task_cycles.
-	Trace    *trace.Tracer
-	TracePid int
-	Metrics  *trace.Metrics
+	// Obs bundles the observability plane. Obs.Meter, when non-nil,
+	// integrates component "cpu" power. Obs.Trace, when non-nil, receives
+	// task spans (one lane per thread), per-cluster frequency counter
+	// tracks, and hotplug instants under category "cpu", attributed to
+	// process Obs.Pid. Obs.Metrics, when non-nil, accumulates
+	// cpu.governor_transitions, cpu.tasks, and cpu.task_cycles.
+	Obs obs.Ctx
 
 	// SwitchOverhead is the per-extra-runnable-thread multiplexing penalty on
 	// a core: with n threads sharing a core its useful capacity shrinks to
@@ -204,9 +204,9 @@ func New(s *sim.Sim, cfg Config) *CPU {
 		c.addCluster(*cfg.Little, 0.35) // little cores switch far less capacitance
 	}
 	c.online = len(c.cores)
-	c.mGovTransitions = cfg.Metrics.Counter("cpu.governor_transitions")
-	c.mTasks = cfg.Metrics.Counter("cpu.tasks")
-	c.mTaskCycles = cfg.Metrics.Histogram("cpu.task_cycles")
+	c.mGovTransitions = cfg.Obs.Counter("cpu.governor_transitions")
+	c.mTasks = cfg.Obs.Counter("cpu.tasks")
+	c.mTaskCycles = cfg.Obs.Histogram("cpu.task_cycles")
 	c.applyGovernorInitial()
 	for _, cl := range c.clusters {
 		c.traceFreq(cl)
@@ -218,9 +218,9 @@ func New(s *sim.Sim, cfg Config) *CPU {
 
 // traceFreq samples the cluster's frequency counter track.
 func (c *CPU) traceFreq(cl *cluster) {
-	if tr := c.cfg.Trace; tr != nil {
+	if tr := c.cfg.Obs.Trace; tr != nil {
 		tr.Counter("cpu", fmt.Sprintf("freq.cluster%d", cl.id),
-			c.cfg.TracePid, c.s.Now(), cl.freq.Hz()/1e6)
+			c.cfg.Obs.Pid, c.s.Now(), cl.freq.Hz()/1e6)
 	}
 }
 
@@ -415,8 +415,8 @@ func (c *CPU) SetOnlineCores(n int) {
 	}
 	c.settle()
 	if n != c.online {
-		if tr := c.cfg.Trace; tr != nil {
-			tr.Instant("cpu", "hotplug", c.cfg.TracePid, 0, c.s.Now(),
+		if tr := c.cfg.Obs.Trace; tr != nil {
+			tr.Instant("cpu", "hotplug", c.cfg.Obs.Pid, 0, c.s.Now(),
 				trace.Arg{Key: "online", Val: float64(n)})
 		}
 	}
@@ -474,8 +474,8 @@ func (c *CPU) CoreBusy() []time.Duration {
 // loaded cores.
 func (c *CPU) NewThread(name string, foreground bool) *Thread {
 	t := &Thread{cpu: c, name: name, foreground: foreground, weight: 1}
-	if tr := c.cfg.Trace; tr != nil {
-		t.tid = tr.Thread(c.cfg.TracePid, "cpu:"+name)
+	if tr := c.cfg.Obs.Trace; tr != nil {
+		t.tid = tr.Thread(c.cfg.Obs.Pid, "cpu:"+name)
 	}
 	c.threads = append(c.threads, t)
 	return t
@@ -693,8 +693,8 @@ func (c *CPU) onCompletion(th *Thread) {
 	}
 	c.mTasks.Add(1)
 	c.mTaskCycles.Observe(cur.cost)
-	if tr := c.cfg.Trace; tr != nil {
-		tr.Span("cpu", "task:"+cur.name, c.cfg.TracePid, th.tid, cur.start, c.s.Now(),
+	if tr := c.cfg.Obs.Trace; tr != nil {
+		tr.Span("cpu", "task:"+cur.name, c.cfg.Obs.Pid, th.tid, cur.start, c.s.Now(),
 			trace.Arg{Key: "cycles", Val: cur.cost})
 	}
 	c.reschedule()
@@ -719,7 +719,7 @@ func (c *CPU) detach(th *Thread) {
 }
 
 func (c *CPU) updatePower() {
-	if c.cfg.Meter == nil {
+	if c.cfg.Obs.Meter == nil {
 		return
 	}
 	total := 0.0
@@ -733,5 +733,5 @@ func (c *CPU) updatePower() {
 			total += energy.DynamicPower(co.cl.ceff, co.cl.freq, v)
 		}
 	}
-	c.cfg.Meter.SetPower("cpu", total)
+	c.cfg.Obs.Meter.SetPower("cpu", total)
 }

@@ -352,7 +352,7 @@ func TestEnergyAccountingHigherAtHighClock(t *testing.T) {
 		m := energy.NewMeter(s.Now)
 		cfg := singleCluster(Userspace)
 		cfg.UserspaceFreq = units.MHz(mhz)
-		cfg.Meter = m
+		cfg.Obs.Meter = m
 		c := New(s, cfg)
 		th := c.NewThread("main", true)
 		th.Exec("work", 1e9, func() { c.Stop() })

@@ -19,8 +19,7 @@ package dsp
 import (
 	"time"
 
-	"mobileqoe/internal/energy"
-	"mobileqoe/internal/fault"
+	"mobileqoe/internal/obs"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
@@ -45,25 +44,23 @@ type Config struct {
 	// the SMMU boundary (ION shared buffers make this cheap); default
 	// 500 ns/KiB.
 	MarshalPerKB time.Duration
-	ActiveWatts  float64       // power while serving; default 0.22 W
-	IdleWatts    float64       // leakage; default 0.005 W
-	Meter        *energy.Meter // optional; component "dsp"
+	ActiveWatts  float64 // power while serving; default 0.22 W
+	IdleWatts    float64 // leakage; default 0.005 W
 
-	// Faults, when non-nil, can fail FastRPC calls (kind dsp-fail); the call
-	// then degrades gracefully to CPU execution of the backtracking engine at
-	// FallbackFreq, paying the penalty instead of erroring out.
-	Faults *fault.Injector
 	// FallbackFreq is the application-core clock used to price the CPU
 	// fallback; default 2 GHz.
 	FallbackFreq units.Freq
 
-	// Trace, when non-nil, receives one FastRPC span per call on a
-	// "dsp:fastrpc" lane under category "dsp", attributed to TracePid.
-	// Metrics, when non-nil, accumulates dsp.calls and dsp.service_us (and,
-	// under fault injection, dsp.fallbacks and dsp.fallback_us).
-	Trace    *trace.Tracer
-	TracePid int
-	Metrics  *trace.Metrics
+	// Obs bundles the observability/fault plane. Obs.Meter, when non-nil,
+	// integrates component "dsp" power. Obs.Faults, when non-nil, can fail
+	// FastRPC calls (kind dsp-fail); the call then degrades gracefully to
+	// CPU execution of the backtracking engine at FallbackFreq, paying the
+	// penalty instead of erroring out. Obs.Trace, when non-nil, receives one
+	// FastRPC span per call on a "dsp:fastrpc" lane under category "dsp",
+	// attributed to Obs.Pid. Obs.Metrics, when non-nil, accumulates
+	// dsp.calls and dsp.service_us (and, under fault injection,
+	// dsp.fallbacks and dsp.fallback_us).
+	Obs obs.Ctx
 }
 
 func (c *Config) setDefaults() {
@@ -107,15 +104,15 @@ type DSP struct {
 func New(s *sim.Sim, cfg Config) *DSP {
 	cfg.setDefaults()
 	d := &DSP{s: s, cfg: cfg}
-	if cfg.Trace != nil {
-		d.tid = cfg.Trace.Thread(cfg.TracePid, "dsp:fastrpc")
+	if cfg.Obs.Trace != nil {
+		d.tid = cfg.Obs.Trace.Thread(cfg.Obs.Pid, "dsp:fastrpc")
 	}
-	d.mCalls = cfg.Metrics.Counter("dsp.calls")
-	d.mServiceUs = cfg.Metrics.Histogram("dsp.service_us")
-	d.mFallbacks = cfg.Metrics.Counter("dsp.fallbacks")
-	d.mFallbackUs = cfg.Metrics.Histogram("dsp.fallback_us")
-	if cfg.Meter != nil {
-		cfg.Meter.SetPower("dsp", cfg.IdleWatts)
+	d.mCalls = cfg.Obs.Counter("dsp.calls")
+	d.mServiceUs = cfg.Obs.Histogram("dsp.service_us")
+	d.mFallbacks = cfg.Obs.Counter("dsp.fallbacks")
+	d.mFallbackUs = cfg.Obs.Histogram("dsp.fallback_us")
+	if cfg.Obs.Meter != nil {
+		cfg.Obs.Meter.SetPower("dsp", cfg.IdleWatts)
 	}
 	return d
 }
@@ -160,7 +157,7 @@ func (d *DSP) rpcCost(inputBytes int) time.Duration {
 // synchronous), which is exactly why offload frees the CPU core.
 func (d *DSP) Call(pikeSteps int64, inputBytes int, done func()) {
 	now := d.s.Now()
-	if d.cfg.Faults.DSPCallFails() {
+	if d.cfg.Obs.Faults.DSPCallFails() {
 		// FastRPC failed (DSP restart, SMMU fault): degrade gracefully by
 		// running the backtracking engine on the application core instead.
 		// The caller pays the RPC attempt plus the CPU-priced execution; the
@@ -169,8 +166,8 @@ func (d *DSP) Call(pikeSteps int64, inputBytes int, done func()) {
 		lat := d.rpcCost(inputBytes) + units.DurationFor(CPUCycles(pikeSteps), d.cfg.FallbackFreq)
 		d.mFallbacks.Add(1)
 		d.mFallbackUs.Observe(float64(lat) / 1e3)
-		if tr := d.cfg.Trace; tr != nil {
-			tr.Span("dsp", "cpu-fallback", d.cfg.TracePid, d.tid, now, now+lat,
+		if tr := d.cfg.Obs.Trace; tr != nil {
+			tr.Span("dsp", "cpu-fallback", d.cfg.Obs.Pid, d.tid, now, now+lat,
 				trace.Arg{Key: "pike_steps", Val: float64(pikeSteps)})
 		}
 		d.s.After(lat, func() {
@@ -188,8 +185,8 @@ func (d *DSP) Call(pikeSteps int64, inputBytes int, done func()) {
 	d.busyUntil = start + service
 	d.calls++
 	d.busyTotal += service
-	if d.cfg.Meter != nil {
-		m := d.cfg.Meter
+	if d.cfg.Obs.Meter != nil {
+		m := d.cfg.Obs.Meter
 		d.s.At(start, func() { m.SetPower("dsp", d.cfg.ActiveWatts) })
 		end := d.busyUntil
 		d.s.At(end, func() {
@@ -202,8 +199,8 @@ func (d *DSP) Call(pikeSteps int64, inputBytes int, done func()) {
 	d.mCalls.Add(1)
 	d.mServiceUs.Observe(float64(service) / 1e3)
 	finish := d.busyUntil + d.rpcCost(0)/2 // response unmarshal
-	if tr := d.cfg.Trace; tr != nil {
-		tr.Span("dsp", "fastrpc", d.cfg.TracePid, d.tid, now, finish,
+	if tr := d.cfg.Obs.Trace; tr != nil {
+		tr.Span("dsp", "fastrpc", d.cfg.Obs.Pid, d.tid, now, finish,
 			trace.Arg{Key: "pike_steps", Val: float64(pikeSteps)},
 			trace.Arg{Key: "queue_us", Val: float64(start-now) / 1e3})
 	}

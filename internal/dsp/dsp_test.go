@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mobileqoe/internal/energy"
+	"mobileqoe/internal/obs"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/units"
 )
@@ -73,7 +74,7 @@ func TestEnergyModelFourXCheaperThanCore(t *testing.T) {
 	// roughly a quarter of the power of an application core.
 	s := sim.New()
 	m := energy.NewMeter(s.Now)
-	d := New(s, Config{Meter: m})
+	d := New(s, Config{Obs: obs.Ctx{Meter: m}})
 	var during float64
 	d.Call(100_000_000, 0, nil) // ~68.75 ms of service
 	s.At(20*time.Millisecond, func() { during = m.Power("dsp") })
@@ -96,7 +97,7 @@ func TestBusyWindowExtension(t *testing.T) {
 	// Back-to-back calls must keep the meter at active power in between.
 	s := sim.New()
 	m := energy.NewMeter(s.Now)
-	d := New(s, Config{Meter: m})
+	d := New(s, Config{Obs: obs.Ctx{Meter: m}})
 	d.Call(10_000_000, 0, nil) // ~6.9ms
 	d.Call(10_000_000, 0, nil) // queued, +6.9ms
 	var mid float64

@@ -27,7 +27,7 @@ func init() {
 	register("abl-biglittle", "Ablation: foreground placement on big vs little cluster", ablBigLittle)
 }
 
-func ablPacketCPU(cfg Config) *Table {
+func ablPacketCPU(cfg Config) (*Table, error) {
 	t := &Table{ID: "abl-packetcpu", Title: "Clock sensitivity with and without CPU-charged packet processing",
 		Columns: []string{"config", "tput_384_mbps", "tput_1512_mbps", "plt_384_s", "plt_1512_s"}}
 	pages := takePages(cfg, 2)
@@ -39,29 +39,52 @@ func ablPacketCPU(cfg Config) *Table {
 			}
 			return o
 		}
-		tputAt := func(f units.Freq) float64 {
-			sys := cfg.newSystem(device.Nexus4(), opts(f)...)
-			return sys.Iperf(cfg.IperfDuration).Throughput.Mbpsf()
+		tputAt := func(f units.Freq) (float64, error) {
+			sys := cfg.NewSystem(device.Nexus4(), opts(f)...)
+			res, err := sys.Run(core.IperfWorkload{Duration: cfg.IperfDuration})
+			if err != nil {
+				return 0, err
+			}
+			return res.Iperf.Throughput.Mbpsf(), nil
 		}
-		pltAt := func(f units.Freq) float64 {
-			return avgPLTOn(cfg, device.Nexus4(), pages, opts(f)...).Mean()
+		pltAt := func(f units.Freq) (float64, error) {
+			s, err := avgPLTOn(cfg, device.Nexus4(), pages, opts(f)...)
+			if err != nil {
+				return 0, err
+			}
+			return s.Mean(), nil
 		}
 		label := "charged"
 		if !charged {
 			label = "free"
 		}
-		t.AddRow(label, mbps(tputAt(units.MHz(384))), mbps(tputAt(units.MHz(1512))),
-			ratio(pltAt(units.MHz(384))), ratio(pltAt(units.MHz(1512))))
+		tputLo, err := tputAt(units.MHz(384))
+		if err != nil {
+			return nil, err
+		}
+		tputHi, err := tputAt(units.MHz(1512))
+		if err != nil {
+			return nil, err
+		}
+		pltLo, err := pltAt(units.MHz(384))
+		if err != nil {
+			return nil, err
+		}
+		pltHi, err := pltAt(units.MHz(1512))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(label, mbps(tputLo), mbps(tputHi), ratio(pltLo), ratio(pltHi))
 	}
 	t.Notes = append(t.Notes,
 		"charging packet processing creates the Fig. 6 throughput cliff and part of the Web slowdown")
-	return t
+	return t, nil
 }
 
-func ablPrefetch(cfg Config) *Table {
+func ablPrefetch(cfg Config) (*Table, error) {
 	t := &Table{ID: "abl-prefetch", Title: "Streaming stalls vs read-ahead on a 2%-loss link (Nexus4 @384MHz)",
 		Columns: []string{"prefetch", "startup_s", "stall_ratio"}}
-	run := func(disable bool) video.Metrics {
+	run := func(disable bool) (video.Metrics, error) {
 		opts := []core.Option{
 			core.WithClock(units.MHz(384)),
 			core.WithNetwork(netsim.Config{ChargeCPU: true, Loss: 0.02}),
@@ -69,41 +92,65 @@ func ablPrefetch(cfg Config) *Table {
 		if disable {
 			opts = append(opts, core.WithoutPrefetch())
 		}
-		sys := cfg.newSystem(device.Nexus4(), opts...)
-		return sys.StreamVideo(video.StreamConfig{Duration: 2 * cfg.ClipDuration})
+		sys := cfg.NewSystem(device.Nexus4(), opts...)
+		res, err := sys.Run(core.VideoStream{Config: video.StreamConfig{Duration: 2 * cfg.ClipDuration}})
+		if err != nil {
+			return video.Metrics{}, err
+		}
+		return *res.Video, nil
 	}
-	with := run(false)
-	without := run(true)
+	with, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	without, err := run(true)
+	if err != nil {
+		return nil, err
+	}
 	t.AddRow("120s (default)", secs(with.StartupLatency), fmt.Sprintf("%.3f", with.StallRatio))
 	t.AddRow("disabled", secs(without.StartupLatency), fmt.Sprintf("%.3f", without.StallRatio))
 	t.Notes = append(t.Notes,
 		"the read-ahead buffer is what hides transient trouble; telephony has no such buffer")
-	return t
+	return t, nil
 }
 
-func ablHWDecoder(cfg Config) *Table {
+func ablHWDecoder(cfg Config) (*Table, error) {
 	t := &Table{ID: "abl-hwdecoder", Title: "Streaming with and without the hardware decoder (Nexus4 @1512MHz)",
 		Columns: []string{"decoder", "startup_s", "stall_ratio"}}
-	run := func(sw bool) video.Metrics {
+	run := func(sw bool) (video.Metrics, error) {
 		opts := []core.Option{core.WithClock(units.MHz(1512))}
 		if sw {
 			opts = append(opts, core.WithoutHardwareDecoder())
 		}
-		sys := cfg.newSystem(device.Nexus4(), opts...)
-		return sys.StreamVideo(video.StreamConfig{Duration: cfg.ClipDuration})
+		sys := cfg.NewSystem(device.Nexus4(), opts...)
+		res, err := sys.Run(core.VideoStream{Config: video.StreamConfig{Duration: cfg.ClipDuration}})
+		if err != nil {
+			return video.Metrics{}, err
+		}
+		return *res.Video, nil
 	}
-	hw, sw := run(false), run(true)
+	hw, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := run(true)
+	if err != nil {
+		return nil, err
+	}
 	t.AddRow("hardware", secs(hw.StartupLatency), fmt.Sprintf("%.3f", hw.StallRatio))
 	t.AddRow("software", secs(sw.StartupLatency), fmt.Sprintf("%.3f", sw.StallRatio))
 	t.Notes = append(t.Notes,
 		"the counterfactual behind Takeaway 2: without the accelerator, even full clock stalls")
-	return t
+	return t, nil
 }
 
-func ablRPC(cfg Config) *Table {
+func ablRPC(cfg Config) (*Table, error) {
 	t := &Table{ID: "abl-rpc", Title: "Offload ePLT gain vs FastRPC overhead (Pixel2, sports pages)",
 		Columns: []string{"rpc_overhead", "eplt_gain"}}
-	graphs, rate := sportsGraphs(cfg)
+	graphs, rate, err := sportsGraphs(cfg)
+	if err != nil {
+		return nil, err
+	}
 	for _, oh := range []time.Duration{0, 50 * time.Microsecond, 100 * time.Microsecond,
 		500 * time.Microsecond, 2 * time.Millisecond, 10 * time.Millisecond} {
 		d := dsp.New(sim.New(), dsp.Config{RPCOverhead: oh})
@@ -119,10 +166,10 @@ func ablRPC(cfg Config) *Table {
 		t.AddRow(oh.String(), pct(gain.Mean()))
 	}
 	t.Notes = append(t.Notes, "past some per-call overhead, offloading stops paying")
-	return t
+	return t, nil
 }
 
-func ablEngine(cfg Config) *Table {
+func ablEngine(cfg Config) (*Table, error) {
 	t := &Table{ID: "abl-engine", Title: "Regex engine steps: backtracking vs Pike VM",
 		Columns: []string{"workload", "bt_steps", "pike_steps", "bt/pike"}}
 	// Corpus workload: every regex call recorded on the sports pages.
@@ -158,10 +205,10 @@ func ablEngine(cfg Config) *Table {
 	t.Notes = append(t.Notes,
 		"the Pike VM's linear-time guarantee is what makes regex a safe DSP offload target;",
 		"a warm lazy DFA (third engine, rex.NewDFA) scans at ~1 step/rune")
-	return t
+	return t, nil
 }
 
-func ablBigLittle(cfg Config) *Table {
+func ablBigLittle(cfg Config) (*Table, error) {
 	t := &Table{ID: "abl-biglittle", Title: "Foreground placement policy on a big.LITTLE flagship",
 		Columns: []string{"policy", "plt_s(mean±std)"}}
 	pages := takePages(cfg, 3)
@@ -172,10 +219,13 @@ func ablBigLittle(cfg Config) *Table {
 		if spec.ForegroundOnBig {
 			label = "foreground-on-big (Pixel2-style)"
 		}
-		s := avgPLTOn(cfg, spec, pages)
+		s, err := avgPLTOn(cfg, spec, pages)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(label, meanStd(s.Mean(), s.Std()))
 	}
 	t.Notes = append(t.Notes,
 		"the scheduling policy, not the silicon, explains the paper's Pixel2-vs-S6 outlier")
-	return t
+	return t, nil
 }

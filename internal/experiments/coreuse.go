@@ -19,7 +19,7 @@ func init() {
 // textCoreUse reproduces the paper's confirmation measurement: during Web
 // page loads only ~two cores are utilized regardless of how many exist,
 // while the video pipeline spreads across all of them.
-func textCoreUse(cfg Config) *Table {
+func textCoreUse(cfg Config) (*Table, error) {
 	t := &Table{ID: "text-coreuse", Title: "Per-core busy shares (Nexus4, performance governor)",
 		Columns: []string{"workload", "core0", "core1", "core2", "core3", "top2_share"}}
 
@@ -57,19 +57,23 @@ func textCoreUse(cfg Config) *Table {
 	}
 
 	// Web page load.
-	webSys := cfg.newSystem(device.Nexus4(), core.WithGovernor(cpu.Performance))
-	webSys.LoadPage(corpus(cfg)[0])
+	webSys := cfg.NewSystem(device.Nexus4(), core.WithGovernor(cpu.Performance))
+	if _, err := webSys.Run(core.PageLoad{Page: corpus(cfg)[0]}); err != nil {
+		return nil, err
+	}
 	sh, top2 := shares(webSys.CPU)
 	row("web-pageload", sh, top2)
 
 	// Video streaming.
-	vidSys := cfg.newSystem(device.Nexus4(), core.WithGovernor(cpu.Performance))
-	vidSys.StreamVideo(video.StreamConfig{Duration: cfg.ClipDuration})
+	vidSys := cfg.NewSystem(device.Nexus4(), core.WithGovernor(cpu.Performance))
+	if _, err := vidSys.Run(core.VideoStream{Config: video.StreamConfig{Duration: cfg.ClipDuration}}); err != nil {
+		return nil, err
+	}
 	sh, top2 = shares(vidSys.CPU)
 	row("video-streaming", sh, top2)
 
 	t.Notes = append(t.Notes,
 		"paper: during page loads only two cores are utilized irrespective of availability;",
 		"the Android multimedia pipeline is parallelized across all cores")
-	return t
+	return t, nil
 }

@@ -18,19 +18,22 @@ func init() {
 // quantifies that trade on a page-load workload: the voltage drop makes the
 // slow clock genuinely cheaper per load (f·V² scaling beats race-to-idle
 // here), but at several times the latency.
-func extEnergy(cfg Config) *Table {
+func extEnergy(cfg Config) (*Table, error) {
 	t := &Table{ID: "ext-energy", Title: "CPU energy and PLT per governor (Nexus4, per page load)",
 		Columns: []string{"governor", "plt_s", "cpu_joules", "avg_watts", "joules_per_page_second"}}
 	pages := takePages(cfg, 3)
 	for _, gov := range cpu.Governors() {
 		var plt, joules, pw stats.Sample
 		for _, p := range pages {
-			sys := cfg.newSystem(device.Nexus4(), core.WithGovernor(gov))
-			res := sys.LoadPage(p)
+			sys := cfg.NewSystem(device.Nexus4(), core.WithGovernor(gov))
+			res, err := sys.Run(core.PageLoad{Page: p})
+			if err != nil {
+				return nil, err
+			}
 			e := sys.Meter.Energy("cpu")
-			plt.Add(res.PLT.Seconds())
+			plt.Add(res.Page.PLT.Seconds())
 			joules.Add(e)
-			pw.Add(e / res.PLT.Seconds())
+			pw.Add(e / res.Page.PLT.Seconds())
 		}
 		t.AddRow(string(gov), ratio(plt.Mean()), ratio(joules.Mean()),
 			watts(pw.Mean()), ratio(joules.Mean()/plt.Mean()))
@@ -38,5 +41,5 @@ func extEnergy(cfg Config) *Table {
 	t.Notes = append(t.Notes,
 		"powersave halves the joules per load but takes ~4x as long — the f*V^2 voltage",
 		"savings outweigh race-to-idle on this workload; IN/OD track PF at similar energy")
-	return t
+	return t, nil
 }

@@ -205,8 +205,11 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-// Runner produces a table under a configuration.
-type Runner func(Config) *Table
+// Runner produces a table under a configuration. A runner reports rather
+// than panics when a cell cannot finish — notably the typed core.ErrDeadline
+// a wedged simulation returns — so harnesses (internal/runner, qoesim) can
+// record a per-cell error without a recover path.
+type Runner func(Config) (*Table, error)
 
 type entry struct {
 	fn   Runner
@@ -221,6 +224,13 @@ func register(id, desc string, fn Runner) {
 	}
 	registry[id] = entry{fn: fn, desc: desc}
 }
+
+// Register adds an out-of-package experiment (e.g. a parsed scenario) to the
+// registry under the given id, making it runnable through RunTrial and the
+// internal/runner pool like a built-in. It panics on a duplicate id; dynamic
+// registrars namespace their ids (internal/scenario uses "scenario:<name>")
+// so they cannot collide with the built-in figure ids.
+func Register(id, desc string, fn Runner) { register(id, desc, fn) }
 
 // IDs returns all experiment IDs in sorted order.
 func IDs() []string {
@@ -297,7 +307,10 @@ func RunTrialAttempt(id string, cfg Config, trial, attempt int) (*Table, error) 
 	if c.Faults != nil {
 		c.faultSeq = new(uint64)
 	}
-	tab := e.fn(c)
+	tab, err := e.fn(c)
+	if err != nil {
+		return nil, err
+	}
 	tab.Metrics = c.reg
 	return tab, nil
 }
@@ -330,6 +343,20 @@ func unknownErr(id string) error {
 }
 
 // Formatting helpers shared by the runners.
+
+// FmtSecs, FmtFPS, FmtMbps, and FmtMeanStd expose the registry's cell
+// formatters to out-of-package runners (internal/scenario), so declarative
+// sweeps format byte-identically to the built-in figures they mirror.
+func FmtSecs(d time.Duration) string { return secs(d) }
+
+// FmtFPS formats a frame rate like the telephony figures.
+func FmtFPS(v float64) string { return fps(v) }
+
+// FmtMbps formats a throughput like fig6.
+func FmtMbps(v float64) string { return mbps(v) }
+
+// FmtMeanStd formats an aggregated sample like the web figures.
+func FmtMeanStd(m, s float64) string { return meanStd(m, s) }
 
 func secs(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
 func ratio(v float64) string      { return fmt.Sprintf("%.2f", v) }

@@ -20,7 +20,7 @@ func init() {
 	register("ext-h2", "Extension: HTTP/1.1 vs HTTP/2 multiplexing vs clock (§6 future work)", extH2)
 }
 
-func extH2(cfg Config) *Table {
+func extH2(cfg Config) (*Table, error) {
 	t := &Table{ID: "ext-h2", Title: "Web PLT under HTTP/1.1 vs HTTP/2 (Nexus4)",
 		Columns: []string{"network", "clock_mhz", "h1_s", "h2_s", "h2_gain"}}
 	pages := takePages(cfg, 3)
@@ -32,11 +32,17 @@ func extH2(cfg Config) *Table {
 	}
 	for _, cs := range cases {
 		netCfg := netsim.Profiles()[cs.net]
-		h1 := avgPLTOn(cfg, device.Nexus4(), pages,
+		h1, err := avgPLTOn(cfg, device.Nexus4(), pages,
 			core.WithClock(units.MHz(cs.mhz)), core.WithNetwork(netCfg))
+		if err != nil {
+			return nil, err
+		}
 		netCfg.HTTP2 = true
-		h2 := avgPLTOn(cfg, device.Nexus4(), pages,
+		h2, err := avgPLTOn(cfg, device.Nexus4(), pages,
 			core.WithClock(units.MHz(cs.mhz)), core.WithNetwork(netCfg))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(cs.net, fmt.Sprintf("%.0f", cs.mhz), ratio(h1.Mean()), ratio(h2.Mean()),
 			pct(1-h2.Mean()/h1.Mean()))
 	}
@@ -45,52 +51,70 @@ func extH2(cfg Config) *Table {
 		"(2015-era practice), which already parallelizes HTTP/1.1 — the same effect",
 		"real-world h2 measurements reported on sharded sites; on the 10ms LAN and at",
 		"CPU-bound clocks the protocol is a wash")
-	return t
+	return t, nil
 }
 
-func extTLS(cfg Config) *Table {
+func extTLS(cfg Config) (*Table, error) {
 	t := &Table{ID: "ext-tls", Title: "Web PLT with plain HTTP vs TLS (Nexus4)",
 		Columns: []string{"clock_mhz", "http_s", "https_s", "tls_cost"}}
 	pages := takePages(cfg, 3)
 	for _, mhz := range []float64{1512, 810, 384} {
-		plain := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(mhz)))
-		tls := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(mhz)), core.WithTLS())
+		plain, err := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(mhz)))
+		if err != nil {
+			return nil, err
+		}
+		tls, err := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(mhz)), core.WithTLS())
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("%.0f", mhz), ratio(plain.Mean()), ratio(tls.Mean()),
 			pct(tls.Mean()/plain.Mean()-1))
 	}
 	t.Notes = append(t.Notes,
 		"TLS costs grow as the clock drops: handshake crypto and record processing are pure CPU")
-	return t
+	return t, nil
 }
 
-func extBrowsers(cfg Config) *Table {
+func extBrowsers(cfg Config) (*Table, error) {
 	t := &Table{ID: "ext-browsers", Title: "Web PLT across browser implementations (Nexus4)",
 		Columns: []string{"browser", "plt_1512_s", "plt_384_s", "slowdown"}}
 	pages := takePages(cfg, 3)
 	for _, e := range browser.Engines() {
-		hi := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(1512)), core.WithEngine(e))
-		lo := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(384)), core.WithEngine(e))
+		hi, err := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(1512)), core.WithEngine(e))
+		if err != nil {
+			return nil, err
+		}
+		lo, err := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(384)), core.WithEngine(e))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(e.Name, ratio(hi.Mean()), ratio(lo.Mean()), ratio(lo.Mean()/hi.Mean()))
 	}
 	t.Notes = append(t.Notes,
 		"Chrome and Firefox degrade alike (the paper's 'qualitatively the same');",
 		"the proxy-rendered Opera Mini sidesteps client scripting and barely feels the clock")
-	return t
+	return t, nil
 }
 
-func extJoint(cfg Config) *Table {
+func extJoint(cfg Config) (*Table, error) {
 	t := &Table{ID: "ext-joint", Title: "Web PLT over network profile x CPU clock (Nexus4)",
 		Columns: []string{"network", "rate", "rtt", "plt_1512_s", "plt_384_s", "device_effect"}}
 	pages := takePages(cfg, 2)
 	for _, name := range []string{"lan", "lte", "3g"} {
 		net := netsim.Profiles()[name]
-		hi := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(1512)), core.WithNetwork(net))
-		lo := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(384)), core.WithNetwork(net))
+		hi, err := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(1512)), core.WithNetwork(net))
+		if err != nil {
+			return nil, err
+		}
+		lo, err := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(384)), core.WithNetwork(net))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(name, net.Rate.String(), net.RTT.String(),
 			ratio(hi.Mean()), ratio(lo.Mean()), ratio(lo.Mean()/hi.Mean()))
 	}
 	t.Notes = append(t.Notes,
 		"the device-side slowdown factor shrinks as the network worsens: on a 3G cell the",
 		"network hides the CPU, on the paper's LAN the CPU is everything")
-	return t
+	return t, nil
 }

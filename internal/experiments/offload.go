@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"time"
 
+	"mobileqoe/internal/core"
 	"mobileqoe/internal/cpu"
 	"mobileqoe/internal/device"
 	"mobileqoe/internal/dsp"
 	"mobileqoe/internal/energy"
+	"mobileqoe/internal/obs"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/stats"
 	"mobileqoe/internal/units"
@@ -42,24 +44,30 @@ const defaultGovernorDuty = 0.55
 // sportsGraphs traces the sports pages on a Pixel2 at the default governor
 // and returns the WProf graphs plus the default-governor effective CPU rate
 // used for the ePLT re-evaluations.
-func sportsGraphs(cfg Config) ([]*wprof.Graph, float64) {
+func sportsGraphs(cfg Config) ([]*wprof.Graph, float64, error) {
 	var graphs []*wprof.Graph
 	for _, p := range sportsPages(cfg) {
-		sys := cfg.newSystem(device.Pixel2())
-		res := sys.LoadPage(p)
-		graphs = append(graphs, wprof.FromResult(res))
+		sys := cfg.NewSystem(device.Pixel2())
+		res, err := sys.Run(core.PageLoad{Page: p})
+		if err != nil {
+			return nil, 0, err
+		}
+		graphs = append(graphs, wprof.FromResult(*res.Page))
 	}
 	spec := device.Pixel2()
 	rate := spec.Big.FMax.Hz() * spec.Big.IPC * defaultGovernorDuty
-	return graphs, rate
+	return graphs, rate, nil
 }
 
 func newDSP() *dsp.DSP { return dsp.New(sim.New(), dsp.Config{}) }
 
-func fig7a(cfg Config) *Table {
+func fig7a(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig7a", Title: "Javascript execution and ePLT, top sports pages on the Pixel2",
 		Columns: []string{"engine", "script_time_s(avg/script)", "eplt_s(avg)"}}
-	graphs, rate := sportsGraphs(cfg)
+	graphs, rate, err := sportsGraphs(cfg)
+	if err != nil {
+		return nil, err
+	}
 	d := newDSP()
 	var cpuScript, dspScript, cpuEPLT, dspEPLT stats.Sample
 	for _, g := range graphs {
@@ -79,10 +87,10 @@ func fig7a(cfg Config) *Table {
 	gain := 1 - dspEPLT.Mean()/cpuEPLT.Mean()
 	t.AddRow("gain", pct(1-dspScript.Mean()/cpuScript.Mean()), pct(gain))
 	t.Notes = append(t.Notes, "paper shape: ≈18% ePLT improvement at the default governor")
-	return t
+	return t, nil
 }
 
-func fig7b(cfg Config) *Table {
+func fig7b(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig7b", Title: "Power during regex evaluation, CPU vs DSP (Pixel2)",
 		Columns: []string{"percentile", "cpu_watts", "dsp_watts"}}
 	cpuCDF := powerCDF(cfg, false)
@@ -94,7 +102,7 @@ func fig7b(cfg Config) *Table {
 	r := cpuCDF.Quantile(0.5) / dspCDF.Quantile(0.5)
 	t.AddRow("median-ratio", ratio(r), "")
 	t.Notes = append(t.Notes, "paper shape: ~4x lower median power on the DSP")
-	return t
+	return t, nil
 }
 
 // powerCDF replays the sports regex workload on the CPU or the DSP of a
@@ -103,9 +111,9 @@ func powerCDF(cfg Config, onDSP bool) *stats.CDF {
 	s := sim.New()
 	meter := energy.NewMeter(s.Now)
 	ccfg := cpu.FromSpec(device.Pixel2(), cpu.Interactive)
-	ccfg.Meter = meter
+	ccfg.Obs.Meter = meter
 	c := cpu.New(s, ccfg)
-	d := dsp.New(s, dsp.Config{Meter: meter})
+	d := dsp.New(s, dsp.Config{Obs: obs.Ctx{Meter: meter}})
 	var samples stats.Sample
 	done := false
 	ticker := s.NewTicker(10*time.Millisecond, func() {
@@ -155,10 +163,13 @@ func powerCDF(cfg Config, onDSP bool) *stats.CDF {
 	return stats.NewCDF(&samples)
 }
 
-func fig7c(cfg Config) *Table {
+func fig7c(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig7c", Title: "ePLT at low clock frequencies, CPU vs DSP (Pixel2 big cluster)",
 		Columns: []string{"clock_mhz", "eplt_cpu_s", "eplt_dsp_s", "improvement"}}
-	graphs, _ := sportsGraphs(cfg)
+	graphs, _, err := sportsGraphs(cfg)
+	if err != nil {
+		return nil, err
+	}
 	d := newDSP()
 	ipc := device.Pixel2().Big.IPC
 	for _, f := range device.DSPFreqSteps() {
@@ -173,13 +184,16 @@ func fig7c(cfg Config) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: improvement is largest (up to ~25%) at the slowest clocks")
-	return t
+	return t, nil
 }
 
-func textRegex(cfg Config) *Table {
+func textRegex(cfg Config) (*Table, error) {
 	t := &Table{ID: "text-regex", Title: "Regex offload summary (§4.2)",
 		Columns: []string{"metric", "value"}}
-	graphs, rate := sportsGraphs(cfg)
+	graphs, rate, err := sportsGraphs(cfg)
+	if err != nil {
+		return nil, err
+	}
 	var share stats.Sample
 	for _, g := range graphs {
 		share.Add(g.RegexShare())
@@ -233,5 +247,5 @@ func textRegex(cfg Config) *Table {
 	t.AddRow("regex energy ratio CPU/DSP", ratio(cpuJ/dspJ))
 	t.Notes = append(t.Notes,
 		"paper: ≈20% corpus regex share, 18% ePLT gain, ~4x energy reduction")
-	return t
+	return t, nil
 }

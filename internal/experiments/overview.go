@@ -12,7 +12,7 @@ func init() {
 	register("fig1", "Evolution of page demands vs device capability, 2011-2018 (Fig. 1)", fig1)
 }
 
-func table1(cfg Config) *Table {
+func table1(cfg Config) (*Table, error) {
 	t := &Table{ID: "table1", Title: "Mobile devices used in the experiments",
 		Columns: []string{"device", "processor", "cores", "os", "clock_min-max_mhz",
 			"gpu", "ram", "release", "cost$"}}
@@ -21,10 +21,10 @@ func table1(cfg Config) *Table {
 			fmt.Sprintf("%.0f-%.0f", s.MinFreq().MHz(), s.MaxFreq().MHz()),
 			s.GPUType, s.RAM.String(), s.Release, fmt.Sprintf("%d", s.CostUSD))
 	}
-	return t
+	return t, nil
 }
 
-func fig1(cfg Config) *Table {
+func fig1(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig1", Title: "Page performance vs device evolution (480 synthetic specs)",
 		Columns: []string{"year", "plt_s", "page_mb", "clock_ghz", "ram_gb", "cores", "os"}}
 	for _, y := range history.Evolution(cfg.Seed, 480) {
@@ -37,5 +37,5 @@ func fig1(cfg Config) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: PLT rises ~4x across the window even though every device metric improves")
-	return t
+	return t, nil
 }

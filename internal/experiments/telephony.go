@@ -18,9 +18,13 @@ func init() {
 	register("fig5d", "Telephony QoE vs Android governor (Fig. 5d)", fig5d)
 }
 
-func callOnce(cfg Config, spec device.Spec, opts ...core.Option) telephony.Metrics {
-	sys := cfg.newSystem(spec, opts...)
-	return sys.PlaceCall(telephony.CallConfig{Duration: cfg.CallDuration})
+func callOnce(cfg Config, spec device.Spec, opts ...core.Option) (telephony.Metrics, error) {
+	sys := cfg.NewSystem(spec, opts...)
+	res, err := sys.Run(core.CallWorkload{Config: telephony.CallConfig{Duration: cfg.CallDuration}})
+	if err != nil {
+		return telephony.Metrics{}, err
+	}
+	return *res.Call, nil
 }
 
 var callCols = []string{"x", "setup_s", "fps", "resolution"}
@@ -29,55 +33,74 @@ func callRow(t *Table, label string, m telephony.Metrics) {
 	t.AddRow(label, secs(m.SetupDelay), fps(m.FrameRate), m.Resolution.Name)
 }
 
-func fig2c(cfg Config) *Table {
+func fig2c(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig2c", Title: "Video telephony frame rate across devices (default governor)",
 		Columns: append([]string{"device"}, callCols[1:]...)}
 	for _, spec := range device.Catalog() {
-		callRow(t, spec.Name, callOnce(cfg, spec))
+		m, err := callOnce(cfg, spec)
+		if err != nil {
+			return nil, err
+		}
+		callRow(t, spec.Name, m)
 	}
 	t.Notes = append(t.Notes, "paper shape: ~18 fps on the low-end phone up to 30 fps on the high-end")
-	return t
+	return t, nil
 }
 
-func fig5a(cfg Config) *Table {
+func fig5a(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig5a", Title: "Telephony QoE vs clock (Nexus4, userspace governor)",
 		Columns: append([]string{"clock_mhz"}, callCols[1:]...)}
 	for _, f := range device.Nexus4FreqSteps() {
-		callRow(t, fmt.Sprintf("%.0f", f.MHz()), callOnce(cfg, device.Nexus4(), core.WithClock(f)))
+		m, err := callOnce(cfg, device.Nexus4(), core.WithClock(f))
+		if err != nil {
+			return nil, err
+		}
+		callRow(t, fmt.Sprintf("%.0f", f.MHz()), m)
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: setup delay ≈5s→≈23s (an ~18s increase) and fps 30→~17 as the clock drops;",
 		"the ABR steps the resolution down at slow clocks")
-	return t
+	return t, nil
 }
 
-func fig5b(cfg Config) *Table {
+func fig5b(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig5b", Title: "Telephony QoE vs memory (Nexus4)",
 		Columns: append([]string{"ram_gb"}, callCols[1:]...)}
 	for _, ram := range []units.ByteSize{512 * units.MB, 1 * units.GB, 3 * units.GB / 2, 2 * units.GB} {
-		callRow(t, fmt.Sprintf("%.1f", ram.GBf()),
-			callOnce(cfg, device.Nexus4(), core.WithGovernor(cpu.Performance), core.WithRAM(ram)))
+		m, err := callOnce(cfg, device.Nexus4(), core.WithGovernor(cpu.Performance), core.WithRAM(ram))
+		if err != nil {
+			return nil, err
+		}
+		callRow(t, fmt.Sprintf("%.1f", ram.GBf()), m)
 	}
 	t.Notes = append(t.Notes, "paper shape: mild memory sensitivity, like streaming")
-	return t
+	return t, nil
 }
 
-func fig5c(cfg Config) *Table {
+func fig5c(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig5c", Title: "Telephony QoE vs online cores (Nexus4)",
 		Columns: append([]string{"cores"}, callCols[1:]...)}
 	for cores := 1; cores <= 4; cores++ {
-		callRow(t, fmt.Sprintf("%d", cores), callOnce(cfg, device.Nexus4(), core.WithCores(cores)))
+		m, err := callOnce(cfg, device.Nexus4(), core.WithCores(cores))
+		if err != nil {
+			return nil, err
+		}
+		callRow(t, fmt.Sprintf("%d", cores), m)
 	}
 	t.Notes = append(t.Notes, "paper shape: fewer cores slow setup and shave the frame rate")
-	return t
+	return t, nil
 }
 
-func fig5d(cfg Config) *Table {
+func fig5d(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig5d", Title: "Telephony QoE vs governor (Nexus4)",
 		Columns: append([]string{"governor"}, callCols[1:]...)}
 	for _, gov := range cpu.Governors() {
-		callRow(t, string(gov), callOnce(cfg, device.Nexus4(), core.WithGovernor(gov)))
+		m, err := callOnce(cfg, device.Nexus4(), core.WithGovernor(gov))
+		if err != nil {
+			return nil, err
+		}
+		callRow(t, string(gov), m)
 	}
 	t.Notes = append(t.Notes, "paper shape: powersave is the outlier")
-	return t
+	return t, nil
 }

@@ -36,6 +36,11 @@ func corpus(cfg Config) []*webpage.Page {
 	return out
 }
 
+// Corpus returns the run's page subset — the same pages the built-in web
+// figures measure — so scenario-defined sweeps and fig2a/fig3 rows stay
+// comparable cell for cell.
+func (c Config) Corpus() []*webpage.Page { return corpus(c) }
+
 // takePages returns at most n pages from the experiment's corpus subset.
 func takePages(cfg Config, n int) []*webpage.Page {
 	pages := corpus(cfg)
@@ -46,91 +51,113 @@ func takePages(cfg Config, n int) []*webpage.Page {
 }
 
 // avgPLTOn loads each page on a freshly configured system and aggregates
-// PLT seconds across the subset.
-func avgPLTOn(cfg Config, spec device.Spec, pages []*webpage.Page, opts ...core.Option) *stats.Sample {
+// PLT seconds across the subset. A deadlined load surfaces as core.ErrDeadline
+// rather than a panic so the cell can be recorded as failed.
+func avgPLTOn(cfg Config, spec device.Spec, pages []*webpage.Page, opts ...core.Option) (*stats.Sample, error) {
 	var s stats.Sample
 	for _, p := range pages {
-		sys := cfg.newSystem(spec, opts...)
-		res := sys.LoadPage(p)
-		s.Add(res.PLT.Seconds())
+		sys := cfg.NewSystem(spec, opts...)
+		res, err := sys.Run(core.PageLoad{Page: p})
+		if err != nil {
+			return nil, err
+		}
+		s.Add(res.Page.PLT.Seconds())
 	}
-	return &s
+	return &s, nil
 }
 
-func fig2a(cfg Config) *Table {
+func fig2a(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig2a", Title: "Web browsing PLT across devices (default governor)",
 		Columns: []string{"device", "cost$", "plt_s(mean±std)"}}
 	pages := corpus(cfg)
 	for _, spec := range device.Catalog() {
-		s := avgPLTOn(cfg, spec, pages)
+		s, err := avgPLTOn(cfg, spec, pages)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(spec.Name, fmt.Sprintf("%d", spec.CostUSD), meanStd(s.Mean(), s.Std()))
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: Intex ≈5x and Gionee ≈3x the Pixel2; Pixel2 beats the pricier S6-edge")
-	return t
+	return t, nil
 }
 
-func fig3a(cfg Config) *Table {
+func fig3a(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig3a", Title: "Web PLT vs clock frequency (Nexus4, userspace governor)",
 		Columns: []string{"clock_mhz", "plt_s(mean±std)"}}
 	pages := corpus(cfg)
 	for _, f := range device.Nexus4FreqSteps() {
-		s := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(f))
+		s, err := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(f))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("%.0f", f.MHz()), meanStd(s.Mean(), s.Std()))
 	}
 	t.Notes = append(t.Notes, "paper shape: ~4-5x PLT growth from 1512 to 384 MHz")
-	return t
+	return t, nil
 }
 
-func fig3b(cfg Config) *Table {
+func fig3b(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig3b", Title: "Web PLT vs memory capacity (Nexus4)",
 		Columns: []string{"ram_gb", "plt_s(mean±std)"}}
 	pages := corpus(cfg)
 	for _, ram := range []units.ByteSize{512 * units.MB, 1 * units.GB, 3 * units.GB / 2, 2 * units.GB} {
-		s := avgPLTOn(cfg, device.Nexus4(), pages,
+		s, err := avgPLTOn(cfg, device.Nexus4(), pages,
 			core.WithGovernor(cpu.Performance), core.WithRAM(ram))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("%.1f", ram.GBf()), meanStd(s.Mean(), s.Std()))
 	}
 	t.Notes = append(t.Notes, "paper shape: ~2x PLT at 512 MB vs 2 GB, mild above 1 GB")
-	return t
+	return t, nil
 }
 
-func fig3c(cfg Config) *Table {
+func fig3c(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig3c", Title: "Web PLT vs online cores (Nexus4)",
 		Columns: []string{"cores", "plt_s(mean±std)"}}
 	pages := corpus(cfg)
 	for cores := 1; cores <= 4; cores++ {
-		s := avgPLTOn(cfg, device.Nexus4(), pages,
+		s, err := avgPLTOn(cfg, device.Nexus4(), pages,
 			core.WithGovernor(cpu.Performance), core.WithCores(cores))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(fmt.Sprintf("%d", cores), meanStd(s.Mean(), s.Std()))
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: only modest change — the browser uses no more than two cores")
-	return t
+	return t, nil
 }
 
-func fig3d(cfg Config) *Table {
+func fig3d(cfg Config) (*Table, error) {
 	t := &Table{ID: "fig3d", Title: "Web PLT vs Android governor (Nexus4)",
 		Columns: []string{"governor", "plt_s(mean±std)"}}
 	pages := corpus(cfg)
 	for _, gov := range cpu.Governors() {
-		s := avgPLTOn(cfg, device.Nexus4(), pages, core.WithGovernor(gov))
+		s, err := avgPLTOn(cfg, device.Nexus4(), pages, core.WithGovernor(gov))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(string(gov), meanStd(s.Mean(), s.Std()))
 	}
 	t.Notes = append(t.Notes, "paper shape: powersave ≈ +50% over the others")
-	return t
+	return t, nil
 }
 
-func textCrit(cfg Config) *Table {
+func textCrit(cfg Config) (*Table, error) {
 	t := &Table{ID: "text-crit", Title: "WProf critical-path decomposition (Nexus4)",
 		Columns: []string{"clock_mhz", "path_total_s", "network_s", "compute_s", "script_s", "script_share"}}
 	pages := corpus(cfg)
 	for _, mhz := range []float64{1512, 384} {
 		var total, network, compute, script stats.Sample
 		for _, p := range pages {
-			sys := cfg.newSystem(device.Nexus4(), core.WithClock(units.MHz(mhz)))
-			res := sys.LoadPage(p)
-			st := wprof.FromResult(res).CriticalPath()
+			sys := cfg.NewSystem(device.Nexus4(), core.WithClock(units.MHz(mhz)))
+			res, err := sys.Run(core.PageLoad{Page: p})
+			if err != nil {
+				return nil, err
+			}
+			st := wprof.FromResult(*res.Page).CriticalPath()
 			total.Add(st.Total.Seconds())
 			network.Add(st.Network.Seconds())
 			compute.Add(st.Compute.Seconds())
@@ -143,10 +170,10 @@ func textCrit(cfg Config) *Table {
 	t.Notes = append(t.Notes,
 		"paper shape: both components inflate at 384 MHz, compute faster than network;",
 		"scripting ≈51% of compute at high clock, ≈60% at low clock")
-	return t
+	return t, nil
 }
 
-func textCategories(cfg Config) *Table {
+func textCategories(cfg Config) (*Table, error) {
 	t := &Table{ID: "text-categories", Title: "Per-category PLT slowdown, 1512→384 MHz (Nexus4)",
 		Columns: []string{"category", "plt_1512_s", "plt_384_s", "slowdown"}}
 	for _, cat := range webpage.Categories() {
@@ -155,11 +182,17 @@ func textCategories(cfg Config) *Table {
 			pages = append(pages,
 				webpage.Generate(fmt.Sprintf("%s-cat-%d.example", cat, i), cat, cfg.Seed))
 		}
-		hi := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(1512)))
-		lo := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(384)))
+		hi, err := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(1512)))
+		if err != nil {
+			return nil, err
+		}
+		lo, err := avgPLTOn(cfg, device.Nexus4(), pages, core.WithClock(units.MHz(384)))
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(string(cat), ratio(hi.Mean()), ratio(lo.Mean()), ratio(lo.Mean()/hi.Mean()))
 	}
 	t.Notes = append(t.Notes,
 		"paper shape: news and sports degrade the most (heaviest scripting)")
-	return t
+	return t, nil
 }

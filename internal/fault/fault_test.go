@@ -122,10 +122,10 @@ func TestNilInjectorAnswersNoFault(t *testing.T) {
 
 func TestEmptyPlanBuildsNilInjector(t *testing.T) {
 	s := sim.New()
-	if inj := fault.NewInjector(s, nil, nil, fault.Config{}); inj != nil {
+	if inj := fault.NewInjector(s, nil, nil, nil, 0, nil); inj != nil {
 		t.Fatal("nil plan built an injector")
 	}
-	if inj := fault.NewInjector(s, &fault.Plan{}, nil, fault.Config{}); inj != nil {
+	if inj := fault.NewInjector(s, &fault.Plan{}, nil, nil, 0, nil); inj != nil {
 		t.Fatal("empty plan built an injector")
 	}
 }
@@ -143,7 +143,7 @@ func TestWindowsOpenAndClose(t *testing.T) {
 		{Kind: fault.DSPFail, AtMs: 100, DurMs: 100, Prob: 1},
 		{Kind: fault.DNSTimeout, AtMs: 100, DurMs: 100},
 	}}
-	inj := fault.NewInjector(s, p, stats.NewRNG(7), fault.Config{})
+	inj := fault.NewInjector(s, p, stats.NewRNG(7), nil, 0, nil)
 	type probe struct {
 		rtt            time.Duration
 		rate           float64
@@ -181,7 +181,7 @@ func TestOverlappingWindowsCompound(t *testing.T) {
 		{Kind: fault.BandwidthDip, AtMs: 0, DurMs: 200, RateFactor: 0.5},
 		{Kind: fault.BandwidthDip, AtMs: 50, DurMs: 200, RateFactor: 0.5},
 	}}
-	inj := fault.NewInjector(s, p, nil, fault.Config{})
+	inj := fault.NewInjector(s, p, nil, nil, 0, nil)
 	var rtt time.Duration
 	var rate float64
 	s.At(100*time.Millisecond, func() { rtt, rate = inj.ExtraRTT(), inj.RateFactor() })
@@ -200,7 +200,7 @@ func TestBurstLossChain(t *testing.T) {
 	s := sim.New()
 	p := &fault.Plan{Faults: []fault.Spec{{Kind: fault.BurstLoss, AtMs: 100, DurMs: 100,
 		PGoodBad: 0.9, PBadGood: 0.1, GoodLoss: 1e-9, BadLoss: 0.999}}}
-	inj := fault.NewInjector(s, p, stats.NewRNG(3), fault.Config{})
+	inj := fault.NewInjector(s, p, stats.NewRNG(3), nil, 0, nil)
 	losses := 0
 	s.At(50*time.Millisecond, func() {
 		if inj.SegmentLost() {
@@ -228,7 +228,7 @@ func TestBurstLossChain(t *testing.T) {
 func TestOnFaultObserverFiresAtOpen(t *testing.T) {
 	s := sim.New()
 	p := &fault.Plan{Faults: []fault.Spec{{Kind: fault.MemKill, AtMs: 500, DurMs: 10}}}
-	inj := fault.NewInjector(s, p, nil, fault.Config{})
+	inj := fault.NewInjector(s, p, nil, nil, 0, nil)
 	var at time.Duration
 	inj.OnFault(fault.MemKill, func() { at = s.Now() })
 	s.Run()
@@ -244,8 +244,7 @@ func TestTraceEventsPairInstantsWithRecoverySpans(t *testing.T) {
 	s := sim.New()
 	tr := trace.New()
 	m := trace.NewMetrics()
-	inj := fault.NewInjector(s, fault.Default(), stats.NewRNG(1),
-		fault.Config{Trace: tr, TracePid: 1, Metrics: m})
+	inj := fault.NewInjector(s, fault.Default(), stats.NewRNG(1), tr, 1, m)
 	if inj == nil {
 		t.Fatal("no injector")
 	}
@@ -298,7 +297,7 @@ func replay(t *testing.T, p *fault.Plan, seed uint64) ([]trace.Event, []string) 
 	t.Helper()
 	s := sim.New()
 	tr := trace.New()
-	inj := fault.NewInjector(s, p, stats.NewRNG(seed), fault.Config{Trace: tr, TracePid: 1})
+	inj := fault.NewInjector(s, p, stats.NewRNG(seed), tr, 1, nil)
 	var answers []string
 	for ms := 0; ms < 4000; ms += 37 {
 		at := time.Duration(ms) * time.Millisecond

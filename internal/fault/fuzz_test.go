@@ -58,7 +58,7 @@ func FuzzFaultPlanParse(f *testing.F) {
 		}
 		count := func(seed uint64) int {
 			s := sim.New()
-			inj := fault.NewInjector(s, p, stats.NewRNG(seed), fault.Config{})
+			inj := fault.NewInjector(s, p, stats.NewRNG(seed), nil, 0, nil)
 			opened := 0
 			for _, k := range fault.Kinds() {
 				inj.OnFault(k, func() { opened++ })

@@ -8,17 +8,6 @@ import (
 	"mobileqoe/internal/trace"
 )
 
-// Config attaches observability to an injector. Trace, when non-nil,
-// receives one "fault:<kind>" instant at every window open and one
-// "recovered:<kind>" span covering the window on a "fault:injector" lane,
-// attributed to TracePid. Metrics, when non-nil, accumulates fault.injected
-// and per-kind fault.injected.<kind> counters.
-type Config struct {
-	Trace    *trace.Tracer
-	TracePid int
-	Metrics  *trace.Metrics
-}
-
 // Injector replays one Plan against one simulation. Build it with
 // NewInjector before running the simulation (window-open events must not be
 // in the past). All methods are nil-safe: a nil *Injector reports no faults,
@@ -30,7 +19,9 @@ type Config struct {
 type Injector struct {
 	s   *sim.Sim
 	rng *stats.RNG
-	cfg Config
+	tr  *trace.Tracer
+	pid int
+	m   *trace.Metrics
 	tid int // trace lane, 0 when tracing is off
 
 	// active counts open windows per kind (windows of one kind may overlap).
@@ -50,16 +41,23 @@ type Injector struct {
 // NewInjector schedules every window of the plan on the simulator and
 // returns the injector. A nil plan (or a plan with no faults) returns nil,
 // which is a valid no-fault injector.
-func NewInjector(s *sim.Sim, p *Plan, rng *stats.RNG, cfg Config) *Injector {
+//
+// The trailing arguments attach the injector's own observability — fault
+// sits below the obs package in the layering, so they are passed explicitly
+// rather than as an obs.Ctx. tr, when non-nil, receives one "fault:<kind>"
+// instant at every window open and one "recovered:<kind>" span covering the
+// window on a "fault:injector" lane, attributed to pid. m, when non-nil,
+// accumulates fault.injected and per-kind fault.injected.<kind> counters.
+func NewInjector(s *sim.Sim, p *Plan, rng *stats.RNG, tr *trace.Tracer, pid int, m *trace.Metrics) *Injector {
 	if p == nil || len(p.Faults) == 0 {
 		return nil
 	}
 	if rng == nil {
 		rng = stats.NewRNG(0xFA17)
 	}
-	inj := &Injector{s: s, rng: rng, cfg: cfg, active: map[Kind]int{}}
-	if cfg.Trace != nil {
-		inj.tid = cfg.Trace.Thread(cfg.TracePid, "fault:injector")
+	inj := &Injector{s: s, rng: rng, tr: tr, pid: pid, m: m, active: map[Kind]int{}}
+	if tr != nil {
+		inj.tid = tr.Thread(pid, "fault:injector")
 	}
 	for i := range p.Faults {
 		sp := p.Faults[i] // private copy per window
@@ -92,10 +90,10 @@ func (i *Injector) open(sp *Spec, at time.Duration) {
 	case DSPFail:
 		i.dsps = append(i.dsps, sp)
 	}
-	i.cfg.Metrics.Counter("fault.injected").Add(1)
-	i.cfg.Metrics.Counter("fault.injected." + string(sp.Kind)).Add(1)
-	if tr := i.cfg.Trace; tr != nil {
-		tr.Instant("fault", "fault:"+string(sp.Kind), i.cfg.TracePid, i.tid, at)
+	i.m.Counter("fault.injected").Add(1)
+	i.m.Counter("fault.injected." + string(sp.Kind)).Add(1)
+	if i.tr != nil {
+		i.tr.Instant("fault", "fault:"+string(sp.Kind), i.pid, i.tid, at)
 	}
 	for _, fn := range i.observers[sp.Kind] {
 		fn()
@@ -133,8 +131,8 @@ func (i *Injector) close(sp *Spec, openedAt time.Duration) {
 	case DSPFail:
 		i.dsps = remove(i.dsps)
 	}
-	if tr := i.cfg.Trace; tr != nil {
-		tr.Span("fault", "recovered:"+string(sp.Kind), i.cfg.TracePid, i.tid,
+	if i.tr != nil {
+		i.tr.Span("fault", "recovered:"+string(sp.Kind), i.pid, i.tid,
 			openedAt, i.s.Now())
 	}
 }

@@ -65,7 +65,7 @@ func (n *Network) dnsQuery(name string, attempt int) {
 	n.txCharge(80, func() {
 		n.up.deliver(80, func() {
 			n.s.After(dnsServerDelay, func() {
-				if n.cfg.Faults.DNSTimedOut() {
+				if n.cfg.Obs.Faults.DNSTimedOut() {
 					// The response never arrives; the stub times out and
 					// either retries or gives up.
 					if attempt >= dnsAttempts {

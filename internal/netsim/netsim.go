@@ -23,6 +23,7 @@ import (
 
 	"mobileqoe/internal/cpu"
 	"mobileqoe/internal/fault"
+	"mobileqoe/internal/obs"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/stats"
 	"mobileqoe/internal/trace"
@@ -82,21 +83,18 @@ type Config struct {
 
 	RNG *stats.RNG // loss randomness; default seeded deterministically
 
-	// Faults, when non-nil, is the fault-injection plane (internal/fault):
-	// the network consults it per segment for burst loss, per delivery for
-	// RTT spikes and bandwidth dips, per request for connection resets and
-	// server slowness/errors, and per resolver response for DNS timeouts.
-	// Nil disables injection and keeps the fault-free path byte-identical.
-	Faults *fault.Injector
-
-	// Trace, when non-nil, receives per-transfer spans (one lane per
-	// connection), a cwnd counter track, and loss instants under category
-	// "netsim", attributed to TracePid. Metrics, when non-nil, accumulates
-	// netsim.segments, netsim.acks, and netsim.cwnd_resets (plus
-	// netsim.retransmits and netsim.conn_resets under fault injection).
-	Trace    *trace.Tracer
-	TracePid int
-	Metrics  *trace.Metrics
+	// Obs bundles the observability/fault plane. Obs.Faults, when non-nil,
+	// is the fault-injection plane (internal/fault): the network consults it
+	// per segment for burst loss, per delivery for RTT spikes and bandwidth
+	// dips, per request for connection resets and server slowness/errors,
+	// and per resolver response for DNS timeouts; nil disables injection and
+	// keeps the fault-free path byte-identical. Obs.Trace, when non-nil,
+	// receives per-transfer spans (one lane per connection), a cwnd counter
+	// track, and loss instants under category "netsim", attributed to
+	// Obs.Pid. Obs.Metrics, when non-nil, accumulates netsim.segments,
+	// netsim.acks, and netsim.cwnd_resets (plus netsim.retransmits and
+	// netsim.conn_resets under fault injection).
+	Obs obs.Ctx
 }
 
 // Validate reports a descriptive error for configurations that would
@@ -181,16 +179,16 @@ func New(s *sim.Sim, c *cpu.CPU, cfg Config) *Network {
 	}
 	n := &Network{s: s, cfg: cfg, cpu: c}
 	eff := units.BitRate(float64(cfg.Rate) * cfg.MACEfficiency)
-	n.down = &link{s: s, rate: eff, oneWay: cfg.RTT / 2, inj: cfg.Faults}
-	n.up = &link{s: s, rate: eff, oneWay: cfg.RTT / 2, inj: cfg.Faults}
+	n.down = &link{s: s, rate: eff, oneWay: cfg.RTT / 2, inj: cfg.Obs.Faults}
+	n.up = &link{s: s, rate: eff, oneWay: cfg.RTT / 2, inj: cfg.Obs.Faults}
 	if c != nil {
 		n.softirq = c.NewThread("softirq", false)
 	}
-	n.mSegments = cfg.Metrics.Counter("netsim.segments")
-	n.mAcks = cfg.Metrics.Counter("netsim.acks")
-	n.mCwndResets = cfg.Metrics.Counter("netsim.cwnd_resets")
-	n.mRetransmits = cfg.Metrics.Counter("netsim.retransmits")
-	n.mConnResets = cfg.Metrics.Counter("netsim.conn_resets")
+	n.mSegments = cfg.Obs.Counter("netsim.segments")
+	n.mAcks = cfg.Obs.Counter("netsim.acks")
+	n.mCwndResets = cfg.Obs.Counter("netsim.cwnd_resets")
+	n.mRetransmits = cfg.Obs.Counter("netsim.retransmits")
+	n.mConnResets = cfg.Obs.Counter("netsim.conn_resets")
 	return n
 }
 
@@ -200,7 +198,7 @@ func (n *Network) segmentLost() bool {
 	if n.cfg.Loss > 0 && n.cfg.RNG.Float64() < n.cfg.Loss {
 		return true
 	}
-	return n.cfg.Faults.SegmentLost()
+	return n.cfg.Obs.Faults.SegmentLost()
 }
 
 // Stats returns a snapshot of the counters.
@@ -344,8 +342,8 @@ const errorBodyBytes = 512 * units.Byte
 // NewConn creates an idle connection.
 func (n *Network) NewConn(name string) *Conn {
 	c := &Conn{net: n, name: name}
-	if tr := n.cfg.Trace; tr != nil {
-		c.tid = tr.Thread(n.cfg.TracePid, "net:"+name)
+	if tr := n.cfg.Obs.Trace; tr != nil {
+		c.tid = tr.Thread(n.cfg.Obs.Pid, "net:"+name)
 	}
 	return c
 }
@@ -353,13 +351,13 @@ func (n *Network) NewConn(name string) *Conn {
 // traceCwnd samples the connection's congestion window onto its counter
 // track whenever the integer value changes.
 func (c *Conn) traceCwnd() {
-	tr := c.net.cfg.Trace
+	tr := c.net.cfg.Obs.Trace
 	if tr == nil {
 		return
 	}
 	if w := int(c.cwnd); w != c.lastCwnd {
 		c.lastCwnd = w
-		tr.Counter("netsim", "cwnd:"+c.name, c.net.cfg.TracePid, c.net.s.Now(), float64(w))
+		tr.Counter("netsim", "cwnd:"+c.name, c.net.cfg.Obs.Pid, c.net.s.Now(), float64(w))
 	}
 }
 
@@ -444,7 +442,7 @@ func (c *Conn) startNext() {
 
 func (c *Conn) sendRequest(t *transfer) {
 	n := c.net
-	if n.cfg.Faults.ConnResets() {
+	if n.cfg.Obs.Faults.ConnResets() {
 		// Injected RST as the request goes out: drop the connection and
 		// replay every active stream after a reconnect (connection-level
 		// retry with exponential backoff).
@@ -461,7 +459,7 @@ func (c *Conn) sendRequest(t *transfer) {
 	// workloads are small).
 	n.txCharge(up, func() {
 		n.up.deliver(up, func() {
-			n.s.After(t.think+n.cfg.Faults.ServerDelay(), func() {
+			n.s.After(t.think+n.cfg.Obs.Faults.ServerDelay(), func() {
 				if gen != c.gen {
 					return // connection was reset; the request will be replayed
 				}
@@ -469,7 +467,7 @@ func (c *Conn) sendRequest(t *transfer) {
 					c.finish(t)
 					return
 				}
-				if n.cfg.Faults.ServerErrors() {
+				if n.cfg.Obs.Faults.ServerErrors() {
 					// The origin answers with a short error body instead of
 					// the payload; the client sees a fast, failed response.
 					t.failed = true
@@ -489,8 +487,8 @@ func (c *Conn) sendRequest(t *transfer) {
 func (c *Conn) reset() {
 	n := c.net
 	n.mConnResets.Add(1)
-	if tr := n.cfg.Trace; tr != nil {
-		tr.Instant("netsim", "conn-reset", n.cfg.TracePid, c.tid, n.s.Now())
+	if tr := n.cfg.Obs.Trace; tr != nil {
+		tr.Instant("netsim", "conn-reset", n.cfg.Obs.Pid, c.tid, n.s.Now())
 	}
 	c.gen++
 	for _, t := range c.actives {
@@ -551,8 +549,8 @@ func (c *Conn) sendSegment(t *transfer, seg units.ByteSize) {
 		// burst-loss window degrades throughput instead of melting the link
 		// with a retransmission storm.
 		n.stats.SegmentsLost++
-		if tr := n.cfg.Trace; tr != nil {
-			tr.Instant("netsim", "tcp-loss", n.cfg.TracePid, c.tid, n.s.Now())
+		if tr := n.cfg.Obs.Trace; tr != nil {
+			tr.Instant("netsim", "tcp-loss", n.cfg.Obs.Pid, c.tid, n.s.Now())
 		}
 		rto := (n.cfg.RTT*2 + 10*time.Millisecond) << min(c.retx, 6)
 		c.retx++
@@ -628,8 +626,8 @@ func (c *Conn) finish(t *transfer) {
 			break
 		}
 	}
-	if tr := c.net.cfg.Trace; tr != nil {
-		tr.Span("netsim", "xfer:"+t.name, c.net.cfg.TracePid, c.tid,
+	if tr := c.net.cfg.Obs.Trace; tr != nil {
+		tr.Span("netsim", "xfer:"+t.name, c.net.cfg.Obs.Pid, c.tid,
 			t.started, c.net.s.Now(),
 			trace.Arg{Key: "bytes", Val: float64(t.downBytes)})
 	}

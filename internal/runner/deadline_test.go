@@ -1,0 +1,85 @@
+package runner_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mobileqoe/internal/core"
+	"mobileqoe/internal/experiments"
+	"mobileqoe/internal/runner"
+)
+
+// TestDeadlineIsPerCellErrorNotPanic is the regression test for the typed
+// deadline path: a cell whose simulation wedges returns core.ErrDeadline
+// through the ordinary error return — no panic, so no recover — and the pool
+// records it per cell while sibling trials merge normally.
+func TestDeadlineIsPerCellErrorNotPanic(t *testing.T) {
+	restore := runner.SetCellFn(func(id string, cfg experiments.Config, trial, attempt int) (*experiments.Table, error) {
+		if trial == 1 {
+			// What a registry runner returns when core.(*System).Run deadlines.
+			return nil, fmt.Errorf("pageload: %w", core.ErrDeadline)
+		}
+		return experiments.RunTrialAttempt(id, cfg, trial, attempt)
+	})
+	defer restore()
+
+	cfg := quick()
+	cfg.Trials = 3
+	res, err := runner.Run(context.Background(), []string{"fig3d"}, cfg, runner.Options{Parallel: 3})
+	if err != nil {
+		t.Fatalf("run-level error for a deadlined cell: %v", err)
+	}
+	r := res[0]
+	if !errors.Is(r.Err, core.ErrDeadline) {
+		t.Fatalf("result error = %v, want to wrap core.ErrDeadline", r.Err)
+	}
+	if !strings.Contains(r.Err.Error(), "fig3d trial 1") {
+		t.Fatalf("error does not name the cell: %v", r.Err)
+	}
+	if strings.Contains(r.Err.Error(), "panic") {
+		t.Fatalf("deadline went through the panic/recover path: %v", r.Err)
+	}
+	if r.Table == nil {
+		t.Fatal("surviving trials were discarded")
+	}
+	found := false
+	for _, n := range r.Table.Notes {
+		if strings.HasPrefix(n, "ERROR:") && strings.Contains(n, core.ErrDeadline.Error()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("merged table notes carry no deadline ERROR row: %v", r.Table.Notes)
+	}
+}
+
+// TestDeadlineRetriedUnderAttemptSeed checks that a deadline counts as an
+// ordinary failure for the retry policy: a fault-induced wedge can clear on
+// the re-derived attempt seed.
+func TestDeadlineRetriedUnderAttemptSeed(t *testing.T) {
+	calls := 0
+	restore := runner.SetCellFn(func(id string, cfg experiments.Config, trial, attempt int) (*experiments.Table, error) {
+		calls++
+		if attempt == 0 {
+			return nil, fmt.Errorf("video: %w", core.ErrDeadline)
+		}
+		return experiments.RunTrialAttempt(id, cfg, trial, attempt)
+	})
+	defer restore()
+
+	cfg := quick()
+	res, err := runner.Run(context.Background(), []string{"fig3d"}, cfg,
+		runner.Options{Retries: 1})
+	if err != nil || res[0].Err != nil {
+		t.Fatalf("retry did not clear the deadline: run=%v cell=%v", err, res[0].Err)
+	}
+	if calls != 2 {
+		t.Fatalf("cellFn called %d times, want 2 (deadline, then retry)", calls)
+	}
+	if res[0].Table == nil {
+		t.Fatal("no table after successful retry")
+	}
+}

@@ -72,7 +72,11 @@ type Result struct {
 var cellFn = experiments.RunTrialAttempt
 
 // runCellAttempt executes one attempt, recovering a panicking registry
-// runner into an error so one crashing cell cannot take down the pool.
+// runner into an error so one crashing cell cannot take down the pool. A
+// wedged simulation is NOT a panic: registry runners return the typed
+// core.ErrDeadline through the ordinary error path, so a deadlined cell is
+// recorded (and retried under its attempt seed, which may dodge a
+// fault-induced wedge) without ever tripping this recover.
 func runCellAttempt(id string, cfg experiments.Config, trial, attempt int) (tab *experiments.Table, err error) {
 	defer func() {
 		if r := recover(); r != nil {

@@ -28,6 +28,7 @@ import (
 	"mobileqoe/internal/device"
 	"mobileqoe/internal/mem"
 	"mobileqoe/internal/netsim"
+	"mobileqoe/internal/obs"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
@@ -94,13 +95,12 @@ type Config struct {
 	// ForceSoftwareCodec disables the hardware codec (ablation).
 	ForceSoftwareCodec bool
 
-	// Trace, when non-nil, receives per-stage setup spans and frame-drop /
-	// ABR instants under category "telephony", attributed to TracePid.
-	// Metrics, when non-nil, accumulates telephony.frames_displayed,
-	// telephony.frames_dropped, and telephony.abr_downswitches.
-	Trace    *trace.Tracer
-	TracePid int
-	Metrics  *trace.Metrics
+	// Obs bundles the observability plane. Obs.Trace, when non-nil, receives
+	// per-stage setup spans and frame-drop / ABR instants under category
+	// "telephony", attributed to Obs.Pid. Obs.Metrics, when non-nil,
+	// accumulates telephony.frames_displayed, telephony.frames_dropped, and
+	// telephony.abr_downswitches.
+	Obs obs.Ctx
 }
 
 // CallConfig describes the call.
@@ -139,8 +139,8 @@ func Call(cfg Config, cc CallConfig, done func(Metrics)) {
 		c.factor = cfg.Mem.Slowdown(appWorkingSet)
 	}
 	c.media = cfg.Spec.MediaScale()
-	if cfg.Trace != nil {
-		c.tid = cfg.Trace.Thread(cfg.TracePid, "tele:call")
+	if cfg.Obs.Trace != nil {
+		c.tid = cfg.Obs.Trace.Thread(cfg.Obs.Pid, "tele:call")
 	}
 	c.main = cfg.CPU.NewThread("call-main", true)
 	c.tx = cfg.CPU.NewThread("call-tx", false)
@@ -174,9 +174,9 @@ type call struct {
 // recordDrop accounts one dropped frame on the named pipeline stage.
 func (c *call) recordDrop(stage string) {
 	c.dropped++
-	c.cfg.Metrics.Counter("telephony.frames_dropped").Add(1)
-	if tr := c.cfg.Trace; tr != nil {
-		tr.Instant("telephony", "frame-drop:"+stage, c.cfg.TracePid, c.tid, c.now())
+	c.cfg.Obs.Counter("telephony.frames_dropped").Add(1)
+	if tr := c.cfg.Obs.Trace; tr != nil {
+		tr.Instant("telephony", "frame-drop:"+stage, c.cfg.Obs.Pid, c.tid, c.now())
 	}
 }
 
@@ -187,8 +187,8 @@ func (c *call) now() time.Duration { return c.cfg.Sim.Now() }
 func (c *call) setup(stage int) {
 	if stage >= setupExchanges {
 		c.setupDelay = c.now() - c.started
-		if tr := c.cfg.Trace; tr != nil {
-			tr.Span("telephony", "setup", c.cfg.TracePid, c.tid, c.started, c.now())
+		if tr := c.cfg.Obs.Trace; tr != nil {
+			tr.Span("telephony", "setup", c.cfg.Obs.Pid, c.tid, c.started, c.now())
 		}
 		c.startMedia()
 		return
@@ -197,9 +197,9 @@ func (c *call) setup(stage int) {
 	stageStart := c.now()
 	c.main.Exec("signaling", per, func() {
 		c.conn.Request("exchange", setupMsgBytes, setupMsgBytes, serverThink, func() {
-			if tr := c.cfg.Trace; tr != nil {
+			if tr := c.cfg.Obs.Trace; tr != nil {
 				tr.Instant("telephony", fmt.Sprintf("setup-stage:%d", stage),
-					c.cfg.TracePid, c.tid, c.now(),
+					c.cfg.Obs.Pid, c.tid, c.now(),
 					trace.Arg{Key: "seconds", Val: (c.now() - stageStart).Seconds()})
 			}
 			c.setup(stage + 1)
@@ -285,7 +285,7 @@ func (c *call) peerLoop() {
 				if c.now() < c.mediaEnd+decodeLatency+time.Second {
 					c.displayed++
 					c.windowDisplayed++
-					c.cfg.Metrics.Counter("telephony.frames_displayed").Add(1)
+					c.cfg.Obs.Counter("telephony.frames_displayed").Add(1)
 				}
 			})
 		})
@@ -303,9 +303,9 @@ func (c *call) abrLoop() {
 		c.windowDisplayed = 0
 		if !c.cfg.DisableABR && fps < 0.8*float64(c.cc.TargetFPS) && c.rung < len(Ladder)-1 {
 			c.rung++
-			c.cfg.Metrics.Counter("telephony.abr_downswitches").Add(1)
-			if tr := c.cfg.Trace; tr != nil {
-				tr.Instant("telephony", "abr:"+c.res().Name, c.cfg.TracePid, c.tid, c.now(),
+			c.cfg.Obs.Counter("telephony.abr_downswitches").Add(1)
+			if tr := c.cfg.Obs.Trace; tr != nil {
+				tr.Instant("telephony", "abr:"+c.res().Name, c.cfg.Obs.Pid, c.tid, c.now(),
 					trace.Arg{Key: "fps", Val: fps})
 			}
 		}

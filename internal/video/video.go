@@ -25,9 +25,9 @@ import (
 
 	"mobileqoe/internal/cpu"
 	"mobileqoe/internal/device"
-	"mobileqoe/internal/fault"
 	"mobileqoe/internal/mem"
 	"mobileqoe/internal/netsim"
+	"mobileqoe/internal/obs"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/trace"
 	"mobileqoe/internal/units"
@@ -89,20 +89,16 @@ type Config struct {
 	// makes streaming different from telephony).
 	DisablePrefetch bool
 
-	// Faults, when non-nil, arms the player's resilience machinery: segment
-	// fetches get a watchdog that aborts starved transfers and downswitches
-	// the ABR ladder instead of stalling forever, and failed requests
-	// (injected server errors) are retried. Nil schedules no watchdog
-	// events, keeping the fault-free run byte-identical.
-	Faults *fault.Injector
-
-	// Trace, when non-nil, receives the startup span, a playback-buffer
-	// counter track, and ABR/stall instants under category "video",
-	// attributed to TracePid. Metrics, when non-nil, accumulates
+	// Obs bundles the observability/fault plane. Obs.Faults, when non-nil,
+	// arms the player's resilience machinery: segment fetches get a watchdog
+	// that aborts starved transfers and downswitches the ABR ladder instead
+	// of stalling forever, and failed requests (injected server errors) are
+	// retried; nil schedules no watchdog events, keeping the fault-free run
+	// byte-identical. Obs.Trace, when non-nil, receives the startup span, a
+	// playback-buffer counter track, and ABR/stall instants under category
+	// "video", attributed to Obs.Pid. Obs.Metrics, when non-nil, accumulates
 	// video.stalls, video.stall_seconds, and video.abr_switches.
-	Trace    *trace.Tracer
-	TracePid int
-	Metrics  *trace.Metrics
+	Obs obs.Ctx
 }
 
 // StreamConfig describes the clip and player policy.
@@ -151,8 +147,8 @@ func Stream(cfg Config, sc StreamConfig, done func(Metrics)) {
 		ws := appWorkingSet + 2*units.BitRate(p.rung.Bitrate).BytesIn(sc.ReadAhead)
 		p.factor = cfg.Mem.Slowdown(ws)
 	}
-	if cfg.Trace != nil {
-		p.tid = cfg.Trace.Thread(cfg.TracePid, "video:player")
+	if cfg.Obs.Trace != nil {
+		p.tid = cfg.Obs.Trace.Thread(cfg.Obs.Pid, "video:player")
 	}
 	p.main = cfg.CPU.NewThread("player-main", true)
 	p.render = cfg.CPU.NewThread("player-render", true)
@@ -197,18 +193,18 @@ type player struct {
 
 // traceBuffer samples the playback buffer depth onto its counter track.
 func (p *player) traceBuffer() {
-	if tr := p.cfg.Trace; tr != nil {
-		tr.Counter("video", "buffer_s", p.cfg.TracePid, p.now(), p.bufferedAhead())
+	if tr := p.cfg.Obs.Trace; tr != nil {
+		tr.Counter("video", "buffer_s", p.cfg.Obs.Pid, p.now(), p.bufferedAhead())
 	}
 }
 
 // recordStall accounts one stall interval to the trace and metrics.
 func (p *player) recordStall(d time.Duration) {
 	p.stallTime += d
-	p.cfg.Metrics.Counter("video.stalls").Add(1)
-	p.cfg.Metrics.Counter("video.stall_seconds").Add(d.Seconds())
-	if tr := p.cfg.Trace; tr != nil {
-		tr.Instant("video", "stall", p.cfg.TracePid, p.tid, p.now(),
+	p.cfg.Obs.Counter("video.stalls").Add(1)
+	p.cfg.Obs.Counter("video.stall_seconds").Add(d.Seconds())
+	if tr := p.cfg.Obs.Trace; tr != nil {
+		tr.Instant("video", "stall", p.cfg.Obs.Pid, p.tid, p.now(),
 			trace.Arg{Key: "seconds", Val: d.Seconds()})
 	}
 }
@@ -255,9 +251,9 @@ func (p *player) observeThroughput(bytes units.ByteSize, elapsed time.Duration) 
 	}
 	p.rung = Ladder[p.rungIdx]
 	if p.rungIdx != prev {
-		p.cfg.Metrics.Counter("video.abr_switches").Add(1)
-		if tr := p.cfg.Trace; tr != nil {
-			tr.Instant("video", "abr:"+p.rung.Name, p.cfg.TracePid, p.tid, p.now(),
+		p.cfg.Obs.Counter("video.abr_switches").Add(1)
+		if tr := p.cfg.Obs.Trace; tr != nil {
+			tr.Instant("video", "abr:"+p.rung.Name, p.cfg.Obs.Pid, p.tid, p.now(),
 				trace.Arg{Key: "est_mbps", Val: p.ewmaMbps})
 		}
 	}
@@ -323,7 +319,7 @@ func (p *player) pump() {
 	p.nextFetch++
 	bytes := p.segBytes(idx)
 	fetchStart := p.now()
-	if p.cfg.Faults != nil {
+	if p.cfg.Obs.Faults != nil {
 		// Watchdog: a fetch starved by burst loss or a bandwidth dip is
 		// abandoned and retried at a lower rung rather than stalling playback
 		// for the rest of the clip. Armed only under fault injection so the
@@ -363,13 +359,13 @@ func (p *player) fetchWatchdog(seq, idx int) {
 	p.fetching = false
 	p.nextFetch = idx
 	p.ewmaMbps *= 0.5
-	p.cfg.Metrics.Counter("video.fetch_aborts").Add(1)
+	p.cfg.Obs.Counter("video.fetch_aborts").Add(1)
 	if p.rungIdx > 0 {
 		p.rungIdx--
 		p.rung = Ladder[p.rungIdx]
-		p.cfg.Metrics.Counter("video.abr_switches").Add(1)
-		if tr := p.cfg.Trace; tr != nil {
-			tr.Instant("video", "abr:"+p.rung.Name, p.cfg.TracePid, p.tid, p.now(),
+		p.cfg.Obs.Counter("video.abr_switches").Add(1)
+		if tr := p.cfg.Obs.Trace; tr != nil {
+			tr.Instant("video", "abr:"+p.rung.Name, p.cfg.Obs.Pid, p.tid, p.now(),
 				trace.Arg{Key: "watchdog", Val: 1})
 		}
 	}
@@ -412,8 +408,8 @@ func (p *player) maybeDisplay() {
 		return
 	}
 	p.startupAt = p.now() // first frame hits the screen now
-	if tr := p.cfg.Trace; tr != nil {
-		tr.Span("video", "startup", p.cfg.TracePid, p.tid, p.started, p.startupAt)
+	if tr := p.cfg.Obs.Trace; tr != nil {
+		tr.Span("video", "startup", p.cfg.Obs.Pid, p.tid, p.started, p.startupAt)
 	}
 	p.displayBatch()
 }
