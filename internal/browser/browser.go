@@ -363,7 +363,7 @@ func (l *loader) fetchAttempt(name, domain string, size units.ByteSize, resID in
 		if l.cfg.Obs.Faults != nil {
 			// Per-attempt watchdog: a transfer starved by faults is treated
 			// as failed; a late completion after the timeout is ignored.
-			l.cfg.Sim.After(fetchTimeout, func() {
+			l.cfg.Sim.PostAfter(fetchTimeout, func() {
 				if settled || ep != l.epoch {
 					return
 				}

@@ -122,6 +122,7 @@ type CPU struct {
 	threads  []*Thread
 	ticker   *sim.Ticker
 	online   int
+	taskFree []*task // recycled task objects (the per-packet Exec path is hot)
 
 	// Metrics handles, resolved once in New; nil-safe when metrics are off.
 	mGovTransitions *trace.Counter
@@ -159,7 +160,12 @@ type Thread struct {
 	queue      []*task
 	core       *core
 	rate       float64 // cycles/sec currently granted
+	// completion is the thread's single completion event, allocated on first
+	// use and thereafter reprogrammed in place (sim.Reset) every time the
+	// schedule changes; completeFn is its one bound callback. Queued() tells
+	// whether it is currently armed.
 	completion *sim.Event
+	completeFn func()
 	executed   float64 // total cycles retired
 	tid        int     // trace lane, 0 when tracing is off
 }
@@ -474,11 +480,26 @@ func (c *CPU) CoreBusy() []time.Duration {
 // loaded cores.
 func (c *CPU) NewThread(name string, foreground bool) *Thread {
 	t := &Thread{cpu: c, name: name, foreground: foreground, weight: 1}
+	t.completeFn = func() { c.onCompletion(t) }
 	if tr := c.cfg.Obs.Trace; tr != nil {
 		t.tid = tr.Thread(c.cfg.Obs.Pid, "cpu:"+name)
 	}
 	c.threads = append(c.threads, t)
 	return t
+}
+
+// newTask builds a task, reusing a recycled object when one is available.
+func (c *CPU) newTask(name string, cycles float64, done func(), now time.Duration) *task {
+	if n := len(c.taskFree); n > 0 {
+		tk := c.taskFree[n-1]
+		c.taskFree[n-1] = nil
+		c.taskFree = c.taskFree[:n-1]
+		*tk = task{name: name, remaining: cycles, cost: cycles,
+			done: done, settled: now, start: now}
+		return tk
+	}
+	return &task{name: name, remaining: cycles, cost: cycles,
+		done: done, settled: now, start: now}
 }
 
 // Exec appends a task of the given reference-cycle cost to the thread's
@@ -490,8 +511,7 @@ func (t *Thread) Exec(name string, cycles float64, done func()) {
 	}
 	c := t.cpu
 	c.settle()
-	t.queue = append(t.queue, &task{name: name, remaining: cycles, cost: cycles,
-		done: done, settled: c.s.Now(), start: c.s.Now()})
+	t.queue = append(t.queue, c.newTask(name, cycles, done, c.s.Now()))
 	if t.core == nil {
 		c.place(t)
 	}
@@ -609,22 +629,20 @@ func (c *CPU) reschedule() {
 				}
 			}
 			th.rate = rate
-			if th.completion != nil {
-				c.s.Cancel(th.completion)
-				th.completion = nil
-			}
-			if len(th.queue) == 0 {
+			if len(th.queue) == 0 || rate <= 0 {
+				// Idle, or stalled until a core comes back: disarm without
+				// discarding the event — the next reprogramming reuses it.
+				if th.completion != nil && th.completion.Queued() {
+					c.s.Cancel(th.completion)
+				}
 				continue
 			}
-			cur := th.queue[0]
-			var d time.Duration
-			if rate > 0 {
-				d = units.DurationFor(cur.remaining, units.Freq(rate))
+			d := units.DurationFor(th.queue[0].remaining, units.Freq(rate))
+			if th.completion == nil {
+				th.completion = c.s.After(d, th.completeFn)
 			} else {
-				continue // stalled until a core comes back
+				c.s.Reset(th.completion, c.s.Now()+d)
 			}
-			th := th
-			th.completion = c.s.After(d, func() { c.onCompletion(th) })
 		}
 	}
 	c.updatePower()
@@ -670,7 +688,6 @@ func (c *CPU) rebalance() {
 }
 
 func (c *CPU) onCompletion(th *Thread) {
-	th.completion = nil
 	c.settle()
 	if len(th.queue) == 0 {
 		c.reschedule()
@@ -684,8 +701,12 @@ func (c *CPU) onCompletion(th *Thread) {
 	}
 	th.executed += cur.remaining
 	cur.remaining = 0
-	th.queue = th.queue[1:]
-	if len(th.queue) == 0 {
+	// Pop the queue head in place so the backing array keeps its capacity
+	// (the per-packet rx path would otherwise reallocate it constantly).
+	n := copy(th.queue, th.queue[1:])
+	th.queue[n] = nil
+	th.queue = th.queue[:n]
+	if n == 0 {
 		c.detach(th)
 	} else {
 		th.queue[0].settled = c.s.Now()
@@ -701,6 +722,9 @@ func (c *CPU) onCompletion(th *Thread) {
 	if cur.done != nil {
 		cur.done()
 	}
+	// The task object is dead once its done callback returned; recycle it.
+	*cur = task{}
+	c.taskFree = append(c.taskFree, cur)
 }
 
 func (c *CPU) detach(th *Thread) {

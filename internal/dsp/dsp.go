@@ -170,7 +170,7 @@ func (d *DSP) Call(pikeSteps int64, inputBytes int, done func()) {
 			tr.Span("dsp", "cpu-fallback", d.cfg.Obs.Pid, d.tid, now, now+lat,
 				trace.Arg{Key: "pike_steps", Val: float64(pikeSteps)})
 		}
-		d.s.After(lat, func() {
+		d.s.PostAfter(lat, func() {
 			if done != nil {
 				done()
 			}
@@ -187,9 +187,9 @@ func (d *DSP) Call(pikeSteps int64, inputBytes int, done func()) {
 	d.busyTotal += service
 	if d.cfg.Obs.Meter != nil {
 		m := d.cfg.Obs.Meter
-		d.s.At(start, func() { m.SetPower("dsp", d.cfg.ActiveWatts) })
+		d.s.PostAt(start, func() { m.SetPower("dsp", d.cfg.ActiveWatts) })
 		end := d.busyUntil
-		d.s.At(end, func() {
+		d.s.PostAt(end, func() {
 			// Only drop to idle if no later call extended the busy window.
 			if d.busyUntil <= end {
 				m.SetPower("dsp", d.cfg.IdleWatts)
@@ -204,7 +204,7 @@ func (d *DSP) Call(pikeSteps int64, inputBytes int, done func()) {
 			trace.Arg{Key: "pike_steps", Val: float64(pikeSteps)},
 			trace.Arg{Key: "queue_us", Val: float64(start-now) / 1e3})
 	}
-	d.s.At(finish, func() {
+	d.s.PostAt(finish, func() {
 		if done != nil {
 			done()
 		}

@@ -64,15 +64,15 @@ func (n *Network) ResolveE(name string, fn func(error)) {
 func (n *Network) dnsQuery(name string, attempt int) {
 	n.txCharge(80, func() {
 		n.up.deliver(80, func() {
-			n.s.After(dnsServerDelay, func() {
+			n.s.PostAfter(dnsServerDelay, func() {
 				if n.cfg.Obs.Faults.DNSTimedOut() {
 					// The response never arrives; the stub times out and
 					// either retries or gives up.
 					if attempt >= dnsAttempts {
-						n.s.After(dnsTimeout, func() { n.dnsDone(name, ErrDNS) })
+						n.s.PostAfter(dnsTimeout, func() { n.dnsDone(name, ErrDNS) })
 						return
 					}
-					n.s.After(dnsTimeout, func() { n.dnsQuery(name, attempt+1) })
+					n.s.PostAfter(dnsTimeout, func() { n.dnsQuery(name, attempt+1) })
 					return
 				}
 				n.down.deliver(200, func() {

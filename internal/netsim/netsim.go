@@ -255,8 +255,9 @@ func (l *link) deliver(payload units.ByteSize, fn func()) {
 	}
 	ser := rate.TimeToSend(payload + headerBytes)
 	l.busyUntil = start + ser
-	// An injected RTT spike stretches propagation; half per direction.
-	l.s.At(l.busyUntil+l.oneWay+l.inj.ExtraRTT()/2, fn)
+	// An injected RTT spike stretches propagation; half per direction. The
+	// delivery is fire-and-forget, so the kernel recycles the event.
+	l.s.PostAt(l.busyUntil+l.oneWay+l.inj.ExtraRTT()/2, fn)
 }
 
 // queueDelay reports how long a packet enqueued now would wait before
@@ -459,7 +460,7 @@ func (c *Conn) sendRequest(t *transfer) {
 	// workloads are small).
 	n.txCharge(up, func() {
 		n.up.deliver(up, func() {
-			n.s.After(t.think+n.cfg.Obs.Faults.ServerDelay(), func() {
+			n.s.PostAfter(t.think+n.cfg.Obs.Faults.ServerDelay(), func() {
 				if gen != c.gen {
 					return // connection was reset; the request will be replayed
 				}
@@ -503,7 +504,7 @@ func (c *Conn) reset() {
 	c.connecting = false
 	backoff := (n.cfg.RTT*2 + 10*time.Millisecond) << min(c.resets, 4)
 	c.resets++
-	n.s.After(backoff, func() {
+	n.s.PostAfter(backoff, func() {
 		c.Connect(func() { c.startNext() })
 	})
 }
@@ -555,7 +556,7 @@ func (c *Conn) sendSegment(t *transfer, seg units.ByteSize) {
 		rto := (n.cfg.RTT*2 + 10*time.Millisecond) << min(c.retx, 6)
 		c.retx++
 		n.mRetransmits.Add(1)
-		n.s.After(rto, func() {
+		n.s.PostAfter(rto, func() {
 			if gen != c.gen {
 				return // connection was reset; the stream will be replayed
 			}
@@ -737,6 +738,6 @@ func (n *Network) Iperf(duration time.Duration, fn func(IperfResult)) {
 		}
 		fn(res)
 	}
-	n.s.After(duration, report)
+	n.s.PostAfter(duration, report)
 	conn.Request("bulk", 100, huge, 0, report)
 }

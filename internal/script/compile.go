@@ -348,11 +348,11 @@ func (c *compiler) assign(s *assignStmt) error {
 func (c *compiler) expr(e expr) error {
 	switch e := e.(type) {
 	case *numberLit:
-		c.emit(OpConst, c.konst(e.v))
+		c.emit(OpConst, c.konst(e.box))
 	case *stringLit:
-		c.emit(OpConst, c.konst(e.v))
+		c.emit(OpConst, c.konst(e.box))
 	case *boolLit:
-		c.emit(OpConst, c.konst(e.v))
+		c.emit(OpConst, c.konst(e.box))
 	case *nullLit:
 		c.emitConstNil()
 	case *identExpr:

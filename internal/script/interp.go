@@ -323,7 +323,7 @@ func (in *Interp) indexValue(base, idx Value) (Value, error) {
 		if err := in.charge(0, 1); err != nil {
 			return nil, err
 		}
-		return string(b[int(i)]), nil
+		return charv(b[int(i)]), nil
 	}
 	return nil, fmt.Errorf("script: cannot index %T", base)
 }
@@ -351,11 +351,11 @@ func (in *Interp) eval(x expr, e *env) (Value, error) {
 	}
 	switch x := x.(type) {
 	case *numberLit:
-		return x.v, nil
+		return x.box, nil
 	case *stringLit:
-		return x.v, nil
+		return x.box, nil
 	case *boolLit:
-		return x.v, nil
+		return x.box, nil
 	case *nullLit:
 		return nil, nil
 	case *identExpr:
@@ -394,13 +394,13 @@ func (in *Interp) eval(x expr, e *env) (Value, error) {
 		}
 		switch x.op {
 		case "!":
-			return !truthy(v), nil
+			return boolv(!truthy(v)), nil
 		case "-":
 			n, ok := v.(float64)
 			if !ok {
 				return nil, fmt.Errorf("script: cannot negate %T", v)
 			}
-			return -n, nil
+			return num(-n), nil
 		}
 	case *binaryExpr:
 		// Short-circuit logical operators.
@@ -531,22 +531,22 @@ func (in *Interp) binop(op string, l, r Value) (Value, error) {
 	}
 	switch op {
 	case "==":
-		return valueEq(l, r), nil
+		return boolv(valueEq(l, r)), nil
 	case "!=":
-		return !valueEq(l, r), nil
+		return boolv(!valueEq(l, r)), nil
 	}
 	// String comparison.
 	if ls, ok := l.(string); ok {
 		if rs, ok := r.(string); ok {
 			switch op {
 			case "<":
-				return ls < rs, nil
+				return boolv(ls < rs), nil
 			case "<=":
-				return ls <= rs, nil
+				return boolv(ls <= rs), nil
 			case ">":
-				return ls > rs, nil
+				return boolv(ls > rs), nil
 			case ">=":
-				return ls >= rs, nil
+				return boolv(ls >= rs), nil
 			}
 		}
 	}
@@ -557,29 +557,29 @@ func (in *Interp) binop(op string, l, r Value) (Value, error) {
 	}
 	switch op {
 	case "+":
-		return ln + rn, nil
+		return num(ln + rn), nil
 	case "-":
-		return ln - rn, nil
+		return num(ln - rn), nil
 	case "*":
-		return ln * rn, nil
+		return num(ln * rn), nil
 	case "/":
 		if rn == 0 {
 			return math.Inf(int(math.Copysign(1, ln))), nil
 		}
-		return ln / rn, nil
+		return num(ln / rn), nil
 	case "%":
 		if rn == 0 {
 			return math.NaN(), nil
 		}
-		return math.Mod(ln, rn), nil
+		return num(math.Mod(ln, rn)), nil
 	case "<":
-		return ln < rn, nil
+		return boolv(ln < rn), nil
 	case "<=":
-		return ln <= rn, nil
+		return boolv(ln <= rn), nil
 	case ">":
-		return ln > rn, nil
+		return boolv(ln > rn), nil
 	case ">=":
-		return ln >= rn, nil
+		return boolv(ln >= rn), nil
 	}
 	return nil, fmt.Errorf("script: unknown operator %q", op)
 }
@@ -648,11 +648,11 @@ func (in *Interp) member(base Value, name string) (Value, error) {
 	switch b := base.(type) {
 	case string:
 		if name == "length" {
-			return float64(len(b)), nil
+			return num(float64(len(b))), nil
 		}
 	case *Array:
 		if name == "length" {
-			return float64(len(b.Elems)), nil
+			return num(float64(len(b.Elems))), nil
 		}
 	case *Object:
 		return b.Fields[name], nil
@@ -702,7 +702,7 @@ func (in *Interp) stringMethod(s, name string, args []Value) (Value, error) {
 		if err := charge(len(s)); err != nil {
 			return nil, err
 		}
-		return float64(strings.Index(s, sub)), nil
+		return num(float64(strings.Index(s, sub))), nil
 	case "charAt":
 		i, err := argNum(0)
 		if err != nil {
@@ -711,7 +711,7 @@ func (in *Interp) stringMethod(s, name string, args []Value) (Value, error) {
 		if i < 0 || i >= len(s) {
 			return "", nil
 		}
-		return string(s[i]), nil
+		return charv(s[i]), nil
 	case "substring":
 		a, err := argNum(0)
 		if err != nil {
@@ -765,7 +765,7 @@ func (in *Interp) stringMethod(s, name string, args []Value) (Value, error) {
 		if err := charge(len(pre)); err != nil {
 			return nil, err
 		}
-		return strings.HasPrefix(s, pre), nil
+		return boolv(strings.HasPrefix(s, pre)), nil
 	case "test", "match", "search", "replace":
 		pat, err := argStr(0)
 		if err != nil {
@@ -777,7 +777,7 @@ func (in *Interp) stringMethod(s, name string, args []Value) (Value, error) {
 		}
 		switch name {
 		case "test":
-			return matched, nil
+			return boolv(matched), nil
 		case "match":
 			if !matched {
 				return nil, nil
@@ -785,9 +785,9 @@ func (in *Interp) stringMethod(s, name string, args []Value) (Value, error) {
 			return s[start:end], nil
 		case "search":
 			if !matched {
-				return float64(-1), nil
+				return num(-1), nil
 			}
-			return float64(start), nil
+			return num(float64(start)), nil
 		case "replace":
 			repl, err := argStr(1)
 			if err != nil {
@@ -819,7 +819,7 @@ func (in *Interp) arrayMethod(a *Array, name string, args []Value) (Value, error
 	switch name {
 	case "push":
 		a.Elems = append(a.Elems, args...)
-		return float64(len(a.Elems)), nil
+		return num(float64(len(a.Elems))), nil
 	case "pop":
 		if len(a.Elems) == 0 {
 			return nil, nil
@@ -853,10 +853,10 @@ func (in *Interp) arrayMethod(a *Array, name string, args []Value) (Value, error
 		}
 		for i, e := range a.Elems {
 			if valueEq(e, args[0]) {
-				return float64(i), nil
+				return num(float64(i)), nil
 			}
 		}
-		return float64(-1), nil
+		return num(-1), nil
 	case "slice":
 		start, end := 0, len(a.Elems)
 		if len(args) > 0 {
@@ -897,7 +897,7 @@ var builtins = map[string]Value{
 		s, ok := args[0].(string)
 		if !ok {
 			if n, ok := args[0].(float64); ok {
-				return math.Trunc(n), nil
+				return num(math.Trunc(n)), nil
 			}
 			return math.NaN(), nil
 		}
@@ -917,7 +917,7 @@ var builtins = map[string]Value{
 		if err != nil {
 			return math.NaN(), nil
 		}
-		return n, nil
+		return num(n), nil
 	}},
 	"str": builtinFn{name: "str", fn: func(in *Interp, args []Value) (Value, error) {
 		if len(args) == 0 {
@@ -938,11 +938,11 @@ var builtins = map[string]Value{
 		}
 		switch v := args[0].(type) {
 		case string:
-			return float64(len(v)), nil
+			return num(float64(len(v))), nil
 		case *Array:
-			return float64(len(v.Elems)), nil
+			return num(float64(len(v.Elems))), nil
 		case *Object:
-			return float64(len(v.Fields)), nil
+			return num(float64(len(v.Fields))), nil
 		}
 		return nil, fmt.Errorf("script: len of %T", args[0])
 	}},
@@ -976,7 +976,7 @@ func num1(f func(float64) float64) func(*Interp, []Value) (Value, error) {
 		if !ok {
 			return nil, fmt.Errorf("script: expected number, got %T", args[0])
 		}
-		return f(n), nil
+		return num(f(n)), nil
 	}
 }
 
@@ -990,6 +990,6 @@ func num2(f func(a, b float64) float64) func(*Interp, []Value) (Value, error) {
 		if !aok || !bok {
 			return nil, fmt.Errorf("script: expected numbers")
 		}
-		return f(a, b), nil
+		return num(f(a, b)), nil
 	}
 }

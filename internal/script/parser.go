@@ -57,9 +57,20 @@ func (*exprStmt) stmtNode()     {}
 type expr interface{ exprNode() }
 
 type (
-	numberLit struct{ v float64 }
-	stringLit struct{ v string }
-	boolLit   struct{ v bool }
+	// Literals carry their boxed Value, built once at parse time, so
+	// evaluating a literal never re-boxes (see intern.go).
+	numberLit struct {
+		v   float64
+		box Value
+	}
+	stringLit struct {
+		v   string
+		box Value
+	}
+	boolLit struct {
+		v   bool
+		box Value
+	}
 	nullLit   struct{}
 	identExpr struct{ name string }
 	arrayLit  struct{ elems []expr }
@@ -302,7 +313,7 @@ func (p *parser) simpleStatement(needSemi bool) (stmt, error) {
 		if t.text == "--" {
 			op = "-="
 		}
-		out = &assignStmt{target: e, op: op, value: &numberLit{v: 1}}
+		out = &assignStmt{target: e, op: op, value: newNumberLit(1)}
 	default:
 		out = &exprStmt{e: e}
 	}
@@ -532,16 +543,16 @@ func (p *parser) primary() (expr, error) {
 	switch {
 	case t.kind == tNumber:
 		p.advance()
-		return &numberLit{v: t.num}, nil
+		return newNumberLit(t.num), nil
 	case t.kind == tString:
 		p.advance()
-		return &stringLit{v: t.text}, nil
+		return newStringLit(t.text), nil
 	case t.kind == tKeyword && t.text == "true":
 		p.advance()
-		return &boolLit{v: true}, nil
+		return newBoolLit(true), nil
 	case t.kind == tKeyword && t.text == "false":
 		p.advance()
-		return &boolLit{v: false}, nil
+		return newBoolLit(false), nil
 	case t.kind == tKeyword && t.text == "null":
 		p.advance()
 		return &nullLit{}, nil

@@ -96,13 +96,13 @@ func (vm *VM) exec(code *Code, env_ *env) (Value, error) {
 			}
 			push(v)
 		case OpNot:
-			push(!truthy(pop()))
+			push(boolv(!truthy(pop())))
 		case OpNeg:
 			n, ok := pop().(float64)
 			if !ok {
 				return nil, fmt.Errorf("script: cannot negate non-number")
 			}
-			push(-n)
+			push(num(-n))
 		case OpJump:
 			pc = ins.A - 1
 		case OpJumpIfFalse:

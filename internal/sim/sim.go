@@ -15,10 +15,29 @@
 // events at the same virtual instants, which is what makes whole-run
 // artifacts — tables, metrics registries, exported traces — byte-identical
 // and safe for golden tests.
+//
+// # Event pooling
+//
+// Simulations schedule millions of short-lived events, so the kernel keeps a
+// free list and recycles Event objects whenever it can prove no caller still
+// holds a handle:
+//
+//   - PostAt/PostAfter schedule untracked events: no *Event is returned, so
+//     the kernel reclaims the object as soon as the callback has run. Use
+//     them for fire-and-forget work (the overwhelming majority of model
+//     scheduling).
+//   - Reset reprograms an existing event in place — queued, fired, or
+//     canceled — so a recurring timer (a thread-completion event, a ticker)
+//     allocates exactly once over its lifetime.
+//   - Recycle lets an owner that is done with a fired or canceled event hand
+//     it back explicitly.
+//
+// Events obtained from At/After and never Reset/Recycled behave exactly as
+// before: the kernel never reclaims an event a caller may still reference,
+// so Cancel-after-Fired pinning and post-run When() inspection keep working.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -26,12 +45,13 @@ import (
 // Event is a scheduled callback. The zero value is not useful; obtain events
 // from Sim.At or Sim.After.
 type Event struct {
-	at       time.Duration
-	seq      uint64
-	fn       func()
-	index    int // heap index, -1 when not queued
-	canceled bool
-	fired    bool
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int  // heap index, -1 when not queued
+	untracked bool // scheduled via PostAt/PostAfter; recycled after firing
+	canceled  bool
+	fired     bool
 }
 
 // When reports the virtual time at which the event fires (or would have
@@ -46,6 +66,10 @@ func (e *Event) Canceled() bool { return e.canceled }
 // Fired and Canceled becomes true over an event's lifetime; while queued,
 // both are false.
 func (e *Event) Fired() bool { return e.fired }
+
+// Queued reports whether the event is currently in the queue awaiting its
+// fire time.
+func (e *Event) Queued() bool { return e.index >= 0 }
 
 // StepInfo describes one executed event, as seen by a Hook after the
 // event's callback returned. All times are virtual.
@@ -64,7 +88,8 @@ type Hook func(StepInfo)
 // Sim is a discrete-event simulator. The zero value is ready to use.
 type Sim struct {
 	now     time.Duration
-	queue   eventQueue
+	queue   []*Event // 4-ary min-heap ordered by (at, seq)
+	free    []*Event // recycled events awaiting reuse
 	seq     uint64
 	stopped bool
 	steps   uint64
@@ -86,10 +111,19 @@ func (s *Sim) Now() time.Duration { return s.now }
 // Steps returns the number of events executed so far.
 func (s *Sim) Steps() uint64 { return s.steps }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: that is always a model bug, and silently reordering time would make
-// every downstream measurement unreliable.
-func (s *Sim) At(t time.Duration, fn func()) *Event {
+// alloc returns a blank event, reusing the free list when possible.
+func (s *Sim) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &Event{}
+}
+
+// schedule validates and enqueues a fresh event.
+func (s *Sim) schedule(t time.Duration, fn func(), untracked bool) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
@@ -99,16 +133,90 @@ func (s *Sim) At(t time.Duration, fn func()) *Event {
 	if s.inHook {
 		panic("sim: scheduling from inside a Hook")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	e := s.alloc()
+	e.at, e.seq, e.fn, e.index = t, s.seq, fn, -1
+	e.untracked, e.canceled, e.fired = untracked, false, false
 	s.seq++
 	s.pending++
-	heap.Push(&s.queue, e)
+	s.push(e)
 	return e
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: that is always a model bug, and silently reordering time would make
+// every downstream measurement unreliable.
+func (s *Sim) At(t time.Duration, fn func()) *Event {
+	return s.schedule(t, fn, false)
 }
 
 // After schedules fn to run d from now. Negative d panics via At.
 func (s *Sim) After(d time.Duration, fn func()) *Event {
-	return s.At(s.now+d, fn)
+	return s.schedule(s.now+d, fn, false)
+}
+
+// PostAt schedules fn at absolute virtual time t as an untracked event: no
+// handle is returned, the event cannot be canceled, and the kernel recycles
+// the Event object immediately after the callback runs. This is the
+// allocation-free path for fire-and-forget scheduling; use At when the
+// caller needs to Cancel or inspect the event.
+func (s *Sim) PostAt(t time.Duration, fn func()) {
+	s.schedule(t, fn, true)
+}
+
+// PostAfter schedules fn to run d from now as an untracked event (see
+// PostAt).
+func (s *Sim) PostAfter(d time.Duration, fn func()) {
+	s.schedule(s.now+d, fn, true)
+}
+
+// Reset reprograms e to fire at absolute virtual time t, keeping its
+// callback. A queued event moves to its new time; a fired or canceled event
+// is re-armed and enqueued again. In both cases the event receives a fresh
+// scheduling sequence number, so same-instant FIFO ordering treats it
+// exactly like a newly scheduled event.
+//
+// Reset is the zero-allocation alternative to Cancel+After for recurring
+// timers. The caller must be the event's sole owner: re-arming an event
+// another component might still Cancel would redirect that Cancel at the
+// new incarnation.
+func (s *Sim) Reset(e *Event, t time.Duration) {
+	if e == nil {
+		panic("sim: Reset of nil event")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("sim: resetting event to %v before now %v", t, s.now))
+	}
+	if s.inHook {
+		panic("sim: scheduling from inside a Hook")
+	}
+	e.seq = s.seq
+	s.seq++
+	if e.index >= 0 { // queued: move in place
+		e.at = t
+		s.fix(e.index)
+		return
+	}
+	e.at = t
+	e.canceled, e.fired = false, false
+	s.pending++
+	s.push(e)
+}
+
+// Recycle returns a completed (fired or canceled) event to the kernel's
+// free list. It is the explicit counterpart of the automatic reclamation
+// PostAt/PostAfter events get: call it when the owning component is done
+// with a handle it obtained from At/After and guarantees no other reference
+// survives. Recycling nil is a no-op; recycling a queued event panics, as
+// reclaiming a live event is always a bug.
+func (s *Sim) Recycle(e *Event) {
+	if e == nil {
+		return
+	}
+	if e.index >= 0 {
+		panic("sim: recycling a queued event")
+	}
+	e.fn = nil
+	s.free = append(s.free, e)
 }
 
 // Cancel removes an event from the queue. Canceling an already-fired event
@@ -122,15 +230,15 @@ func (s *Sim) Cancel(e *Event) {
 	e.canceled = true
 	if e.index >= 0 {
 		s.pending--
-		heap.Remove(&s.queue, e.index)
+		s.remove(e.index)
 	}
 }
 
 // Step executes the earliest pending event, advancing the clock to its time.
 // It returns false when the queue is empty.
 func (s *Sim) Step() bool {
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+	for len(s.queue) > 0 {
+		e := s.popMin()
 		if e.canceled {
 			continue
 		}
@@ -140,14 +248,21 @@ func (s *Sim) Step() bool {
 		s.steps++
 		if s.hook == nil {
 			e.fn()
-			return true
+		} else {
+			pre := s.seq
+			e.fn()
+			s.inHook = true
+			s.hook(StepInfo{At: e.at, Step: s.steps,
+				Scheduled: int(s.seq - pre), Pending: s.pending})
+			s.inHook = false
 		}
-		pre := s.seq
-		e.fn()
-		s.inHook = true
-		s.hook(StepInfo{At: e.at, Step: s.steps,
-			Scheduled: int(s.seq - pre), Pending: s.pending})
-		s.inHook = false
+		// An untracked event has no outstanding handle, so unless its own
+		// callback re-armed it (a Reset from inside fn), it can be reused
+		// by the next schedule.
+		if e.untracked && e.index < 0 {
+			e.fn = nil
+			s.free = append(s.free, e)
+		}
 		return true
 	}
 	return false
@@ -165,8 +280,7 @@ func (s *Sim) Run() {
 func (s *Sim) RunUntil(t time.Duration) {
 	s.stopped = false
 	for !s.stopped {
-		e := s.queue.peek()
-		if e == nil || e.at > t {
+		if len(s.queue) == 0 || s.queue[0].at > t {
 			break
 		}
 		s.Step()
@@ -185,43 +299,111 @@ func (s *Sim) Stop() { s.stopped = true }
 // per-event instrumentation.
 func (s *Sim) Pending() int { return s.pending }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*Event
+// ----- event queue: hand-rolled 4-ary min-heap -----
+//
+// The queue is a 4-ary heap ordered by (at, seq): half the depth of a
+// binary heap, sift-down comparisons that stay inside one cache line of
+// children, and no container/heap interface dispatch on the hot path.
+// Determinism is unaffected — (at, seq) is a total order, so pop order is
+// identical for any correct heap arity.
 
-func (q eventQueue) Len() int { return len(q) }
+const heapArity = 4
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (s *Sim) less(i, j int) bool {
+	a, b := s.queue[i], s.queue[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+func (s *Sim) swap(i, j int) {
+	q := s.queue
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+func (s *Sim) push(e *Event) {
+	e.index = len(s.queue)
+	s.queue = append(s.queue, e)
+	s.up(e.index)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+func (s *Sim) popMin() *Event {
+	q := s.queue
+	e := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[0].index = 0
+	q[last] = nil
+	s.queue = q[:last]
+	if last > 0 {
+		s.down(0)
+	}
 	e.index = -1
-	*q = old[:n-1]
 	return e
 }
 
-func (q eventQueue) peek() *Event {
-	if len(q) == 0 {
-		return nil
+// remove deletes the event at heap index i.
+func (s *Sim) remove(i int) {
+	q := s.queue
+	last := len(q) - 1
+	e := q[i]
+	if i != last {
+		q[i] = q[last]
+		q[i].index = i
 	}
-	return q[0]
+	q[last] = nil
+	s.queue = q[:last]
+	if i < last {
+		s.fix(i)
+	}
+	e.index = -1
+}
+
+// fix restores heap order after the event at index i changed priority.
+func (s *Sim) fix(i int) {
+	if !s.down(i) {
+		s.up(i)
+	}
+}
+
+func (s *Sim) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts index i toward the leaves; it reports whether i moved.
+func (s *Sim) down(i int) bool {
+	start := i
+	n := len(s.queue)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(c, min) {
+				min = c
+			}
+		}
+		if !s.less(min, i) {
+			break
+		}
+		s.swap(i, min)
+		i = min
+	}
+	return i > start
 }

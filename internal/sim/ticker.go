@@ -4,7 +4,9 @@ import "time"
 
 // Ticker invokes a callback at a fixed virtual-time period until stopped.
 // It is the building block for governor sampling loops and utilization
-// monitors.
+// monitors. A ticker owns a single kernel event for its whole lifetime,
+// re-armed in place after every tick, so a long sampling loop costs no
+// per-tick allocation.
 type Ticker struct {
 	s      *Sim
 	period time.Duration
@@ -20,20 +22,16 @@ func (s *Sim) NewTicker(period time.Duration, fn func()) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{s: s, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.s.After(t.period, func() {
+	t.ev = s.After(period, func() {
 		if t.stop {
 			return
 		}
 		t.fn()
 		if !t.stop {
-			t.arm()
+			t.s.Reset(t.ev, t.s.Now()+t.period)
 		}
 	})
+	return t
 }
 
 // Stop cancels future ticks. It is safe to call from within the tick

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"bufio"
+	"compress/gzip"
+	"container/heap"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Recorded-trace heap benchmark. testdata/pageload_trace.txt.gz is the
+// exact kernel op sequence (schedule / cancel / reset / pop) from one real
+// news-page load on a Nexus 4 under the interactive governor — DNS
+// timeouts, TCP retransmit timers, governor sampling resets, thread
+// completions, the lot. Replaying it compares the 4-ary heap against the
+// container/heap binary heap the kernel used previously, on the queue-depth
+// distribution the simulator actually produces rather than a synthetic one.
+//
+// Trace format, one op per line:
+//
+//	S <id> <at-ns>   schedule event <id> at absolute time <at>
+//	C <id>           cancel event <id>
+//	R <id> <at-ns>   reset event <id> to <at>
+//	P                pop (Step) the earliest event
+
+type traceOp struct {
+	kind byte // 'S', 'C', 'R', 'P'
+	id   int
+	at   time.Duration
+}
+
+func loadTrace(tb testing.TB) ([]traceOp, int) {
+	tb.Helper()
+	f, err := os.Open("testdata/pageload_trace.txt.gz")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var ops []traceOp
+	maxID := 0
+	sc := bufio.NewScanner(zr)
+	for sc.Scan() {
+		parts := strings.Fields(sc.Text())
+		if len(parts) == 0 {
+			continue
+		}
+		op := traceOp{kind: parts[0][0]}
+		if len(parts) > 1 {
+			op.id, err = strconv.Atoi(parts[1])
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if op.id > maxID {
+				maxID = op.id
+			}
+		}
+		if len(parts) > 2 {
+			ns, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			op.at = time.Duration(ns)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		tb.Fatal(err)
+	}
+	if len(ops) == 0 {
+		tb.Fatal("empty trace")
+	}
+	return ops, maxID + 1
+}
+
+// BenchmarkTraceReplay4ary replays the recorded trace through the live
+// kernel (4-ary heap, free list and all).
+func BenchmarkTraceReplay4ary(b *testing.B) {
+	ops, n := loadTrace(b)
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		handles := make([]*Event, n)
+		for _, op := range ops {
+			switch op.kind {
+			case 'S':
+				handles[op.id] = s.At(op.at, nop)
+			case 'C':
+				s.Cancel(handles[op.id])
+			case 'R':
+				s.Reset(handles[op.id], op.at)
+			case 'P':
+				if !s.Step() {
+					b.Fatal("trace popped an empty queue")
+				}
+			}
+		}
+	}
+}
+
+// ----- reference: the kernel's previous queue, verbatim idiom -----
+//
+// A container/heap binary heap of events ordered by (at, seq), with
+// heap.Remove for cancel and heap.Fix for in-place retiming — exactly the
+// structure the kernel used before the 4-ary rewrite.
+
+type binEvent struct {
+	at       time.Duration
+	seq      uint64
+	index    int
+	canceled bool
+	fired    bool
+}
+
+type binHeap []*binEvent
+
+func (h binHeap) Len() int { return len(h) }
+func (h binHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h binHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *binHeap) Push(x any) {
+	e := x.(*binEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *binHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	e := old[n]
+	old[n] = nil
+	*h = old[:n]
+	e.index = -1
+	return e
+}
+
+type binSched struct {
+	now   time.Duration
+	seq   uint64
+	queue binHeap
+}
+
+func (s *binSched) schedule(at time.Duration) *binEvent {
+	e := &binEvent{at: at, seq: s.seq, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+func (s *binSched) cancel(e *binEvent) {
+	if e.canceled || e.fired {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&s.queue, e.index)
+	}
+}
+
+func (s *binSched) reset(e *binEvent, at time.Duration) {
+	e.seq = s.seq
+	s.seq++
+	if e.index >= 0 {
+		e.at = at
+		heap.Fix(&s.queue, e.index)
+		return
+	}
+	e.at = at
+	e.canceled, e.fired = false, false
+	heap.Push(&s.queue, e)
+}
+
+func (s *binSched) step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*binEvent)
+		if e.canceled {
+			continue
+		}
+		e.fired = true
+		s.now = e.at
+		return true
+	}
+	return false
+}
+
+// BenchmarkTraceReplayBinary replays the same trace through the
+// container/heap reference.
+func BenchmarkTraceReplayBinary(b *testing.B) {
+	ops, n := loadTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &binSched{}
+		handles := make([]*binEvent, n)
+		for _, op := range ops {
+			switch op.kind {
+			case 'S':
+				handles[op.id] = s.schedule(op.at)
+			case 'C':
+				s.cancel(handles[op.id])
+			case 'R':
+				s.reset(handles[op.id], op.at)
+			case 'P':
+				if !s.step() {
+					b.Fatal("trace popped an empty queue")
+				}
+			}
+		}
+	}
+}
+
+// TestTraceReplayAgreement replays the trace through both schedulers and
+// checks they pop the same (at, seq) sequence — the determinism claim that
+// lets the heap arity change without touching a single golden file.
+func TestTraceReplayAgreement(t *testing.T) {
+	ops, n := loadTrace(t)
+	type popped struct {
+		at  time.Duration
+		seq uint64
+	}
+
+	var kernelPops []popped
+	s := New()
+	handles := make([]*Event, n)
+	nop := func() {}
+	for _, op := range ops {
+		switch op.kind {
+		case 'S':
+			handles[op.id] = s.At(op.at, nop)
+		case 'C':
+			s.Cancel(handles[op.id])
+		case 'R':
+			s.Reset(handles[op.id], op.at)
+		case 'P':
+			before := s.Steps()
+			if !s.Step() || s.Steps() != before+1 {
+				t.Fatal("kernel replay stalled")
+			}
+			kernelPops = append(kernelPops, popped{at: s.Now()})
+		}
+	}
+
+	var refPops []popped
+	ref := &binSched{}
+	bh := make([]*binEvent, n)
+	for _, op := range ops {
+		switch op.kind {
+		case 'S':
+			bh[op.id] = ref.schedule(op.at)
+		case 'C':
+			ref.cancel(bh[op.id])
+		case 'R':
+			ref.reset(bh[op.id], op.at)
+		case 'P':
+			if !ref.step() {
+				t.Fatal("reference replay stalled")
+			}
+			refPops = append(refPops, popped{at: ref.now})
+		}
+	}
+
+	if len(kernelPops) != len(refPops) {
+		t.Fatalf("pop counts differ: kernel %d, reference %d", len(kernelPops), len(refPops))
+	}
+	for i := range kernelPops {
+		if kernelPops[i] != refPops[i] {
+			t.Fatalf("pop %d diverged: kernel %+v, reference %+v", i, kernelPops[i], refPops[i])
+		}
+	}
+}

@@ -227,7 +227,7 @@ func (c *call) audioLoop() {
 	if c.now() >= c.mediaEnd {
 		return
 	}
-	c.cfg.Sim.After(audioFrameInterval, func() { c.audioLoop() })
+	c.cfg.Sim.PostAfter(audioFrameInterval, func() { c.audioLoop() })
 	if c.audio.QueueLen() < dropQueueLimit {
 		c.audio.Exec("audio", audioFrameCycles*c.factor, nil)
 	}
@@ -239,7 +239,7 @@ func (c *call) captureLoop() {
 		c.finish()
 		return
 	}
-	c.cfg.Sim.After(c.frameInterval(), func() { c.captureLoop() })
+	c.cfg.Sim.PostAfter(c.frameInterval(), func() { c.captureLoop() })
 	if c.tx.QueueLen() >= dropQueueLimit {
 		c.recordDrop("tx")
 		return // encoder back-pressure: skip this capture
@@ -250,7 +250,7 @@ func (c *call) captureLoop() {
 		cycles *= swCodecPenalty
 	}
 	c.sent++
-	c.cfg.Sim.After(encodeLatency, func() { // hardware encode
+	c.cfg.Sim.PostAfter(encodeLatency, func() { // hardware encode
 		c.tx.Exec("packetize", cycles, func() {
 			size := units.ByteSize(float64(frameBytesAt720p) * scale)
 			c.cfg.Net.SendDatagram(size, nil)
@@ -268,7 +268,7 @@ func (c *call) peerLoop() {
 	if c.now() >= c.mediaEnd {
 		return
 	}
-	c.cfg.Sim.After(c.frameInterval(), func() { c.peerLoop() })
+	c.cfg.Sim.PostAfter(c.frameInterval(), func() { c.peerLoop() })
 	scale := c.res().Scale
 	size := units.ByteSize(float64(frameBytesAt720p) * scale)
 	c.cfg.Net.RecvDatagram(size, func() {
@@ -281,7 +281,7 @@ func (c *call) peerLoop() {
 			cycles *= swCodecPenalty
 		}
 		c.rx.Exec("depacketize", cycles, func() {
-			c.cfg.Sim.After(decodeLatency, func() { // hardware decode
+			c.cfg.Sim.PostAfter(decodeLatency, func() { // hardware decode
 				if c.now() < c.mediaEnd+decodeLatency+time.Second {
 					c.displayed++
 					c.windowDisplayed++
@@ -298,7 +298,7 @@ func (c *call) abrLoop() {
 	if c.now() >= c.mediaEnd {
 		return
 	}
-	c.cfg.Sim.After(abrWindow, func() {
+	c.cfg.Sim.PostAfter(abrWindow, func() {
 		fps := float64(c.windowDisplayed) / abrWindow.Seconds()
 		c.windowDisplayed = 0
 		if !c.cfg.DisableABR && fps < 0.8*float64(c.cc.TargetFPS) && c.rung < len(Ladder)-1 {
@@ -319,7 +319,7 @@ func (c *call) finish() {
 	}
 	c.finished = true
 	// Let in-flight frames drain briefly before reporting.
-	c.cfg.Sim.After(200*time.Millisecond, func() {
+	c.cfg.Sim.PostAfter(200*time.Millisecond, func() {
 		secs := c.cc.Duration.Seconds()
 		m := Metrics{
 			SetupDelay:      c.setupDelay,

@@ -289,10 +289,10 @@ func (p *player) start() {
 func (p *player) fetchManifest() {
 	p.conn.RequestE("manifest", 300, manifestBytes, 0, func(err error) {
 		if err != nil {
-			p.cfg.Sim.After(segmentRetryDelay, func() { p.fetchManifest() })
+			p.cfg.Sim.PostAfter(segmentRetryDelay, func() { p.fetchManifest() })
 			return
 		}
-		p.cfg.Sim.After(decoderInitDelay, func() { p.decoderReady = true; p.maybeDisplay() })
+		p.cfg.Sim.PostAfter(decoderInitDelay, func() { p.decoderReady = true; p.maybeDisplay() })
 		p.pump()
 	})
 }
@@ -328,7 +328,7 @@ func (p *player) pump() {
 		if deadline < minFetchDeadline {
 			deadline = minFetchDeadline
 		}
-		p.cfg.Sim.After(deadline, func() { p.fetchWatchdog(seq, idx) })
+		p.cfg.Sim.PostAfter(deadline, func() { p.fetchWatchdog(seq, idx) })
 	}
 	p.conn.RequestE("segment", 400, bytes, 0, func(err error) {
 		if seq != p.fetchSeq || !p.fetching {
@@ -338,7 +338,7 @@ func (p *player) pump() {
 		if err != nil {
 			// Injected server error: refetch the same segment shortly.
 			p.nextFetch = idx
-			p.cfg.Sim.After(segmentRetryDelay, func() { p.pump() })
+			p.cfg.Sim.PostAfter(segmentRetryDelay, func() { p.pump() })
 			return
 		}
 		p.observeThroughput(bytes, p.now()-fetchStart)
@@ -388,7 +388,7 @@ func (p *player) demux(idx int) {
 			if remaining > 0 {
 				return
 			}
-			p.cfg.Sim.After(decodeSegmentDelay, func() {
+			p.cfg.Sim.PostAfter(decodeSegmentDelay, func() {
 				p.readySeconds += p.segLen(idx).Seconds()
 				if p.readySeconds > p.sc.Duration.Seconds() {
 					p.readySeconds = p.sc.Duration.Seconds()
@@ -444,7 +444,7 @@ func (p *player) waitForBuffer(batch float64, then func()) {
 		then()
 		return
 	}
-	p.cfg.Sim.After(50*time.Millisecond, func() { p.waitForBuffer(batch, then) })
+	p.cfg.Sim.PostAfter(50*time.Millisecond, func() { p.waitForBuffer(batch, then) })
 }
 
 func (p *player) renderAndPlay(batch float64) {
@@ -466,7 +466,7 @@ func (p *player) renderAndPlay(batch float64) {
 		p.playedTime += time.Duration(batch * float64(time.Second))
 		p.traceBuffer()
 		p.pump()
-		p.cfg.Sim.After(time.Duration((display-renderTime)*float64(time.Second)), func() {
+		p.cfg.Sim.PostAfter(time.Duration((display-renderTime)*float64(time.Second)), func() {
 			p.displayBatch()
 		})
 	})

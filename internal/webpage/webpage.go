@@ -406,14 +406,35 @@ func (g *generator) filler() string {
 	return strings.Join(words, " ")
 }
 
-// profileScript parses and executes a script once, recording its cost.
+// profileCache memoizes script profiles by source text. Template-generated
+// scripts differ only in a handful of integer parameters, so distinct seeds
+// and trials frequently produce identical source; executing each distinct
+// program once and sharing the immutable *Profile makes corpus builds for
+// later seeds substantially cheaper. The striped sync.Map + per-entry Once
+// idiom matches the corpus caches: concurrent builders for the same source
+// block on one execution instead of racing or duplicating work.
+var profileCache sync.Map // string source -> *profileEntry
+
+type profileEntry struct {
+	once sync.Once
+	prof *Profile
+}
+
+// profileScript parses and executes a script once per distinct source,
+// recording its cost. The returned Profile is shared and must be treated as
+// immutable by callers (all current consumers only read it).
 func profileScript(src string) *Profile {
-	prog := script.MustParse(src)
-	host := script.NewCountingHost()
-	in := script.New(script.Config{Host: host})
-	if err := in.Run(prog); err != nil {
-		panic(fmt.Sprintf("webpage: generated script failed: %v\n%s", err, src))
-	}
-	st := in.Stats()
-	return &Profile{Ops: st.Ops, StrBytes: st.StrBytes, Calls: host.Calls}
+	v, _ := profileCache.LoadOrStore(src, &profileEntry{})
+	e := v.(*profileEntry)
+	e.once.Do(func() {
+		prog := script.MustParse(src)
+		host := script.NewCountingHost()
+		in := script.New(script.Config{Host: host})
+		if err := in.Run(prog); err != nil {
+			panic(fmt.Sprintf("webpage: generated script failed: %v\n%s", err, src))
+		}
+		st := in.Stats()
+		e.prof = &Profile{Ops: st.Ops, StrBytes: st.StrBytes, Calls: host.Calls}
+	})
+	return e.prof
 }

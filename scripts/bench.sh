@@ -5,12 +5,14 @@
 #	scripts/bench.sh                  # full suite -> BENCH_<yyyy-mm-dd>.json
 #	scripts/bench.sh Fig3a            # only benchmarks matching a pattern
 #	BENCH_COUNT=5 scripts/bench.sh    # more repetitions per benchmark
+#	BENCH_TIME=1x scripts/bench.sh    # shorter -benchtime (CI smoke runs)
+#	BENCH_OUT=BENCH_ci.json scripts/bench.sh   # explicit output name
 #
 # Each output line is one JSON object: {"name", "iters", "ns_op", "b_op",
-# "allocs_op"}. Compare two archives with e.g.
+# "allocs_op"} plus any custom b.ReportMetric units (e.g. "speedup",
+# "workers"). Compare two archives with scripts/benchdiff:
 #
-#	join <(jq -r '[.name,.ns_op]|@tsv' BENCH_A.json | sort) \
-#	     <(jq -r '[.name,.ns_op]|@tsv' BENCH_B.json | sort)
+#	go run ./scripts/benchdiff BENCH_A.json BENCH_B.json
 #
 # The final line is a Go runtime snapshot from scripts/runtimestats — GC
 # count, summed GC pause, peak heap, and total allocation over a fixed traced
@@ -21,17 +23,27 @@ set -eu
 
 pattern="${1:-.}"
 count="${BENCH_COUNT:-1}"
-out="BENCH_$(date +%Y-%m-%d).json"
+benchtime="${BENCH_TIME:-1s}"
+out="${BENCH_OUT:-BENCH_$(date +%Y-%m-%d).json}"
 
 cd "$(dirname "$0")/.."
 
-go test -run '^$' -bench "$pattern" -benchmem -count "$count" . |
+# Parse by unit token, not column position: b.ReportMetric inserts extra
+# "<value> <unit>" pairs between ns/op and B/op, so fixed columns would
+# silently read the wrong numbers.
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" . |
 	awk '
 		/^Benchmark/ {
 			name = $1
 			sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
-			printf "{\"name\":\"%s\",\"iters\":%s,\"ns_op\":%s,\"b_op\":%s,\"allocs_op\":%s}\n",
-				name, $2, $3, $5, $7
+			printf "{\"name\":\"%s\",\"iters\":%s", name, $2
+			for (i = 3; i < NF; i += 2) {
+				unit = $(i + 1)
+				gsub(/\//, "_", unit)     # ns/op -> ns_op, B/op -> B_op
+				key = tolower(unit)
+				printf ",\"%s\":%s", key, $i
+			}
+			printf "}\n"
 		}
 	' >"$out"
 

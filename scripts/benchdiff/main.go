@@ -1,0 +1,137 @@
+// Command benchdiff compares two benchmark archives produced by
+// scripts/bench.sh and fails when performance regressed:
+//
+//	go run ./scripts/benchdiff BENCH_old.json BENCH_new.json
+//
+// For every benchmark present in both files it reports the ns/op and
+// allocs/op deltas, and exits nonzero if any benchmark regressed past the
+// thresholds (default 15%, tune with -ns-op / -allocs-op, given as
+// fractions). Benchmarks present in only one file are listed but never
+// fail the gate — adding or retiring a benchmark is not a regression. The
+// runtime-stats line bench.sh appends (no "name" key) is ignored.
+//
+// Thresholds are deliberately loose: CI machines are noisy, and the gate
+// exists to catch order-of-magnitude accidents (an O(n²) slip, a pooled
+// path quietly falling back to per-event allocation), not single-digit
+// jitter. allocs/op is near-deterministic, so its threshold bites much
+// earlier in practice.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+func load(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]result{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var r result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if r.Name == "" {
+			continue // runtime-stats trailer
+		}
+		out[r.Name] = r
+	}
+	return out, sc.Err()
+}
+
+// pct returns the relative change from old to new as a fraction, treating a
+// zero old value as no change (nothing meaningful to compare against).
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
+}
+
+func main() {
+	nsThresh := flag.Float64("ns-op", 0.15, "ns/op regression threshold (fraction)")
+	allocThresh := flag.Float64("allocs-op", 0.15, "allocs/op regression threshold (fraction)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	new_, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	compared := 0
+	for _, name := range names {
+		o := old[name]
+		n, ok := new_[name]
+		if !ok {
+			fmt.Printf("%-44s only in %s\n", name, flag.Arg(0))
+			continue
+		}
+		compared++
+		dns, dalloc := pct(o.NsOp, n.NsOp), pct(o.AllocsOp, n.AllocsOp)
+		verdict := "ok"
+		if dns > *nsThresh || dalloc > *allocThresh {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-44s ns/op %+7.1f%%  allocs/op %+7.1f%%  %s\n",
+			name, dns*100, dalloc*100, verdict)
+	}
+	newOnly := make([]string, 0)
+	for name := range new_ {
+		if _, ok := old[name]; !ok {
+			newOnly = append(newOnly, name)
+		}
+	}
+	sort.Strings(newOnly)
+	for _, name := range newOnly {
+		fmt.Printf("%-44s only in %s\n", name, flag.Arg(1))
+	}
+
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d of %d benchmarks regressed past thresholds (ns/op +%.0f%%, allocs/op +%.0f%%)\n",
+			regressions, compared, *nsThresh*100, *allocThresh*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d common benchmarks within thresholds\n", compared)
+}
