@@ -32,9 +32,12 @@ type Flags struct {
 	// Metrics is the -metrics argument: print the run's metrics registry
 	// after the results.
 	Metrics bool
+	// RunLog is the shared -runlog / -progress pair (see RegisterRunLog).
+	RunLog *RunLogFlags
 
-	tr  *trace.Tracer
-	reg *trace.Metrics
+	histMode trace.HistMode
+	tr       *trace.Tracer
+	reg      *trace.Metrics
 }
 
 // Register installs the shared -trace and -metrics flags on fs (normally
@@ -48,6 +51,13 @@ func Register(fs *flag.FlagSet, traceUsage string) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.TraceOut, "trace", "", traceUsage)
 	fs.BoolVar(&f.Metrics, "metrics", false, "print the run's metrics registry after the results")
+	fs.Func("metricsmode", "histogram mode for -metrics: scalar|bounded|full (bounded adds p50/p90/p99 columns in O(1) memory)",
+		func(s string) error {
+			m, err := trace.ParseHistMode(s)
+			f.histMode = m
+			return err
+		})
+	f.RunLog = RegisterRunLog(fs)
 	return f
 }
 
@@ -102,7 +112,7 @@ func (f *Flags) Registry() *trace.Metrics { return f.reg }
 
 func (f *Flags) ensureRegistry() {
 	if f.reg == nil {
-		f.reg = trace.NewMetrics()
+		f.reg = trace.NewMetricsMode(f.histMode)
 	}
 }
 

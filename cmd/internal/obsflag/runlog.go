@@ -1,0 +1,290 @@
+package obsflag
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"mobileqoe/internal/runlog"
+	"mobileqoe/internal/runner"
+	"mobileqoe/internal/stats"
+)
+
+// RunLogFlags holds the shared -runlog / -progress pair: the structured
+// NDJSON run log (see internal/runlog) and the live one-line stderr meter.
+// Both are observers of the run — enabling either never changes stdout.
+type RunLogFlags struct {
+	// Out is the -runlog argument: the NDJSON output path, empty when no
+	// log was requested.
+	Out string
+	// Progress is the -progress argument: redraw a one-line status meter
+	// (throughput, ETA, streaming wall-time quantiles) on stderr.
+	Progress bool
+}
+
+// RegisterRunLog installs -runlog and -progress on fs. It is part of
+// Register; qoesim, which owns its flag set, calls it directly.
+func RegisterRunLog(fs *flag.FlagSet) *RunLogFlags {
+	rf := &RunLogFlags{}
+	fs.StringVar(&rf.Out, "runlog", "",
+		"write an NDJSON run log (manifest, per-cell records, health snapshots) to this file")
+	fs.BoolVar(&rf.Progress, "progress", false,
+		"redraw a live one-line status meter on stderr")
+	return rf
+}
+
+// How often the meter redraws and health snapshots land in the log. The
+// meter throttle keeps a fast run from melting the terminal; the health
+// cadence bounds log growth (a snapshot is ~200 bytes).
+const (
+	meterEvery  = 100 * time.Millisecond
+	healthEvery = time.Second
+)
+
+// Start opens the run log and/or progress meter for a run of total cells.
+// Returns nil (a valid no-op receiver — every RunLog method is nil-safe)
+// when neither flag was given.
+//
+// The manifest's Tool is set to tool; StartedAt, CodeVersion, and Flags are
+// filled in when the caller left them empty (Flags from the explicitly-set
+// flags of flag.CommandLine). Everything else — Experiments, Seed,
+// SeedSchedule, Trials, Parallel, Scenario — is the caller's knowledge.
+func (rf *RunLogFlags) Start(tool string, total int, m runlog.Manifest) (*RunLog, error) {
+	if rf == nil || (rf.Out == "" && !rf.Progress) {
+		return nil, nil
+	}
+	r := &RunLog{
+		tool:  tool,
+		total: total,
+		show:  rf.Progress,
+		start: time.Now(),
+		p50:   stats.NewP2Quantile(0.5),
+		p95:   stats.NewP2Quantile(0.95),
+	}
+	if rf.Out != "" {
+		f, err := os.Create(rf.Out)
+		if err != nil {
+			return nil, err
+		}
+		r.file = f
+		r.bw = bufio.NewWriter(f)
+		r.w = runlog.NewWriter(r.bw)
+		m.Tool = tool
+		if m.StartedAt == "" {
+			m.StartedAt = r.start.UTC().Format(time.RFC3339)
+		}
+		if m.CodeVersion == "" {
+			m.CodeVersion = codeVersion()
+		}
+		if m.Flags == nil {
+			m.Flags = visitedFlags(flag.CommandLine)
+		}
+		if err := r.w.Manifest(m); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// codeVersion extracts the build's identity from the binary itself: the VCS
+// revision when the toolchain stamped one, else the module version.
+func codeVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev, dirty := "", ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		return rev + dirty
+	}
+	return bi.Main.Version
+}
+
+// visitedFlags snapshots every flag explicitly set on the command line.
+func visitedFlags(fs *flag.FlagSet) map[string]string {
+	m := map[string]string{}
+	fs.Visit(func(f *flag.Flag) { m[f.Name] = f.Value.String() })
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}
+
+// RunLog drives one run's log records and progress meter. Cell/CellEvent
+// must be called in cell order when a log file is attached (the runlog
+// writer enforces monotonic indexes) — runner.Options.Stream delivers
+// exactly that order. A nil *RunLog is a no-op. Safe for concurrent use.
+type RunLog struct {
+	mu    sync.Mutex
+	tool  string
+	total int
+	show  bool
+	start time.Time
+
+	file *os.File
+	bw   *bufio.Writer
+	w    *runlog.Writer
+
+	done, ok, failed int
+	p50, p95         *stats.P2Quantile
+
+	lastDraw   time.Time
+	lastHealth time.Time
+	lineLen    int
+	err        error // first write error; surfaced by Close
+}
+
+// CellEvent records one completed runner cell: status and error class from
+// the event, deterministic simulation counters (virtual time, fault
+// injections/recoveries) mined from the cell's metrics registry when the
+// run carried one. Pass it as runner.Options.Stream.
+func (r *RunLog) CellEvent(ev runner.Event) {
+	if r == nil {
+		return
+	}
+	c := runlog.Cell{
+		Index:   ev.Index,
+		ID:      ev.ID,
+		Trial:   ev.Trial,
+		Seed:    ev.Seed,
+		Attempt: ev.Attempt,
+		Status:  "ok",
+		WallMS:  float64(ev.Elapsed) / float64(time.Millisecond),
+	}
+	if ev.Err != nil {
+		c.Status = "error"
+		c.ErrorClass = runlog.ClassifyError(ev.Err)
+		c.Error = ev.Err.Error()
+	} else if ev.Table != nil && ev.Table.Metrics != nil {
+		m := ev.Table.Metrics
+		c.VirtualMS = m.Counter("sim.virtual_ms").Value()
+		c.FaultsInjected = int64(m.Counter("fault.injected").Value())
+		c.FaultsRecovered = int64(m.Counter("fault.recovered").Value())
+	}
+	r.Cell(c)
+}
+
+// Cell records one completed cell directly — the entry point for CLIs that
+// drive workloads without the runner (pageload, iperfsim, regexdsp).
+func (r *RunLog) Cell(c runlog.Cell) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done++
+	if c.Status == "error" {
+		r.failed++
+	} else {
+		r.ok++
+	}
+	r.p50.Add(c.WallMS)
+	r.p95.Add(c.WallMS)
+	now := time.Now()
+	if r.w != nil {
+		if err := r.w.Cell(c); err != nil && r.err == nil {
+			r.err = err
+		}
+		if now.Sub(r.lastHealth) >= healthEvery {
+			r.lastHealth = now
+			r.writeHealth(now)
+		}
+	}
+	r.draw(now, false)
+}
+
+// writeHealth emits one snapshot. Caller holds r.mu.
+func (r *RunLog) writeHealth(now time.Time) {
+	elapsed := now.Sub(r.start)
+	h := runlog.Health{
+		Done:      r.done,
+		Total:     r.total,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		WallP50MS: r.p50.Value(),
+		WallP95MS: r.p95.Value(),
+		Runtime:   runlog.CaptureRuntime(),
+	}
+	if elapsed > 0 && r.done > 0 {
+		h.CellsPerSec = float64(r.done) / elapsed.Seconds()
+		h.ETAMS = float64(r.total-r.done) / h.CellsPerSec * 1000
+	}
+	if err := r.w.Health(h); err != nil && r.err == nil {
+		r.err = err
+	}
+}
+
+// draw redraws the meter line. Caller holds r.mu.
+func (r *RunLog) draw(now time.Time, final bool) {
+	if !r.show || (!final && now.Sub(r.lastDraw) < meterEvery) {
+		return
+	}
+	r.lastDraw = now
+	elapsed := now.Sub(r.start)
+	line := fmt.Sprintf("%s: %d/%d cells ok=%d fail=%d", r.tool, r.done, r.total, r.ok, r.failed)
+	if elapsed > 0 && r.done > 0 {
+		rate := float64(r.done) / elapsed.Seconds()
+		eta := time.Duration(float64(r.total-r.done) / rate * float64(time.Second))
+		line += fmt.Sprintf(" | %.1f cells/s eta %v", rate, eta.Round(time.Second))
+		line += fmt.Sprintf(" | wall p50 %.0fms p95 %.0fms", r.p50.Value(), r.p95.Value())
+	}
+	pad := ""
+	if n := r.lineLen - len(line); n > 0 {
+		pad = fmt.Sprintf("%*s", n, "")
+	}
+	r.lineLen = len(line)
+	fmt.Fprintf(os.Stderr, "\r%s%s", line, pad)
+}
+
+// Close finishes the log — a final health snapshot, the summary record
+// (status "ok" unless any cell failed), flush, file close — and terminates
+// the meter line. Returns the first error any write hit.
+func (r *RunLog) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	r.draw(now, true)
+	if r.show {
+		fmt.Fprintln(os.Stderr)
+	}
+	if r.w == nil {
+		return r.err
+	}
+	r.writeHealth(now)
+	status := "ok"
+	if r.failed > 0 {
+		status = "failed"
+	}
+	if err := r.w.Summary(runlog.Summary{
+		CellsOK:     r.ok,
+		CellsFailed: r.failed,
+		WallMS:      float64(now.Sub(r.start)) / float64(time.Millisecond),
+		Status:      status,
+	}); err != nil && r.err == nil {
+		r.err = err
+	}
+	if err := r.bw.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	if err := r.file.Close(); err != nil && r.err == nil {
+		r.err = err
+	}
+	return r.err
+}

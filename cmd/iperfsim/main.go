@@ -20,6 +20,7 @@ import (
 	"mobileqoe/cmd/internal/obsflag"
 	"mobileqoe/internal/core"
 	"mobileqoe/internal/device"
+	"mobileqoe/internal/runlog"
 )
 
 func main() {
@@ -40,9 +41,25 @@ func main() {
 	}
 
 	obsOpts := ob.Options()
+	steps := device.Nexus4FreqSteps()
+	rl, err := ob.RunLog.Start("iperfsim", len(steps), runlog.Manifest{
+		Experiments:  []string{"iperf"},
+		Seed:         *seed,
+		SeedSchedule: "one cell per Nexus4 clock step, all under the same -seed (fault injector only)",
+		Trials:       1,
+		Parallel:     1,
+		FaultPlan:    *faults,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "iperfsim:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("iperf server -> Nexus4 over the 72 Mbps AP (10 ms RTT), %v per step\n", *duration)
 	fmt.Printf("%-10s %s\n", "clock", "goodput")
-	for _, f := range device.Nexus4FreqSteps() {
+	// The shared registry accumulates over the sweep, so per-cell counter
+	// values are deltas between steps.
+	var prevVirt, prevInj, prevRec float64
+	for i, f := range steps {
 		opts := append([]core.Option{core.WithClock(f)}, obsOpts...)
 		if *free {
 			opts = append(opts, core.WithoutPacketCPUCharge())
@@ -50,9 +67,27 @@ func main() {
 		if plan != nil {
 			opts = append(opts, core.WithFaultPlan(plan, *seed))
 		}
+		stepStart := time.Now()
 		sys := core.NewSystem(device.Nexus4(), opts...)
 		r := sys.Iperf(*duration)
 		fmt.Printf("%-10s %.1f Mbps\n", f, r.Throughput.Mbpsf())
+		cell := runlog.Cell{Index: i, ID: "iperf:" + f.String(), Seed: *seed, Status: "ok",
+			WallMS:    float64(time.Since(stepStart)) / float64(time.Millisecond),
+			VirtualMS: float64(*duration) / float64(time.Millisecond)}
+		if m := ob.Registry(); m != nil {
+			virt := m.Counter("sim.virtual_ms").Value()
+			inj := m.Counter("fault.injected").Value()
+			rec := m.Counter("fault.recovered").Value()
+			cell.VirtualMS = virt - prevVirt
+			cell.FaultsInjected = int64(inj - prevInj)
+			cell.FaultsRecovered = int64(rec - prevRec)
+			prevVirt, prevInj, prevRec = virt, inj, rec
+		}
+		rl.Cell(cell)
+	}
+	if err := rl.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "iperfsim:", err)
+		os.Exit(1)
 	}
 
 	if err := ob.Flush(os.Stdout); err != nil {

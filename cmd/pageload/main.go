@@ -24,6 +24,7 @@ import (
 	"mobileqoe/internal/core"
 	"mobileqoe/internal/device"
 	"mobileqoe/internal/profile"
+	"mobileqoe/internal/runlog"
 	"mobileqoe/internal/units"
 	"mobileqoe/internal/webpage"
 	"mobileqoe/internal/wprof"
@@ -79,8 +80,36 @@ func main() {
 	}
 	opts = append(opts, ob.Options()...)
 
+	rl, err := ob.RunLog.Start("pageload", 1, runlog.Manifest{
+		Experiments:  []string{"pageload"},
+		Seed:         *seed,
+		SeedSchedule: "single cell; -seed drives page generation and the fault injector",
+		Trials:       1,
+		Parallel:     1,
+		FaultPlan:    *faults,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pageload:", err)
+		os.Exit(1)
+	}
+
 	sys := core.NewSystem(spec, opts...)
+	loadStart := time.Now()
 	res := sys.LoadPage(page)
+
+	cell := runlog.Cell{ID: "pageload", Seed: *seed, Status: "ok",
+		WallMS:    float64(time.Since(loadStart)) / float64(time.Millisecond),
+		VirtualMS: float64(res.PLT) / float64(time.Millisecond)}
+	if m := ob.Registry(); m != nil {
+		cell.VirtualMS = m.Counter("sim.virtual_ms").Value()
+		cell.FaultsInjected = int64(m.Counter("fault.injected").Value())
+		cell.FaultsRecovered = int64(m.Counter("fault.recovered").Value())
+	}
+	rl.Cell(cell)
+	if err := rl.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "pageload:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("PLT: %v\n", res.PLT.Round(time.Millisecond))
 	if res.Degraded {

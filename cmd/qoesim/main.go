@@ -45,6 +45,7 @@ import (
 	"mobileqoe/internal/experiments"
 	"mobileqoe/internal/fault"
 	"mobileqoe/internal/profile"
+	"mobileqoe/internal/runlog"
 	"mobileqoe/internal/runner"
 	"mobileqoe/internal/scenario"
 	"mobileqoe/internal/trace"
@@ -137,6 +138,7 @@ func realMain() int {
 		retries  = flag.Int("retries", 0, "extra attempts per failed (experiment, trial) cell")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file (per-trial files when -parallel > 1; see package doc)")
 		metrics  = flag.Bool("metrics", false, "print the run's metrics registry after each table")
+		histMode trace.HistMode
 		profOut  = flag.Bool("profile", false, "print an aggregated virtual-time profile of the traced run (implies tracing; forces -parallel 1)")
 		folded   = flag.String("folded", "", "write folded stacks (flamegraph.pl / speedscope) of the traced run to this file (implies tracing; forces -parallel 1)")
 		weight   = flag.String("weight", "time", "folded-stack weight: 'time' (self virtual µs) or 'cycles'")
@@ -144,6 +146,14 @@ func realMain() int {
 		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile of the qoesim process to this file")
 		memProf  = flag.String("memprofile", "", "write a Go heap profile (taken after the run) to this file")
 	)
+	flag.Func("metricsmode",
+		"histogram mode for -metrics: scalar|bounded|full (bounded adds p50/p90/p99 columns in O(1) memory)",
+		func(s string) error {
+			m, err := trace.ParseHistMode(s)
+			histMode = m
+			return err
+		})
+	rlf := obsflag.RegisterRunLog(flag.CommandLine)
 	flag.Parse()
 
 	if *cpuProf != "" {
@@ -206,6 +216,13 @@ func realMain() int {
 	}
 	cfg.Trials = *trials
 	cfg.Metrics = *metrics
+	cfg.MetricsMode = histMode
+	if rlf.Out != "" {
+		// A run log mines per-cell registries for the deterministic fields
+		// (virtual time, fault counts), so collection must be on; printing
+		// is still gated on -metrics, so stdout is unchanged.
+		cfg.Metrics = true
+	}
 	if *faults != "" {
 		plan, err := obsflag.LoadFaultPlan(*faults)
 		if err != nil {
@@ -214,12 +231,14 @@ func realMain() int {
 		}
 		cfg.Faults = plan
 	}
+	var scn *scenario.Scenario // loaded scenario, kept for the run-log manifest
 	if *scen != "" {
 		sc, err := scenario.Load(*scen)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
 			return 2
 		}
+		scn = sc
 		// The scenario registers as "scenario:<name>" and runs through the
 		// same registry/runner path as a built-in id, so every other flag
 		// (-trials, -trace, -metrics, -parallel, ...) composes unchanged.
@@ -321,15 +340,47 @@ func realMain() int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	start := time.Now()
-	results, err := runner.Run(context.Background(), ids, cfg,
-		runner.Options{Parallel: *parallel, Timeout: *timeout, Retries: *retries,
-			Progress: progress})
+	manifest := runlog.Manifest{
+		Experiments:  ids,
+		Seed:         norm.Seed,
+		SeedSchedule: "trial t of a multi-trial run uses seed*1e6+t (experiments.TrialSeed); retry attempt a remixes the trial seed via experiments.AttemptSeed",
+		Trials:       norm.Trials,
+		Parallel:     workers,
+		Scenario:     *scen,
+		FaultPlan:    *faults,
+	}
+	if scn != nil {
+		manifest.ScenarioSHA256 = scn.SourceSHA256
+		if manifest.FaultPlan == "" {
+			manifest.FaultPlan = scn.FaultPlan
+		}
+	}
+	rl, err := rlf.Start("qoesim", totalCells, manifest)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
 		return 1
 	}
+	if rlf.Progress {
+		progress = nil // the live meter replaces the per-cell lines
+	}
+	ropts := runner.Options{Parallel: *parallel, Timeout: *timeout, Retries: *retries,
+		Progress: progress}
+	if rl != nil {
+		// Stream delivers cells in deterministic cell order, which is what
+		// gives the log its monotonic indexes.
+		ropts.Stream = rl.CellEvent
+	}
+	start := time.Now()
+	results, err := runner.Run(context.Background(), ids, cfg, ropts)
 	exit := 0
+	if cerr := rl.Close(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "qoesim: runlog: %v\n", cerr)
+		exit = 1
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+		return 1
+	}
 	for _, r := range results {
 		if r.Err != nil {
 			// Cells still failed after every retry: report and exit nonzero,
@@ -347,7 +398,14 @@ func realMain() int {
 			fmt.Println()
 		}
 		if *metrics && r.Table.Metrics != nil {
-			fmt.Print(r.Table.Metrics.Table())
+			// The header names the fold discipline when trials merged, so a
+			// reader of a -parallel run knows the registry is the in-order
+			// trial fold, not a completion-order one.
+			note := ""
+			if norm.Trials > 1 {
+				note = fmt.Sprintf("merged %d trials in trial order", norm.Trials)
+			}
+			fmt.Print(r.Table.Metrics.TableTitled(note))
 			fmt.Println()
 		}
 	}
@@ -404,11 +462,17 @@ func analyzeTrace(tracer *trace.Tracer, results []runner.Result,
 		fmt.Fprintf(os.Stderr, "qoesim: wrote folded stacks to %s\n", foldedPath)
 	}
 	if check {
-		merged := trace.NewMetrics()
+		var merged *trace.Metrics
 		for _, r := range results {
 			if r.Table != nil && r.Table.Metrics != nil {
+				if merged == nil {
+					merged = trace.NewMetricsMode(r.Table.Metrics.Mode())
+				}
 				merged.Merge(r.Table.Metrics)
 			}
+		}
+		if merged == nil {
+			merged = trace.NewMetrics()
 		}
 		violations := profile.Check(events, merged)
 		for _, v := range violations {

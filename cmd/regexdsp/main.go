@@ -18,6 +18,7 @@ import (
 	"mobileqoe/cmd/internal/obsflag"
 	"mobileqoe/internal/dsp"
 	"mobileqoe/internal/rex"
+	"mobileqoe/internal/runlog"
 	"mobileqoe/internal/sim"
 	"mobileqoe/internal/units"
 )
@@ -53,6 +54,16 @@ func main() {
 	if *pattern != "" {
 		work = []workload{{"custom", *pattern, *input}}
 	}
+	rl, err := ob.RunLog.Start("regexdsp", len(work), runlog.Manifest{
+		Experiments:  []string{"regexdsp"},
+		SeedSchedule: "one cell per suite workload; pricing is analytic (no seeded randomness)",
+		Trials:       1,
+		Parallel:     1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regexdsp:", err)
+		os.Exit(1)
+	}
 	s := sim.New()
 	dcfg := dsp.Config{Obs: ob.Ctx("regexdsp")}
 	tr := ob.Tracer()
@@ -70,10 +81,14 @@ func main() {
 
 	fmt.Printf("%-19s %-11s %-11s %-11s %-11s %s\n",
 		"workload", "bt-steps", "pike-steps", "cpu-time", "dsp-time", "winner")
-	for _, w := range work {
+	for i, w := range work {
+		cellStart := time.Now()
 		prog, err := rex.Compile(w.pattern)
 		if err != nil {
 			fmt.Printf("%-19s compile error: %v\n", w.name, err)
+			rl.Cell(runlog.Cell{Index: i, ID: w.name, Status: "error",
+				ErrorClass: "error", Error: err.Error(),
+				WallMS: float64(time.Since(cellStart)) / float64(time.Millisecond)})
 			continue
 		}
 		pr := prog.Run(w.input)
@@ -103,6 +118,12 @@ func main() {
 		fmt.Printf("%-19s %-11s %-11d %-11s %-11s %s\n",
 			w.name, btSteps, pr.Steps,
 			cpuTime.Round(time.Microsecond), dspTime.Round(time.Microsecond), winner)
+		rl.Cell(runlog.Cell{Index: i, ID: w.name, Status: "ok",
+			WallMS: float64(time.Since(cellStart)) / float64(time.Millisecond)})
+	}
+	if err := rl.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "regexdsp:", err)
+		os.Exit(1)
 	}
 	fmt.Printf("\n(batch=%0.f evaluations/RPC; '!' = backtracking step limit hit; DSP %s @ %.2f cyc/step, RPC %v)\n",
 		*repeat, d.Config().Freq, dsp.DSPCyclesPerStep, d.Config().RPCOverhead)

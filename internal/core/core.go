@@ -329,6 +329,13 @@ type finisher interface {
 func (sys *System) Run(w Workload) (Result, error) {
 	var res Result
 	done := false
+	// Virtual time consumed by this workload — deterministic (pure simulation
+	// output), so run logs can report it per cell even when wall time varies.
+	// Accumulated on both the success and deadline paths.
+	virtStart := sys.Sim.Now()
+	defer func() {
+		sys.Obs.Counter("sim.virtual_ms").Add(float64(sys.Sim.Now()-virtStart) / float64(time.Millisecond))
+	}()
 	w.Start(sys, func(r Result) {
 		res = r
 		done = true

@@ -53,6 +53,13 @@ type Config struct {
 	// Table.Metrics), and MergeTrials folds them together in trial order.
 	Metrics bool
 
+	// MetricsMode selects the histogram backing of the registries Metrics
+	// creates: the zero value (trace.HistScalar) is the historical
+	// count/sum/min/max registry, trace.HistBounded adds O(1) sketch-backed
+	// quantiles (the fleet-scale mode), trace.HistFull retains samples for
+	// exact quantiles. Ignored when Metrics is false.
+	MetricsMode trace.HistMode
+
 	// Faults, when non-nil, attaches this fault plan to every system a trial
 	// builds. Each system's injector is seeded from the trial seed and the
 	// system's ordinal within the trial (see faultSeed), so a faulted trial
@@ -302,7 +309,7 @@ func RunTrialAttempt(id string, cfg Config, trial, attempt int) (*Table, error) 
 		c.Trace = c.TraceFactory(id, trial)
 	}
 	if c.Metrics {
-		c.reg = trace.NewMetrics()
+		c.reg = trace.NewMetricsMode(c.MetricsMode)
 	}
 	if c.Faults != nil {
 		c.faultSeq = new(uint64)

@@ -103,8 +103,11 @@ func MergeTrials(trials []*Table) *Table {
 
 // mergeMetrics folds the per-trial registries together strictly in trial
 // order — the same by-index discipline the table merge uses — so a parallel
-// run's registry is identical to a sequential one's. Returns nil when no
-// trial carried a registry.
+// run's registry is identical to a sequential one's. The merged registry
+// inherits the first registry's histogram mode, so bounded-mode trials keep
+// their sketch-backed quantiles through the merge (and, because sketch
+// merges are exact, the merged quantiles are byte-identical for any shard
+// decomposition). Returns nil when no trial carried a registry.
 func mergeMetrics(trials []*Table) *trace.Metrics {
 	var out *trace.Metrics
 	for _, tr := range trials {
@@ -112,7 +115,7 @@ func mergeMetrics(trials []*Table) *trace.Metrics {
 			continue
 		}
 		if out == nil {
-			out = trace.NewMetrics()
+			out = trace.NewMetricsMode(tr.Metrics.Mode())
 		}
 		out.Merge(tr.Metrics)
 	}

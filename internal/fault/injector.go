@@ -47,7 +47,10 @@ type Injector struct {
 // rather than as an obs.Ctx. tr, when non-nil, receives one "fault:<kind>"
 // instant at every window open and one "recovered:<kind>" span covering the
 // window on a "fault:injector" lane, attributed to pid. m, when non-nil,
-// accumulates fault.injected and per-kind fault.injected.<kind> counters.
+// accumulates fault.injected and per-kind fault.injected.<kind> counters at
+// window open, and a fault.recovered counter at window close — so
+// injected == recovered in a drained run is the "all windows closed"
+// liveness check run logs report.
 func NewInjector(s *sim.Sim, p *Plan, rng *stats.RNG, tr *trace.Tracer, pid int, m *trace.Metrics) *Injector {
 	if p == nil || len(p.Faults) == 0 {
 		return nil
@@ -131,6 +134,7 @@ func (i *Injector) close(sp *Spec, openedAt time.Duration) {
 	case DSPFail:
 		i.dsps = remove(i.dsps)
 	}
+	i.m.Counter("fault.recovered").Add(1)
 	if i.tr != nil {
 		i.tr.Span("fault", "recovered:"+string(sp.Kind), i.pid, i.tid,
 			openedAt, i.s.Now())

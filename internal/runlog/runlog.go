@@ -1,0 +1,385 @@
+// Package runlog is the structured run log: a newline-delimited JSON (NDJSON)
+// stream describing one harness run — a manifest header identifying what ran,
+// one record per completed (experiment, trial) cell, periodic health
+// snapshots, and a closing summary. The log is an append-only observer: it is
+// written from the runner's progress path and never feeds back into results,
+// so a run with and without a log is byte-identical on stdout.
+//
+// Determinism contract. Record fields split into two classes:
+//
+//   - deterministic: everything derived from the configuration or the
+//     simulation (ids, trials, seeds, status, error class, virtual time,
+//     fault counts). Two runs of the same binary with the same flags produce
+//     identical values in these fields, regardless of -parallel.
+//   - wall-clock: started_at, wall_ms, cells_per_sec, eta_ms, the runtime
+//     block, and record *interleaving* (health snapshots land wherever the
+//     wall clock says). Comparisons across runs must filter these out; the
+//     worked jq recipes in EXPERIMENTS.md do.
+//
+// Cell records carry a monotonically increasing "index" in cell order
+// (experiment-major, trial-minor), so a sorted-by-index projection of the
+// deterministic fields is stable even though cells complete out of order.
+//
+// Every line is a single JSON object with a "type" discriminator. Schema
+// changes bump Schema; Validate rejects logs written by a different major
+// schema so CI catches drift instead of silently mis-parsing.
+package runlog
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"mobileqoe/internal/core"
+)
+
+// Schema is the run-log schema version. Bump on any field rename/removal or
+// semantic change; additions that old readers can ignore do not require a
+// bump (Validate is strict for *writers in this tree*, but downstream readers
+// should tolerate unknown fields).
+const Schema = 1
+
+// Manifest is the first record of every log: enough to re-run the command
+// and to tell two archived logs apart.
+type Manifest struct {
+	Type   string `json:"type"` // "manifest"
+	Schema int    `json:"schema"`
+	// Tool is the producing command ("qoesim", "pageload", ...).
+	Tool string `json:"tool"`
+	// StartedAt is RFC3339 wall-clock. Wall-clock class: exclude from diffs.
+	StartedAt string `json:"started_at,omitempty"`
+	// CodeVersion is the module version/VCS revision baked into the binary
+	// by the Go toolchain (best effort — "devel" builds may carry none).
+	CodeVersion string `json:"code_version,omitempty"`
+	// Scenario is the -scenario path as given; ScenarioSHA256 fingerprints
+	// the file bytes so archived logs pin the exact scenario revision.
+	Scenario       string `json:"scenario,omitempty"`
+	ScenarioSHA256 string `json:"scenario_sha256,omitempty"`
+	// Experiments lists the registry ids in run order.
+	Experiments []string `json:"experiments"`
+	Seed        uint64   `json:"seed"`
+	// SeedSchedule documents how per-cell seeds derive from Seed, so a log
+	// reader can reproduce any single cell without the whole sweep.
+	SeedSchedule string `json:"seed_schedule"`
+	Trials       int    `json:"trials"`
+	Parallel     int    `json:"parallel"`
+	// FaultPlan is the -faults path (empty: no injection).
+	FaultPlan string `json:"fault_plan,omitempty"`
+	// Flags records every flag explicitly set on the command line.
+	Flags map[string]string `json:"flags,omitempty"`
+}
+
+// Cell is one completed (experiment, trial) cell.
+type Cell struct {
+	Type string `json:"type"` // "cell"
+	// Index is the cell's position in deterministic cell order
+	// (experiment-major, trial-minor) — not completion order.
+	Index   int    `json:"index"`
+	ID      string `json:"id"`
+	Trial   int    `json:"trial"`
+	Seed    uint64 `json:"seed"`
+	Attempt int    `json:"attempt"` // attempt the outcome came from (0 = first try)
+	Status  string `json:"status"`  // "ok" | "error"
+	// ErrorClass is ClassifyError's stable bucket; Error is the raw message
+	// (error class is deterministic, the message should be too, but only the
+	// class is contract).
+	ErrorClass string `json:"error_class,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// WallMS is host time — wall-clock class.
+	WallMS float64 `json:"wall_ms"`
+	// VirtualMS is simulated time consumed by the cell — deterministic.
+	VirtualMS float64 `json:"virtual_ms,omitempty"`
+	// Fault counters from the cell's registry — deterministic.
+	FaultsInjected  int64 `json:"faults_injected,omitempty"`
+	FaultsRecovered int64 `json:"faults_recovered,omitempty"`
+}
+
+// RuntimeSnapshot is the Go runtime block shared by health records and
+// scripts/runtimestats: GC and heap counters since process start.
+type RuntimeSnapshot struct {
+	NumGC           uint32  `json:"num_gc"`
+	GCPauseTotalMS  float64 `json:"gc_pause_total_ms"`
+	PeakHeapBytes   uint64  `json:"peak_heap_bytes"`
+	AllocTotalBytes uint64  `json:"alloc_total_bytes"`
+	HeapObjects     uint64  `json:"heap_objects"`
+}
+
+// CaptureRuntime reads the current runtime counters. It calls
+// runtime.ReadMemStats, which stops the world briefly — health snapshot
+// cadence (seconds), not per-cell cadence.
+func CaptureRuntime() RuntimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeSnapshot{
+		NumGC:           ms.NumGC,
+		GCPauseTotalMS:  float64(ms.PauseTotalNs) / 1e6,
+		PeakHeapBytes:   ms.HeapSys,
+		AllocTotalBytes: ms.TotalAlloc,
+		HeapObjects:     ms.HeapObjects,
+	}
+}
+
+// Health is a periodic liveness snapshot. Entirely wall-clock class.
+type Health struct {
+	Type        string  `json:"type"` // "health"
+	Done        int     `json:"done"`
+	Total       int     `json:"total"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	// ETAMS estimates remaining wall time from the completion rate so far
+	// (0 when done == 0).
+	ETAMS float64 `json:"eta_ms"`
+	// WallP50MS/WallP95MS are streaming per-cell wall-time quantiles (P²
+	// estimates — see stats.P2Quantile for the accuracy contract).
+	WallP50MS float64         `json:"wall_p50_ms"`
+	WallP95MS float64         `json:"wall_p95_ms"`
+	Runtime   RuntimeSnapshot `json:"runtime"`
+}
+
+// Summary closes the log.
+type Summary struct {
+	Type        string  `json:"type"` // "summary"
+	CellsOK     int     `json:"cells_ok"`
+	CellsFailed int     `json:"cells_failed"`
+	WallMS      float64 `json:"wall_ms"`
+	Status      string  `json:"status"` // "ok" | "failed"
+}
+
+// ClassifyError buckets a cell error into a small stable vocabulary, so log
+// consumers can aggregate failures without parsing wrapped message chains:
+//
+//	""         nil error (status "ok")
+//	"deadline" the simulation's virtual deadline expired (core.ErrDeadline)
+//	"canceled" the run's context was canceled or its wall timeout expired
+//	"panic"    a registry runner panicked (recovered by the pool)
+//	"error"    everything else
+func ClassifyError(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, core.ErrDeadline):
+		return "deadline"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	case strings.Contains(err.Error(), "panic:"):
+		return "panic"
+	default:
+		return "error"
+	}
+}
+
+// Writer emits the NDJSON stream. It enforces the structural contract at
+// write time — manifest first, cell indexes strictly increasing, nothing
+// after the summary — so a malformed log is a bug at the producing site, not
+// a surprise in CI. Safe for concurrent use.
+type Writer struct {
+	mu       sync.Mutex
+	w        io.Writer
+	manifest bool
+	closed   bool
+	lastCell int
+}
+
+// NewWriter wraps w. The caller owns w's lifetime (and any buffering).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w, lastCell: -1} }
+
+func (l *Writer) emit(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runlog: marshal: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = l.w.Write(b)
+	return err
+}
+
+// Manifest writes the header record. Must be the first write, exactly once.
+func (l *Writer) Manifest(m Manifest) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.manifest {
+		return errors.New("runlog: duplicate manifest")
+	}
+	l.manifest = true
+	m.Type = "manifest"
+	m.Schema = Schema
+	if m.Experiments == nil {
+		m.Experiments = []string{}
+	}
+	return l.emit(m)
+}
+
+// Cell writes one cell record.
+func (l *Writer) Cell(c Cell) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.open(); err != nil {
+		return err
+	}
+	if c.Index <= l.lastCell {
+		return fmt.Errorf("runlog: cell index %d not after %d (cells must be written in cell order)",
+			c.Index, l.lastCell)
+	}
+	l.lastCell = c.Index
+	c.Type = "cell"
+	return l.emit(c)
+}
+
+// Health writes a health snapshot.
+func (l *Writer) Health(h Health) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.open(); err != nil {
+		return err
+	}
+	h.Type = "health"
+	return l.emit(h)
+}
+
+// Summary writes the closing record; the writer refuses further records.
+func (l *Writer) Summary(s Summary) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.open(); err != nil {
+		return err
+	}
+	l.closed = true
+	s.Type = "summary"
+	return l.emit(s)
+}
+
+func (l *Writer) open() error {
+	if !l.manifest {
+		return errors.New("runlog: record before manifest")
+	}
+	if l.closed {
+		return errors.New("runlog: record after summary")
+	}
+	return nil
+}
+
+// Counts reports what a validated log contained.
+type Counts struct {
+	Cells, Health int
+	CellsOK       int
+	CellsFailed   int
+	HasSummary    bool
+	Manifest      Manifest
+}
+
+// Validate strictly checks an NDJSON run log: one JSON object per line, a
+// schema-compatible manifest first, only known record types with only known
+// fields (json.Decoder.DisallowUnknownFields), cell indexes strictly
+// increasing, and nothing after the summary. Errors name the 1-based line.
+func Validate(r io.Reader) (Counts, error) {
+	var c Counts
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	lastCell := -1
+	done := false
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			return c, fmt.Errorf("runlog: line %d: empty line", line)
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return c, fmt.Errorf("runlog: line %d: not a JSON object: %v", line, err)
+		}
+		if done {
+			return c, fmt.Errorf("runlog: line %d: %q record after summary", line, probe.Type)
+		}
+		if line == 1 && probe.Type != "manifest" {
+			return c, fmt.Errorf("runlog: line 1: first record is %q, want manifest", probe.Type)
+		}
+		switch probe.Type {
+		case "manifest":
+			if line != 1 {
+				return c, fmt.Errorf("runlog: line %d: duplicate manifest", line)
+			}
+			if err := strict(raw, &c.Manifest); err != nil {
+				return c, fmt.Errorf("runlog: line %d: manifest: %v", line, err)
+			}
+			if c.Manifest.Schema != Schema {
+				return c, fmt.Errorf("runlog: line %d: schema %d, this reader understands %d",
+					line, c.Manifest.Schema, Schema)
+			}
+		case "cell":
+			var cell Cell
+			if err := strict(raw, &cell); err != nil {
+				return c, fmt.Errorf("runlog: line %d: cell: %v", line, err)
+			}
+			if cell.Index <= lastCell {
+				return c, fmt.Errorf("runlog: line %d: cell index %d not after %d",
+					line, cell.Index, lastCell)
+			}
+			lastCell = cell.Index
+			switch cell.Status {
+			case "ok":
+				if cell.Error != "" || cell.ErrorClass != "" {
+					return c, fmt.Errorf("runlog: line %d: status ok with error fields", line)
+				}
+				c.CellsOK++
+			case "error":
+				if cell.ErrorClass == "" {
+					return c, fmt.Errorf("runlog: line %d: status error without error_class", line)
+				}
+				c.CellsFailed++
+			default:
+				return c, fmt.Errorf("runlog: line %d: unknown cell status %q", line, cell.Status)
+			}
+			c.Cells++
+		case "health":
+			var h Health
+			if err := strict(raw, &h); err != nil {
+				return c, fmt.Errorf("runlog: line %d: health: %v", line, err)
+			}
+			c.Health++
+		case "summary":
+			var s Summary
+			if err := strict(raw, &s); err != nil {
+				return c, fmt.Errorf("runlog: line %d: summary: %v", line, err)
+			}
+			if s.Status != "ok" && s.Status != "failed" {
+				return c, fmt.Errorf("runlog: line %d: unknown summary status %q", line, s.Status)
+			}
+			c.HasSummary = true
+			done = true
+		default:
+			return c, fmt.Errorf("runlog: line %d: unknown record type %q", line, probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return c, fmt.Errorf("runlog: line %d: %v", line+1, err)
+	}
+	if line == 0 {
+		return c, errors.New("runlog: empty log (no manifest)")
+	}
+	return c, nil
+}
+
+// strict decodes one record rejecting unknown fields and trailing data —
+// the same discipline internal/fault and internal/scenario use for their
+// JSON inputs.
+func strict(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after record")
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package runlog
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mobileqoe/internal/core"
+)
+
+func writeGoodLog(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Manifest(Manifest{
+		Tool:         "qoesim",
+		Experiments:  []string{"fig3a", "fig4a"},
+		Seed:         1,
+		SeedSchedule: "trial t runs seed*1e6+t; retry attempt a mixes a via AttemptSeed",
+		Trials:       2,
+		Parallel:     4,
+		Flags:        map[string]string{"trials": "2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c := Cell{Index: i, ID: "fig3a", Trial: i % 2, Seed: uint64(1000000 + i%2),
+			Status: "ok", WallMS: 12.5, VirtualMS: 30000}
+		if i == 3 {
+			c.Status = "error"
+			c.ErrorClass = "deadline"
+			c.Error = "fig4a trial 1: failed after 1 attempt(s): core: simulation deadline exceeded before the workload finished"
+		}
+		if err := w.Cell(c); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			if err := w.Health(Health{Done: 2, Total: 4, ElapsedMS: 25,
+				CellsPerSec: 80, ETAMS: 25, WallP50MS: 12, WallP95MS: 13,
+				Runtime: CaptureRuntime()}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Summary(Summary{CellsOK: 3, CellsFailed: 1, WallMS: 50, Status: "failed"}); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestRoundTrip(t *testing.T) {
+	buf := writeGoodLog(t)
+	c, err := Validate(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Validate: %v\nlog:\n%s", err, buf.String())
+	}
+	if c.Cells != 4 || c.CellsOK != 3 || c.CellsFailed != 1 || c.Health != 1 || !c.HasSummary {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.Manifest.Tool != "qoesim" || c.Manifest.Schema != Schema || len(c.Manifest.Experiments) != 2 {
+		t.Fatalf("manifest = %+v", c.Manifest)
+	}
+}
+
+func TestWriterEnforcesStructure(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Cell(Cell{Index: 0, Status: "ok"}); err == nil {
+		t.Fatal("cell before manifest should fail")
+	}
+	if err := w.Manifest(Manifest{Tool: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Manifest(Manifest{Tool: "t"}); err == nil {
+		t.Fatal("duplicate manifest should fail")
+	}
+	if err := w.Cell(Cell{Index: 1, Status: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Cell(Cell{Index: 1, Status: "ok"}); err == nil {
+		t.Fatal("non-increasing cell index should fail")
+	}
+	if err := w.Summary(Summary{Status: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Health(Health{}); err == nil {
+		t.Fatal("record after summary should fail")
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	good := writeGoodLog(t).String()
+	lines := strings.Split(strings.TrimRight(good, "\n"), "\n")
+	cases := []struct {
+		name string
+		log  string
+		want string
+	}{
+		{"empty", "", "empty log"},
+		{"junk", "not json\n", "not a JSON object"},
+		{"no manifest first", lines[1] + "\n", "want manifest"},
+		{"unknown field", strings.Replace(lines[0], `"tool"`, `"tool_x"`, 1) + "\n", "unknown field"},
+		{"unknown type", lines[0] + "\n" + `{"type":"mystery"}` + "\n", "unknown record type"},
+		{"wrong schema", strings.Replace(lines[0], fmt.Sprintf(`"schema":%d`, Schema), `"schema":99`, 1) + "\n", "schema 99"},
+		{"duplicate manifest", lines[0] + "\n" + lines[0] + "\n", "duplicate manifest"},
+		{"out-of-order cells", lines[0] + "\n" + lines[2] + "\n" + lines[1] + "\n", "not after"},
+		{"after summary", good + lines[1] + "\n", "after summary"},
+		{"ok with error fields", lines[0] + "\n" + strings.Replace(lines[5], `"status":"error"`, `"status":"ok"`, 1) + "\n", "status ok with error fields"},
+		{"bad status", lines[0] + "\n" + strings.Replace(lines[1], `"status":"ok"`, `"status":"meh"`, 1) + "\n", "unknown cell status"},
+	}
+	for _, c := range cases {
+		_, err := Validate(strings.NewReader(c.log))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestClassifyError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{fmt.Errorf("cell: %w", core.ErrDeadline), "deadline"},
+		{fmt.Errorf("not started: %w", context.Canceled), "canceled"},
+		{fmt.Errorf("not started: %w", context.DeadlineExceeded), "canceled"},
+		{errors.New("attempt 0: panic: boom"), "panic"},
+		{errors.New("something else"), "error"},
+	}
+	for _, c := range cases {
+		if got := ClassifyError(c.err); got != c.want {
+			t.Errorf("ClassifyError(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestCaptureRuntime(t *testing.T) {
+	s := CaptureRuntime()
+	if s.AllocTotalBytes == 0 || s.PeakHeapBytes == 0 {
+		t.Fatalf("implausible runtime snapshot: %+v", s)
+	}
+}

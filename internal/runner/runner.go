@@ -42,17 +42,51 @@ type Options struct {
 	// nondeterministic — progress is for reporting only and never feeds
 	// back into results.
 	Progress func(Event)
+	// Stream, when non-nil, is called once per completed cell in cell order
+	// — experiment-major, trial-minor, exactly the order results merge in —
+	// regardless of worker count or completion order. The collector buffers
+	// out-of-order completions and flushes the contiguous prefix, so Stream
+	// sees cell k only after cells 0..k-1; peak buffering is bounded by how
+	// far completion order strays from cell order (≤ the cell count).
+	//
+	// Ordering/determinism contract (pinned by TestStreamDeterministic):
+	// for a fixed binary, Config, and ids, the Stream event sequence is
+	// identical across runs and across Parallel values in every field
+	// except Elapsed — Index, Done, Total, ID, Trial, Seed, Attempt, Err,
+	// and Table (including its metrics registry, minus the host-timing
+	// rows) are all pure functions of the configuration. Elapsed is host
+	// wall time and is the ONLY wall-clock field; consumers comparing or
+	// replaying streams must ignore it. Cancellation and timeouts break
+	// the guarantee for Err (which cells got cut off depends on timing).
+	//
+	// Progress and Stream are both serialized on the collecting goroutine:
+	// a cell's Progress call happens before its Stream call, and neither
+	// feeds back into results.
+	Stream func(Event)
 }
 
 // Event describes one completed (experiment, trial) cell.
+//
+// Field classes (see Options.Stream for the full contract): everything here
+// is deterministic except Elapsed (host wall time) — and Done, which counts
+// completion order in Progress events but equals Index+1 in Stream events.
 type Event struct {
-	Done, Total int // completion counter over the whole run
-	ID          string
-	Trial       int
-	Seed        uint64 // the derived per-trial seed the cell ran with
-	Attempt     int    // attempt the reported outcome came from (0 = first try)
-	Err         error
-	Elapsed     time.Duration
+	Done, Total int // Progress: completion counter; Stream: Index+1, cell count
+	// Index is the cell's position in deterministic cell order
+	// (experiment-major, trial-minor) — the index results merge by.
+	Index int
+	ID    string
+	Trial int
+	Seed  uint64 // the derived per-trial seed the cell ran with
+	// Attempt is the attempt the reported outcome came from (0 = first try).
+	// Deterministic: retries re-run with derived attempt seeds, so which
+	// attempt succeeds is a pure function of the configuration.
+	Attempt int
+	Err     error
+	// Table is the cell's result table (nil when Err != nil). Shared with
+	// the merge path — stream consumers must treat it as read-only.
+	Table   *experiments.Table
+	Elapsed time.Duration // host wall time: the only nondeterministic field
 }
 
 // Result is one experiment's merged outcome. Run returns results in the
@@ -167,8 +201,8 @@ func Run(ctx context.Context, ids []string, cfg experiments.Config, opts Options
 				var attempt int
 				tables[i], attempt, errs[i] = runCell(ctx, c.id, cfg, c.trial, opts.Retries)
 				took[i] = time.Since(start)
-				events <- Event{ID: c.id, Trial: c.trial, Seed: trialSeed(norm, c.trial),
-					Attempt: attempt, Err: errs[i], Elapsed: took[i]}
+				events <- Event{Index: i, ID: c.id, Trial: c.trial, Seed: trialSeed(norm, c.trial),
+					Attempt: attempt, Err: errs[i], Table: tables[i], Elapsed: took[i]}
 			}
 		}()
 	}
@@ -178,11 +212,30 @@ func Run(ctx context.Context, ids []string, cfg experiments.Config, opts Options
 		}
 		close(queue)
 	}()
+	// The collector serializes both callbacks: Progress fires in completion
+	// order as events arrive; Stream buffers completions and flushes the
+	// contiguous prefix in cell order (see Options.Stream for the contract).
+	var pending []*Event
+	next := 0
+	if opts.Stream != nil {
+		pending = make([]*Event, len(cells))
+	}
 	for done := 1; done <= len(cells); done++ {
 		ev := <-events
 		ev.Done, ev.Total = done, len(cells)
 		if opts.Progress != nil {
 			opts.Progress(ev)
+		}
+		if opts.Stream != nil {
+			buffered := ev
+			pending[ev.Index] = &buffered
+			for next < len(cells) && pending[next] != nil {
+				sev := *pending[next]
+				pending[next] = nil
+				sev.Done = next + 1
+				opts.Stream(sev)
+				next++
+			}
 		}
 	}
 	wg.Wait()

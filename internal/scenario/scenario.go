@@ -14,6 +14,7 @@ package scenario
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -62,6 +63,11 @@ type Scenario struct {
 	Trials int `json:"trials,omitempty"`
 	// Notes are appended to the table verbatim.
 	Notes []string `json:"notes,omitempty"`
+
+	// SourceSHA256 is the hex SHA-256 of the scenario file bytes, set by
+	// Load (empty for scenarios parsed from memory). Run logs record it so
+	// an archived log pins the exact scenario revision it ran.
+	SourceSHA256 string `json:"-"`
 }
 
 // Workload selects the application a cell runs and optionally overrides its
@@ -160,6 +166,7 @@ func Load(path string) (*Scenario, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: %s: %w", path, err)
 	}
+	s.SourceSHA256 = fmt.Sprintf("%x", sha256.Sum256(data))
 	if s.FaultPlan != "" && !filepath.IsAbs(s.FaultPlan) {
 		s.FaultPlan = filepath.Join(filepath.Dir(path), s.FaultPlan)
 	}

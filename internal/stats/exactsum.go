@@ -1,0 +1,173 @@
+package stats
+
+import "math"
+
+// ExactSum accumulates float64 values with no rounding error: the running
+// sum is held as an exact fixed-point integer spanning the full float64
+// range, so Add and Merge are associative and commutative in the
+// mathematical sense — any grouping of the same observations produces the
+// same state bit for bit. That property is what lets a sharded run merge
+// byte-identically to a single-stream run (see HistSketch.Merge), which a
+// plain float64 sum cannot do: float addition rounds per operation, so its
+// result depends on grouping.
+//
+// Representation: every finite float64 is mant·2^(exp-1075) for a 53-bit
+// signed mantissa, so the scaled integer mant·2^exp (exp ∈ [1, 2046]) is
+// accumulated into base-2^32 limbs. Limbs carry ~31 bits of headroom and
+// are carry-normalized before they can overflow, so the value is exact for
+// any realistic observation count (normalization triggers every 2^28 adds).
+// Value() rounds the exact integer to float64 once, at query time.
+//
+// Non-finite observations are tallied separately (counts are associative
+// too) and dominate Value in IEEE fashion: any NaN, or both +Inf and -Inf,
+// yields NaN; otherwise a lone infinity sign wins.
+//
+// The zero ExactSum is an empty sum. ExactSum is a plain value (no internal
+// pointers): copying copies the state, and the struct allocates nothing.
+type ExactSum struct {
+	// limbs[i] holds base-2^32 digit i of the scaled sum, signed. The top
+	// limb is the sign limb: normalize leaves limbs[0..len-2] in [0, 2^32)
+	// and the accumulated carry (including the sign) in the last limb.
+	limbs [exactLimbs]int64
+	// adds counts Adds/Merges since the last normalization, bounding limb
+	// magnitude between normalizations.
+	adds int64
+	// Non-finite tallies, merged by integer addition.
+	nan, posInf, negInf int64
+}
+
+const (
+	// exactLimbs covers bit positions 0..2^(32·66): the largest scaled
+	// magnitude is mant·2^exp < 2^(53+2046) = 2^2099 (limb 65), plus one
+	// limb of carry headroom and one sign limb.
+	exactLimbs = 68
+	// exactNormEvery bounds per-limb growth: each Add contributes < 2^33
+	// to any one limb, so 2^28 adds keep limbs below 2^61, and a Merge of
+	// two just-unnormalized sums stays below 2^62 < MaxInt64.
+	exactNormEvery = 1 << 28
+)
+
+// Add accumulates x exactly.
+func (s *ExactSum) Add(x float64) {
+	b := math.Float64bits(x)
+	exp := int(b >> 52 & 0x7ff)
+	mant := int64(b & (1<<52 - 1))
+	if exp == 0x7ff {
+		switch {
+		case mant != 0:
+			s.nan++
+		case b>>63 != 0:
+			s.negInf++
+		default:
+			s.posInf++
+		}
+		return
+	}
+	if mant == 0 && exp == 0 {
+		return // ±0 contributes nothing
+	}
+	if exp != 0 {
+		mant |= 1 << 52
+	} else {
+		exp = 1 // subnormal: same 2^(1-1075) scale, no hidden bit
+	}
+	if b>>63 != 0 {
+		mant = -mant
+	}
+	// Scaled value = mant·2^exp. Split the shifted mantissa into two limb
+	// contributions that each fit int64: low 32 bits and the (signed) rest.
+	q, r := exp>>5, uint(exp&31)
+	s.addChunk(q, (mant&0xffffffff)<<r)
+	s.addChunk(q+1, (mant>>32)<<r)
+	s.adds++
+	if s.adds >= exactNormEvery {
+		s.normalize()
+	}
+}
+
+// addChunk adds x·2^(32i) by splitting x into two base-2^32 digits.
+func (s *ExactSum) addChunk(i int, x int64) {
+	s.limbs[i] += x & 0xffffffff
+	s.limbs[i+1] += x >> 32
+}
+
+// normalize carry-propagates to the canonical form: limbs[0..n-2] in
+// [0, 2^32), sign in the top limb. The canonical form depends only on the
+// exact value, never on the order it was accumulated in.
+func (s *ExactSum) normalize() {
+	var carry int64
+	for i := 0; i < exactLimbs-1; i++ {
+		v := s.limbs[i] + carry
+		carry = v >> 32 // arithmetic shift: floor, so remainders stay in [0, 2^32)
+		s.limbs[i] = v & 0xffffffff
+	}
+	s.limbs[exactLimbs-1] += carry
+	s.adds = 0
+}
+
+// Merge folds o into s exactly; the result is identical to having Added
+// every observation of both into one ExactSum, in any order.
+func (s *ExactSum) Merge(o *ExactSum) {
+	if o == nil {
+		return
+	}
+	for i := range s.limbs {
+		s.limbs[i] += o.limbs[i]
+	}
+	s.nan += o.nan
+	s.posInf += o.posInf
+	s.negInf += o.negInf
+	s.adds += o.adds + 1
+	if s.adds >= exactNormEvery {
+		s.normalize()
+	}
+}
+
+// Value rounds the exact sum to float64. The only rounding in the whole
+// pipeline happens here, and it is a pure function of the exact integer
+// state, so equal sums always render equal bytes.
+func (s *ExactSum) Value() float64 {
+	if s.nan > 0 || (s.posInf > 0 && s.negInf > 0) {
+		return math.NaN()
+	}
+	if s.posInf > 0 {
+		return math.Inf(1)
+	}
+	if s.negInf > 0 {
+		return math.Inf(-1)
+	}
+	n := *s // work on a copy so Value leaves s untouched
+	n.normalize()
+	neg := n.limbs[exactLimbs-1] < 0
+	if neg {
+		// Limb-wise negation is exact (the value is Σ limbs[i]·2^32i with
+		// signed limbs); renormalize back to canonical digits.
+		for i := range n.limbs {
+			n.limbs[i] = -n.limbs[i]
+		}
+		n.normalize()
+	}
+	top := -1
+	for i := exactLimbs - 1; i >= 0; i-- {
+		if n.limbs[i] != 0 {
+			top = i
+			break
+		}
+	}
+	if top < 0 {
+		return 0
+	}
+	lo := top - 2
+	if lo < 0 {
+		lo = 0
+	}
+	mag := 0.0
+	for i := top; i >= lo; i-- {
+		mag = mag*(1<<32) + float64(n.limbs[i])
+	}
+	v := math.Ldexp(mag, 32*lo-1075)
+	if neg {
+		v = -v
+	}
+	return v
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Welford is a streaming mean/variance accumulator (Welford's algorithm):
+// O(1) state, one pass, numerically stable where the naive sum-of-squares
+// formula cancels catastrophically. The zero value is an empty accumulator.
+//
+// Determinism contract: Add and Merge are deterministic — the same
+// observations presented in the same grouping always produce the same
+// state bit for bit. Unlike ExactSum, the state is NOT independent of
+// grouping: Merge uses Chan's parallel-variance formula, whose floating-
+// point rounding differs from the sequential update by O(ulp) per merge.
+// Shard harnesses therefore fold Welford shards in shard-index order (the
+// internal/runner merge discipline), which pins the result run-to-run; the
+// folded moments agree with a 1-shard pass to ~1e-12 relative error
+// (property-tested), not byte-identically. Aggregates that must merge
+// byte-identically use ExactSum/HistSketch instead.
+type Welford struct {
+	n        int64
+	mean, m2 float64
+}
+
+// Add accumulates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (n-1 denominator), 0 below two
+// observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// Merge folds o into w (Chan et al.'s pairwise update). See the type
+// comment for the determinism contract.
+func (w *Welford) Merge(o *Welford) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// P2Quantile estimates a single quantile online with the P² algorithm
+// (Jain & Chlamtac 1985): five markers, O(1) memory, no retention. Below
+// five observations the estimate is exact. The estimator is deterministic
+// for a given observation sequence but, being order-sensitive and
+// unmergeable, it serves single streams only — live runner health lines,
+// where a per-stream estimate is all that is needed. Cross-shard quantiles
+// come from HistSketch, whose merge is exact.
+//
+// Accuracy is distribution-dependent; the property tests pin the estimate
+// inside the exact [q-0.05, q+0.05] quantile envelope across 300+ random
+// uniform/normal/exponential/lognormal/bimodal streams of ≥ 500 samples.
+//
+// The zero value is invalid: use NewP2Quantile, which fixes the target p.
+type P2Quantile struct {
+	p     float64
+	n     int64
+	q     [5]float64 // marker heights
+	pos   [5]float64 // actual marker positions (1-based)
+	want  [5]float64 // desired marker positions
+	dWant [5]float64 // desired-position increments per observation
+}
+
+// NewP2Quantile returns an estimator for the p-th quantile, 0 < p < 1.
+func NewP2Quantile(p float64) *P2Quantile {
+	if !(p > 0 && p < 1) {
+		panic("stats: P2Quantile needs 0 < p < 1")
+	}
+	return &P2Quantile{
+		p:     p,
+		want:  [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		dWant: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// P returns the target quantile.
+func (e *P2Quantile) P() float64 { return e.p }
+
+// N returns the observation count.
+func (e *P2Quantile) N() int64 { return e.n }
+
+// Add accumulates one observation.
+func (e *P2Quantile) Add(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := range e.pos {
+				e.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	// Locate the cell and update the extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	e.n++
+	for i := range e.want {
+		e.want[i] += e.dWant[i]
+	}
+	// Nudge the middle markers toward their desired positions, parabolic
+	// (P²) when the neighbor gap allows, linear otherwise.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			q := e.parabolic(i, s)
+			if !(e.q[i-1] < q && q < e.q[i+1]) {
+				q = e.linear(i, s)
+			}
+			e.q[i] = q
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, s float64) float64 {
+	num1 := e.pos[i] - e.pos[i-1] + s
+	num2 := e.pos[i+1] - e.pos[i] - s
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		(num1*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			num2*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate (exact below five
+// observations, 0 when empty).
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		buf := e.q // array copy: sort scratch without touching the markers
+		sort.Float64s(buf[:e.n])
+		idx := int(math.Ceil(e.p*float64(e.n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return buf[idx]
+	}
+	return e.q[2]
+}

@@ -5,13 +5,66 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"mobileqoe/internal/stats"
 )
+
+// HistMode selects how a registry's histograms summarize observations.
+type HistMode int
+
+const (
+	// HistScalar keeps count/sum/min/max only — the original registry
+	// behavior and still the default, so every existing golden table is
+	// byte-identical. No quantiles.
+	HistScalar HistMode = iota
+	// HistBounded adds a fixed-size stats.HistSketch per histogram:
+	// approximate p50/p90/p99 (documented ≤ ~6.25% relative error) in O(1)
+	// memory per metric regardless of observation count, with an exact
+	// mergeable sum backing the mean. This is the fleet-scale mode: a
+	// million-sample histogram costs the same bytes as an empty one, and
+	// N-shard registry merges are byte-identical to a 1-shard run.
+	HistBounded
+	// HistFull additionally retains every observation: exact quantiles at
+	// O(n) memory. For calibration runs where the sample count is small
+	// and exactness matters more than the byte budget.
+	HistFull
+)
+
+func (m HistMode) String() string {
+	switch m {
+	case HistScalar:
+		return "scalar"
+	case HistBounded:
+		return "bounded"
+	case HistFull:
+		return "full"
+	default:
+		return fmt.Sprintf("HistMode(%d)", int(m))
+	}
+}
+
+// ParseHistMode resolves the CLI spelling of a mode.
+func ParseHistMode(s string) (HistMode, error) {
+	switch s {
+	case "", "scalar":
+		return HistScalar, nil
+	case "bounded":
+		return HistBounded, nil
+	case "full":
+		return HistFull, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown metrics mode %q (want scalar|bounded|full)", s)
+	}
+}
 
 // Metrics is a registry of named counters and histograms aggregated over one
 // run (one experiment trial). Registries from different trials merge
 // deterministically — Merge is order-insensitive for counters and histogram
 // bounds, and trials are merged in index order regardless of worker count,
-// the same discipline internal/runner uses for tables.
+// the same discipline internal/runner uses for tables. In HistBounded mode
+// the histogram channel is fully order-insensitive too: sketch merges are
+// exact, so any shard decomposition of the same observations renders the
+// same table bytes.
 //
 // A nil *Metrics (and the nil handles it hands out) is the no-op default, so
 // hot paths resolve a handle once and pay a nil check per update. A Metrics
@@ -19,11 +72,23 @@ import (
 type Metrics struct {
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+	mode     HistMode
 }
 
-// NewMetrics returns an empty registry.
-func NewMetrics() *Metrics {
-	return &Metrics{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+// NewMetrics returns an empty registry in HistScalar mode.
+func NewMetrics() *Metrics { return NewMetricsMode(HistScalar) }
+
+// NewMetricsMode returns an empty registry whose histograms follow mode.
+func NewMetricsMode(mode HistMode) *Metrics {
+	return &Metrics{counters: map[string]*Counter{}, hists: map[string]*Histogram{}, mode: mode}
+}
+
+// Mode returns the registry's histogram mode (HistScalar on nil).
+func (m *Metrics) Mode() HistMode {
+	if m == nil {
+		return HistScalar
+	}
+	return m.mode
 }
 
 // Counter is a monotonically accumulated sum.
@@ -44,11 +109,15 @@ func (c *Counter) Value() float64 {
 	return c.v
 }
 
-// Histogram summarizes observed values: count, sum, min, max.
+// Histogram summarizes observed values: count, sum, min, max, and — in
+// HistBounded/HistFull registries — quantiles (approximate via a fixed-size
+// sketch, or exact via retention, respectively).
 type Histogram struct {
 	n        int64
 	sum      float64
 	min, max float64
+	sketch   *stats.HistSketch // HistBounded: O(1) quantiles, exact merge
+	full     *stats.Sample     // HistFull: exact quantiles, O(n) retention
 }
 
 // Observe records v (no-op on nil).
@@ -64,6 +133,12 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.n++
 	h.sum += v
+	if h.sketch != nil {
+		h.sketch.Observe(v)
+	}
+	if h.full != nil {
+		h.full.Add(v)
+	}
 }
 
 // Count returns the number of observations.
@@ -74,10 +149,15 @@ func (h *Histogram) Count() int64 {
 	return h.n
 }
 
-// Mean returns the mean observation (0 when empty).
+// Mean returns the mean observation (0 when empty). In HistBounded mode it
+// is computed from the sketch's exact sum, so it is a pure function of the
+// observed multiset — identical across any shard/merge decomposition.
 func (h *Histogram) Mean() float64 {
 	if h == nil || h.n == 0 {
 		return 0
+	}
+	if h.sketch != nil {
+		return h.sketch.Mean()
 	}
 	return h.sum / float64(h.n)
 }
@@ -88,6 +168,22 @@ func (h *Histogram) Max() float64 {
 		return 0
 	}
 	return h.max
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1). The second return is
+// false when the histogram has no quantile backing (HistScalar registries,
+// or a cross-mode merge that dropped it).
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	switch {
+	case h == nil:
+		return 0, false
+	case h.sketch != nil:
+		return h.sketch.Quantile(q), true
+	case h.full != nil:
+		return h.full.Percentile(q * 100), true
+	default:
+		return 0, false
+	}
 }
 
 // Counter returns (creating if needed) the named counter handle. Resolve
@@ -104,7 +200,8 @@ func (m *Metrics) Counter(name string) *Counter {
 	return c
 }
 
-// Histogram returns (creating if needed) the named histogram handle.
+// Histogram returns (creating if needed) the named histogram handle, backed
+// according to the registry's mode.
 func (m *Metrics) Histogram(name string) *Histogram {
 	if m == nil {
 		return nil
@@ -112,13 +209,23 @@ func (m *Metrics) Histogram(name string) *Histogram {
 	h, ok := m.hists[name]
 	if !ok {
 		h = &Histogram{}
+		switch m.mode {
+		case HistBounded:
+			h.sketch = &stats.HistSketch{}
+		case HistFull:
+			h.full = &stats.Sample{}
+		}
 		m.hists[name] = h
 	}
 	return h
 }
 
 // Merge folds o into m: counters add, histograms combine (counts and sums
-// add, bounds widen). A nil o is a no-op.
+// add, bounds widen, quantile backings merge when both sides carry the same
+// kind). Merging histograms of different modes keeps the scalar fields and
+// drops the receiver-side quantile channel for that metric — Quantile then
+// reports ok=false rather than a silently partial estimate. A nil o is a
+// no-op.
 func (m *Metrics) Merge(o *Metrics) {
 	if m == nil || o == nil {
 		return
@@ -139,6 +246,14 @@ func (m *Metrics) Merge(o *Metrics) {
 		}
 		d.n += h.n
 		d.sum += h.sum
+		switch {
+		case d.sketch != nil && h.sketch != nil:
+			d.sketch.Merge(h.sketch)
+		case d.full != nil && h.full != nil:
+			d.full.AddAll(h.full.Values()...)
+		default:
+			d.sketch, d.full = nil, nil
+		}
 	}
 }
 
@@ -159,20 +274,46 @@ func (m *Metrics) Names() []string {
 }
 
 // Table renders the registry as an aligned ASCII table, sorted by metric
-// name, deterministic for a given registry state.
-func (m *Metrics) Table() string {
+// name, deterministic for a given registry state. HistScalar registries
+// render exactly the historical six columns (so golden outputs are
+// unchanged); quantile-capable modes append p50/p90/p99.
+func (m *Metrics) Table() string { return m.TableTitled("") }
+
+// TableTitled renders Table with a parenthesized qualifier in the header —
+// harnesses use it to say where a merged registry came from, e.g.
+// "== metrics (merged 8 trials in trial order) ==".
+func (m *Metrics) TableTitled(note string) string {
 	if m == nil {
 		return ""
 	}
-	rows := [][]string{{"metric", "kind", "count", "value/mean", "min", "max"}}
+	quant := m.mode != HistScalar
+	header := []string{"metric", "kind", "count", "value/mean", "min", "max"}
+	if quant {
+		header = append(header, "p50", "p90", "p99")
+	}
+	rows := [][]string{header}
 	for _, name := range m.Names() {
 		if c, ok := m.counters[name]; ok {
-			rows = append(rows, []string{name, "counter", "-", num(c.v), "-", "-"})
+			row := []string{name, "counter", "-", num(c.v), "-", "-"}
+			if quant {
+				row = append(row, "-", "-", "-")
+			}
+			rows = append(rows, row)
 			continue
 		}
 		h := m.hists[name]
-		rows = append(rows, []string{name, "hist",
-			strconv.FormatInt(h.n, 10), num(h.Mean()), num(h.min), num(h.max)})
+		row := []string{name, "hist",
+			strconv.FormatInt(h.n, 10), num(h.Mean()), num(h.min), num(h.max)}
+		if quant {
+			for _, q := range []float64{0.5, 0.9, 0.99} {
+				if v, ok := h.Quantile(q); ok {
+					row = append(row, num(v))
+				} else {
+					row = append(row, "-") // cross-mode merge dropped the backing
+				}
+			}
+		}
+		rows = append(rows, row)
 	}
 	widths := make([]int, len(rows[0]))
 	for _, r := range rows {
@@ -183,7 +324,11 @@ func (m *Metrics) Table() string {
 		}
 	}
 	var b strings.Builder
-	b.WriteString("== metrics ==\n")
+	if note != "" {
+		fmt.Fprintf(&b, "== metrics (%s) ==\n", note)
+	} else {
+		b.WriteString("== metrics ==\n")
+	}
 	for ri, r := range rows {
 		for i, cell := range r {
 			if i > 0 {

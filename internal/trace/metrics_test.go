@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseHistMode(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want HistMode
+	}{{"", HistScalar}, {"scalar", HistScalar}, {"bounded", HistBounded}, {"full", HistFull}} {
+		got, err := ParseHistMode(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseHistMode(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if c.in != "" && got.String() != c.in {
+			t.Fatalf("HistMode round-trip: %v.String() = %q", got, got.String())
+		}
+	}
+	if _, err := ParseHistMode("bogus"); err == nil {
+		t.Fatal("ParseHistMode should reject unknown modes")
+	}
+}
+
+// TestScalarTableUnchanged pins the golden-compat contract: a HistScalar
+// registry renders exactly the historical six columns with no quantile
+// columns, so every existing golden output stays byte-identical.
+func TestScalarTableUnchanged(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("a.count").Add(3)
+	h := m.Histogram("b.ms")
+	h.Observe(2)
+	h.Observe(4)
+	tbl := m.Table()
+	if strings.Contains(tbl, "p50") || strings.Contains(tbl, "p99") {
+		t.Fatalf("scalar table grew quantile columns:\n%s", tbl)
+	}
+	if !strings.HasPrefix(tbl, "== metrics ==\n") {
+		t.Fatalf("scalar table header changed:\n%s", tbl)
+	}
+}
+
+func TestBoundedTableHasQuantiles(t *testing.T) {
+	m := NewMetricsMode(HistBounded)
+	h := m.Histogram("lat.ms")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	m.Counter("n").Add(1)
+	tbl := m.Table()
+	if !strings.Contains(tbl, "p50") || !strings.Contains(tbl, "p99") {
+		t.Fatalf("bounded table missing quantile columns:\n%s", tbl)
+	}
+	if v, ok := h.Quantile(0.5); !ok || v < 40 || v > 60 {
+		t.Fatalf("bounded p50 = %g, %v; want ~50", v, ok)
+	}
+	if note := m.TableTitled("merged 4 trials in trial order"); !strings.Contains(note, "== metrics (merged 4 trials in trial order) ==") {
+		t.Fatalf("TableTitled note missing:\n%s", note)
+	}
+}
+
+func TestFullModeExactQuantiles(t *testing.T) {
+	m := NewMetricsMode(HistFull)
+	h := m.Histogram("x")
+	for i := 1; i <= 99; i++ {
+		h.Observe(float64(i))
+	}
+	if v, ok := h.Quantile(0.5); !ok || v != 50 {
+		t.Fatalf("full-mode p50 = %g, %v; want exactly 50", v, ok)
+	}
+}
+
+// TestBoundedMergeByteIdentical is the registry-level shard contract: the
+// rendered table of an N-shard bounded-mode merge equals the 1-shard table
+// byte-for-byte, for any shard count and fold order.
+func TestBoundedMergeByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 4000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+
+	observe := func(m *Metrics, xs []float64) {
+		h := m.Histogram("lat.ms")
+		for _, x := range xs {
+			h.Observe(x)
+			m.Counter("events").Add(1)
+		}
+	}
+	one := NewMetricsMode(HistBounded)
+	observe(one, xs)
+	want := one.Table()
+
+	for _, shards := range []int{2, 5, 16} {
+		parts := make([]*Metrics, shards)
+		for i := range parts {
+			parts[i] = NewMetricsMode(HistBounded)
+		}
+		for i, x := range xs {
+			observe(parts[i%shards], []float64{x})
+		}
+		fwd := NewMetricsMode(HistBounded)
+		for i := range parts {
+			fwd.Merge(parts[i])
+		}
+		rev := NewMetricsMode(HistBounded)
+		for i := shards - 1; i >= 0; i-- {
+			rev.Merge(parts[i])
+		}
+		if got := fwd.Table(); got != want {
+			t.Fatalf("%d-shard forward merge table differs:\n%s\nwant:\n%s", shards, got, want)
+		}
+		if got := rev.Table(); got != want {
+			t.Fatalf("%d-shard reverse merge table differs from 1-shard", shards)
+		}
+	}
+}
+
+// TestCrossModeMergeDropsQuantiles: merging histograms whose backings differ
+// keeps the scalar fields but reports ok=false from Quantile instead of a
+// silently partial estimate.
+func TestCrossModeMergeDropsQuantiles(t *testing.T) {
+	a := NewMetricsMode(HistBounded)
+	a.Histogram("x").Observe(1)
+	b := NewMetrics() // scalar
+	b.Histogram("x").Observe(3)
+	a.Merge(b)
+	h := a.Histogram("x")
+	if h.Count() != 2 || h.Mean() != 2 {
+		t.Fatalf("scalar fields wrong after cross-mode merge: n=%d mean=%g", h.Count(), h.Mean())
+	}
+	if _, ok := h.Quantile(0.5); ok {
+		t.Fatal("cross-mode merge should drop the quantile backing")
+	}
+	if !strings.Contains(a.Table(), "-") {
+		t.Fatalf("dropped backing should render '-':\n%s", a.Table())
+	}
+}

@@ -1,0 +1,46 @@
+// Command runlogcheck validates NDJSON run logs (see internal/runlog) and
+// prints a one-line summary per file. CI runs it over the log a scenario
+// sweep produced so schema drift fails the build instead of breaking
+// downstream jq pipelines. Exits nonzero if any file is malformed.
+//
+//	go run ./scripts/runlogcheck out.ndjson [more.ndjson ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mobileqoe/internal/runlog"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: runlogcheck <runlog.ndjson> [...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "runlogcheck: %v\n", err)
+			bad = true
+			continue
+		}
+		c, err := runlog.Validate(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "runlogcheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		summary := "no summary record"
+		if c.HasSummary {
+			summary = "complete"
+		}
+		fmt.Printf("%s: ok — tool=%s schema=%d cells=%d (ok=%d failed=%d) health=%d %s\n",
+			path, c.Manifest.Tool, c.Manifest.Schema, c.Cells, c.CellsOK, c.CellsFailed, c.Health, summary)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

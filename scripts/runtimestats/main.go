@@ -4,19 +4,22 @@
 // behavior next to the per-benchmark numbers. The workload is fixed and
 // seeded, making archives comparable across commits.
 //
-// Output schema (one object, one line):
+// The snapshot block is runlog.RuntimeSnapshot — the same serializer the run
+// log's health records use — so bench archives and -runlog output stay
+// field-compatible by construction:
 //
 //	{"workload":"fig3a","num_gc":N,"gc_pause_total_ms":F,
 //	 "peak_heap_bytes":N,"alloc_total_bytes":N,"heap_objects":N}
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"mobileqoe/internal/experiments"
+	"mobileqoe/internal/runlog"
 	"mobileqoe/internal/trace"
 )
 
@@ -32,8 +35,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "runtimestats: %v\n", err)
 		os.Exit(1)
 	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	fmt.Printf(`{"workload":"fig3a","num_gc":%d,"gc_pause_total_ms":%.3f,"peak_heap_bytes":%d,"alloc_total_bytes":%d,"heap_objects":%d}`+"\n",
-		ms.NumGC, float64(ms.PauseTotalNs)/1e6, ms.HeapSys, ms.TotalAlloc, ms.HeapObjects)
+	out := struct {
+		Workload string `json:"workload"`
+		runlog.RuntimeSnapshot
+	}{"fig3a", runlog.CaptureRuntime()}
+	b, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runtimestats: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n", b)
 }
