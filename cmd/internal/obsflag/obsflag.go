@@ -58,7 +58,16 @@ func Register(fs *flag.FlagSet, traceUsage string) *Flags {
 			return err
 		})
 	f.RunLog = RegisterRunLog(fs)
+	// -telemetry on the simple CLIs exposes the shared registry live; the
+	// RunLog renders whatever this returns at snapshot time.
+	f.RunLog.regSrc = func() *trace.Metrics { return f.reg }
 	return f
+}
+
+// metricsOn reports whether the run needs a live registry: the user asked for
+// the table (-metrics) or for live exposition (-telemetry).
+func (f *Flags) metricsOn() bool {
+	return f.Metrics || (f.RunLog != nil && f.RunLog.Telemetry != "")
 }
 
 // EnableTrace forces the tracer on even when -trace was not given, for
@@ -80,7 +89,7 @@ func (f *Flags) Options() []core.Option {
 	if f.tr != nil {
 		opts = append(opts, core.WithTrace(f.tr))
 	}
-	if f.Metrics {
+	if f.metricsOn() {
 		f.ensureRegistry()
 		opts = append(opts, core.WithMetrics(f.reg))
 	}
@@ -94,7 +103,7 @@ func (f *Flags) Ctx(process string) obs.Ctx {
 	if f.TraceOut != "" {
 		f.EnableTrace()
 	}
-	if f.Metrics {
+	if f.metricsOn() {
 		f.ensureRegistry()
 	}
 	oc := obs.Ctx{Trace: f.tr, Metrics: f.reg}
@@ -120,7 +129,9 @@ func (f *Flags) ensureRegistry() {
 // the trace file (reporting its event count on w). Callers prefix the
 // returned error with their program name.
 func (f *Flags) Flush(w io.Writer) error {
-	if f.reg != nil {
+	// The table prints only on explicit -metrics: a registry forced into
+	// existence by -telemetry is exposition-only and must not change stdout.
+	if f.reg != nil && f.Metrics {
 		fmt.Fprintf(w, "\n%s", f.reg.Table())
 	}
 	if f.TraceOut == "" || f.tr == nil {

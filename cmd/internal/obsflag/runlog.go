@@ -2,8 +2,10 @@ package obsflag
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/debug"
 	"sync"
@@ -12,28 +14,113 @@ import (
 	"mobileqoe/internal/runlog"
 	"mobileqoe/internal/runner"
 	"mobileqoe/internal/stats"
+	"mobileqoe/internal/telemetry"
+	"mobileqoe/internal/trace"
 )
 
-// RunLogFlags holds the shared -runlog / -progress pair: the structured
-// NDJSON run log (see internal/runlog) and the live one-line stderr meter.
-// Both are observers of the run — enabling either never changes stdout.
+// ProgressMode is the tri-state -progress setting.
+type ProgressMode int
+
+const (
+	// ProgressOff disables the meter (the default).
+	ProgressOff ProgressMode = iota
+	// ProgressAuto enables it and picks the style from stderr: a terminal
+	// gets the \r-redrawn single line, a pipe gets plain newline-terminated
+	// lines (same throttle), so piped logs stay grep-able.
+	ProgressAuto
+	// ProgressForce enables the \r redraw style even when stderr is piped
+	// (-progress=force), for terminal multiplexers that stat as pipes.
+	ProgressForce
+)
+
+// Enabled reports whether the meter draws at all.
+func (m ProgressMode) Enabled() bool { return m != ProgressOff }
+
+func (m ProgressMode) String() string {
+	switch m {
+	case ProgressAuto:
+		return "true"
+	case ProgressForce:
+		return "force"
+	default:
+		return "false"
+	}
+}
+
+// progressValue adapts ProgressMode to the flag package. IsBoolFlag makes a
+// bare -progress mean auto; -progress=false and -progress=force spell the
+// other states.
+type progressValue struct{ m *ProgressMode }
+
+func (v progressValue) String() string {
+	if v.m == nil {
+		return "false"
+	}
+	return v.m.String()
+}
+
+func (v progressValue) Set(s string) error {
+	switch s {
+	case "", "true":
+		*v.m = ProgressAuto
+	case "false":
+		*v.m = ProgressOff
+	case "force":
+		*v.m = ProgressForce
+	default:
+		return fmt.Errorf("want true, false, or force")
+	}
+	return nil
+}
+
+func (v progressValue) IsBoolFlag() bool { return true }
+
+// stderrTTY reports whether stderr is a character device. A var so meter
+// tests can pin both answers.
+var stderrTTY = func() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// RunLogFlags holds the shared run-observability flags: the structured NDJSON
+// run log (-runlog, see internal/runlog), the live stderr meter (-progress),
+// the Prometheus exposition sink (-telemetry), and the SLO exit policy
+// (-slo-exit). All are observers of the run — enabling any of them never
+// changes stdout.
 type RunLogFlags struct {
 	// Out is the -runlog argument: the NDJSON output path, empty when no
 	// log was requested.
 	Out string
-	// Progress is the -progress argument: redraw a one-line status meter
+	// Progress is the -progress argument: draw a live status meter
 	// (throughput, ETA, streaming wall-time quantiles) on stderr.
-	Progress bool
+	Progress ProgressMode
+	// Telemetry is the -telemetry argument: a snapshot file path or a listen
+	// address exposing the run's metrics in Prometheus text format.
+	Telemetry string
+	// SLOExit is -slo-exit: harnesses exit nonzero when any scenario SLO
+	// rule tripped during the run.
+	SLOExit bool
+
+	// regSrc supplies the live registry -telemetry renders. Flags.Register
+	// points it at the CLI's shared registry; when nil (qoesim, whose cells
+	// own private registries), the RunLog folds completed cells into its own
+	// aggregate instead.
+	regSrc func() *trace.Metrics
 }
 
-// RegisterRunLog installs -runlog and -progress on fs. It is part of
-// Register; qoesim, which owns its flag set, calls it directly.
+// RegisterRunLog installs -runlog, -progress, -telemetry, and -slo-exit on
+// fs. It is part of Register; qoesim, which owns its flag set, calls it
+// directly.
 func RegisterRunLog(fs *flag.FlagSet) *RunLogFlags {
 	rf := &RunLogFlags{}
 	fs.StringVar(&rf.Out, "runlog", "",
 		"write an NDJSON run log (manifest, per-cell records, health snapshots) to this file")
-	fs.BoolVar(&rf.Progress, "progress", false,
-		"redraw a live one-line status meter on stderr")
+	fs.Var(progressValue{&rf.Progress}, "progress",
+		"live status meter on stderr: auto-detects terminal (\\r redraw) vs pipe (plain lines); -progress=force forces the redraw style")
+	fs.StringVar(&rf.Telemetry, "telemetry", "",
+		"expose live run metrics in Prometheus text format v0.0.4: a snapshot file path, or a listen address (e.g. :9090) serving /metrics and /healthz")
+	fs.BoolVar(&rf.SLOExit, "slo-exit", false,
+		"exit nonzero when any scenario slo: rule tripped during the run")
 	return rf
 }
 
@@ -54,16 +141,26 @@ const (
 // flags of flag.CommandLine). Everything else — Experiments, Seed,
 // SeedSchedule, Trials, Parallel, Scenario — is the caller's knowledge.
 func (rf *RunLogFlags) Start(tool string, total int, m runlog.Manifest) (*RunLog, error) {
-	if rf == nil || (rf.Out == "" && !rf.Progress) {
+	if rf == nil || (rf.Out == "" && !rf.Progress.Enabled() && rf.Telemetry == "") {
 		return nil, nil
 	}
 	r := &RunLog{
-		tool:  tool,
-		total: total,
-		show:  rf.Progress,
-		start: time.Now(),
-		p50:   stats.NewP2Quantile(0.5),
-		p95:   stats.NewP2Quantile(0.95),
+		tool:   tool,
+		total:  total,
+		show:   rf.Progress.Enabled(),
+		cr:     rf.Progress == ProgressForce || (rf.Progress == ProgressAuto && stderrTTY()),
+		meter:  os.Stderr,
+		regSrc: rf.regSrc,
+		start:  time.Now(),
+		p50:    stats.NewP2Quantile(0.5),
+		p95:    stats.NewP2Quantile(0.95),
+	}
+	if rf.Telemetry != "" {
+		sink, err := telemetry.NewSink(rf.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+		r.sink = sink
 	}
 	if rf.Out != "" {
 		f, err := os.Create(rf.Out)
@@ -85,6 +182,7 @@ func (rf *RunLogFlags) Start(tool string, total int, m runlog.Manifest) (*RunLog
 		}
 		if err := r.w.Manifest(m); err != nil {
 			f.Close()
+			r.sink.Close()
 			return nil, err
 		}
 	}
@@ -134,17 +232,29 @@ type RunLog struct {
 	tool  string
 	total int
 	show  bool
+	cr    bool      // \r-redraw meter style (terminal or -progress=force)
+	meter io.Writer // os.Stderr; swapped by meter tests
 	start time.Time
 
 	file *os.File
 	bw   *bufio.Writer
 	w    *runlog.Writer
 
+	// Telemetry exposition: the sink receives snapshots rendered from either
+	// the CLI's shared registry (regSrc) or the internal fold of completed
+	// cell registries (agg). Rendering happens under mu on the goroutine that
+	// owns the registry — the HTTP sink serves only the pre-rendered bytes.
+	sink   *telemetry.Sink
+	regSrc func() *trace.Metrics
+	agg    *trace.Metrics
+
 	done, ok, failed int
+	alerts           int
 	p50, p95         *stats.P2Quantile
 
 	lastDraw   time.Time
 	lastHealth time.Time
+	lastTelem  time.Time
 	lineLen    int
 	err        error // first write error; surfaced by Close
 }
@@ -171,12 +281,57 @@ func (r *RunLog) CellEvent(ev runner.Event) {
 		c.ErrorClass = runlog.ClassifyError(ev.Err)
 		c.Error = ev.Err.Error()
 	} else if ev.Table != nil && ev.Table.Metrics != nil {
+		// Non-creating lookups: mining must not grow the (shared, printable)
+		// cell registry with zero rows for metrics the cell never touched.
 		m := ev.Table.Metrics
-		c.VirtualMS = m.Counter("sim.virtual_ms").Value()
-		c.FaultsInjected = int64(m.Counter("fault.injected").Value())
-		c.FaultsRecovered = int64(m.Counter("fault.recovered").Value())
+		c.VirtualMS = m.LookupCounter("sim.virtual_ms").Value()
+		c.FaultsInjected = int64(m.LookupCounter("fault.injected").Value())
+		c.FaultsRecovered = int64(m.LookupCounter("fault.recovered").Value())
+		if r.sink != nil && r.regSrc == nil {
+			// Fold the cell into the telemetry aggregate. Stream order is
+			// cell order, so the fold — and the exposed quantiles, via exact
+			// sketch merges — is deterministic across -parallel.
+			r.mu.Lock()
+			if r.agg == nil {
+				r.agg = trace.NewMetricsMode(m.Mode())
+			}
+			r.agg.Merge(m)
+			r.mu.Unlock()
+		}
 	}
 	r.Cell(c)
+}
+
+// Alert writes one SLO watchdog trip record into the run log (no-op when no
+// log file is attached; the -slo-exit decision reads the watchdog, not the
+// log).
+func (r *RunLog) Alert(a runlog.Alert) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.alerts++
+	if r.w != nil {
+		if err := r.w.Alert(a); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+}
+
+// Exemplar writes one retained worst-cell trace reference. Call after the
+// last cell and before Close, ranks ascending from 0.
+func (r *RunLog) Exemplar(e runlog.Exemplar) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.w != nil {
+		if err := r.w.Exemplar(e); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
 }
 
 // Cell records one completed cell directly — the entry point for CLIs that
@@ -206,6 +361,35 @@ func (r *RunLog) Cell(c runlog.Cell) {
 		}
 	}
 	r.draw(now, false)
+	if r.sink != nil && now.Sub(r.lastTelem) >= healthEvery {
+		r.lastTelem = now
+		r.updateTelemetry(now)
+	}
+}
+
+// updateTelemetry renders and publishes one exposition snapshot: the live
+// registry (deterministic families) followed by run health (wall-clock
+// families). Caller holds r.mu.
+func (r *RunLog) updateTelemetry(now time.Time) {
+	reg := r.agg
+	if r.regSrc != nil {
+		reg = r.regSrc()
+	}
+	var buf bytes.Buffer
+	if reg != nil {
+		if err := telemetry.Render(&buf, "", reg); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	elapsed := now.Sub(r.start)
+	telemetry.RenderHealth(&buf, "", telemetry.Health{
+		Done: r.done, Total: r.total,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		Runtime:   runlog.CaptureRuntime(),
+	})
+	if err := r.sink.Update(buf.Bytes()); err != nil && r.err == nil {
+		r.err = err
+	}
 }
 
 // writeHealth emits one snapshot. Caller holds r.mu.
@@ -242,12 +426,18 @@ func (r *RunLog) draw(now time.Time, final bool) {
 		line += fmt.Sprintf(" | %.1f cells/s eta %v", rate, eta.Round(time.Second))
 		line += fmt.Sprintf(" | wall p50 %.0fms p95 %.0fms", r.p50.Value(), r.p95.Value())
 	}
+	if !r.cr {
+		// Piped stderr: plain newline-terminated lines under the same
+		// throttle, so `cmd 2>log` stays grep-able.
+		fmt.Fprintln(r.meter, line)
+		return
+	}
 	pad := ""
 	if n := r.lineLen - len(line); n > 0 {
 		pad = fmt.Sprintf("%*s", n, "")
 	}
 	r.lineLen = len(line)
-	fmt.Fprintf(os.Stderr, "\r%s%s", line, pad)
+	fmt.Fprintf(r.meter, "\r%s%s", line, pad)
 }
 
 // Close finishes the log — a final health snapshot, the summary record
@@ -261,8 +451,14 @@ func (r *RunLog) Close() error {
 	defer r.mu.Unlock()
 	now := time.Now()
 	r.draw(now, true)
-	if r.show {
-		fmt.Fprintln(os.Stderr)
+	if r.show && r.cr {
+		fmt.Fprintln(r.meter)
+	}
+	if r.sink != nil {
+		r.updateTelemetry(now)
+		if err := r.sink.Close(); err != nil && r.err == nil {
+			r.err = err
+		}
 	}
 	if r.w == nil {
 		return r.err
@@ -273,10 +469,11 @@ func (r *RunLog) Close() error {
 		status = "failed"
 	}
 	if err := r.w.Summary(runlog.Summary{
-		CellsOK:     r.ok,
-		CellsFailed: r.failed,
-		WallMS:      float64(now.Sub(r.start)) / float64(time.Millisecond),
-		Status:      status,
+		CellsOK:       r.ok,
+		CellsFailed:   r.failed,
+		WallMS:        float64(now.Sub(r.start)) / float64(time.Millisecond),
+		Status:        status,
+		SLOViolations: r.alerts,
 	}); err != nil && r.err == nil {
 		r.err = err
 	}

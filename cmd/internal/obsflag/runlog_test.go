@@ -1,0 +1,357 @@
+package obsflag
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobileqoe/internal/experiments"
+	"mobileqoe/internal/runlog"
+	"mobileqoe/internal/runner"
+	"mobileqoe/internal/telemetry"
+	"mobileqoe/internal/trace"
+)
+
+// parseProgress parses args on a fresh flag set and returns the mode.
+func parseProgress(t *testing.T, args ...string) (ProgressMode, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	rf := RegisterRunLog(fs)
+	err := fs.Parse(args)
+	return rf.Progress, err
+}
+
+func TestProgressTriState(t *testing.T) {
+	for _, c := range []struct {
+		args []string
+		want ProgressMode
+	}{
+		{nil, ProgressOff},
+		{[]string{"-progress"}, ProgressAuto},
+		{[]string{"-progress=true"}, ProgressAuto},
+		{[]string{"-progress=false"}, ProgressOff},
+		{[]string{"-progress=force"}, ProgressForce},
+	} {
+		got, err := parseProgress(t, c.args...)
+		if err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		if got != c.want {
+			t.Errorf("%v: mode = %v, want %v", c.args, got, c.want)
+		}
+	}
+	if _, err := parseProgress(t, "-progress=sometimes"); err == nil {
+		t.Error("-progress=sometimes must be rejected")
+	}
+	if ProgressForce.String() != "force" || ProgressAuto.String() != "true" || ProgressOff.String() != "false" {
+		t.Error("ProgressMode.String round-trip spelling changed")
+	}
+}
+
+// swapTTY pins the stderr terminal answer for the test's duration.
+func swapTTY(t *testing.T, isTTY bool) {
+	t.Helper()
+	old := stderrTTY
+	stderrTTY = func() bool { return isTTY }
+	t.Cleanup(func() { stderrTTY = old })
+}
+
+// startMeter opens a progress-only RunLog writing its meter into a buffer.
+func startMeter(t *testing.T, mode ProgressMode, isTTY bool, total int) (*RunLog, *bytes.Buffer) {
+	t.Helper()
+	swapTTY(t, isTTY)
+	rf := &RunLogFlags{Progress: mode}
+	rl, err := rf.Start("testtool", total, runlog.Manifest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl == nil {
+		t.Fatal("progress-enabled Start returned nil")
+	}
+	var buf bytes.Buffer
+	rl.meter = &buf
+	return rl, &buf
+}
+
+// TestMeterAutoPipePlain pins satellite behavior: with stderr piped, auto mode
+// emits plain newline-terminated lines (no \r), still throttled.
+func TestMeterAutoPipePlain(t *testing.T) {
+	rl, buf := startMeter(t, ProgressAuto, false, 3)
+	if rl.cr {
+		t.Fatal("auto mode on a pipe must not use \\r redraw")
+	}
+	for i := 0; i < 3; i++ {
+		rl.Cell(runlog.Cell{Index: i, ID: "fig3a", Status: "ok", WallMS: 5})
+	}
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "\r") {
+		t.Fatalf("piped meter wrote a carriage return:\n%q", out)
+	}
+	// Throttle: cells 2 and 3 land within meterEvery of cell 1, so only the
+	// first draw and the final (forced) draw appear.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d meter lines, want 2 (first + final):\n%q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "testtool: 1/3 cells ok=1 fail=0") {
+		t.Fatalf("first line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "testtool: 3/3 cells ok=3 fail=0") {
+		t.Fatalf("final line = %q", lines[1])
+	}
+}
+
+// TestMeterTTYRedraw pins the terminal style: \r-prefixed redraws, a closing
+// newline, and -progress=force selecting it even when stderr is a pipe.
+func TestMeterTTYRedraw(t *testing.T) {
+	for _, c := range []struct {
+		name  string
+		mode  ProgressMode
+		isTTY bool
+	}{
+		{"auto on tty", ProgressAuto, true},
+		{"force on pipe", ProgressForce, false},
+	} {
+		rl, buf := startMeter(t, c.mode, c.isTTY, 2)
+		if !rl.cr {
+			t.Fatalf("%s: want \\r redraw style", c.name)
+		}
+		rl.Cell(runlog.Cell{Index: 0, ID: "fig3a", Status: "ok", WallMS: 5})
+		if err := rl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if !strings.HasPrefix(out, "\r") {
+			t.Fatalf("%s: redraw line missing \\r:\n%q", c.name, out)
+		}
+		if !strings.HasSuffix(out, "\n") {
+			t.Fatalf("%s: meter not terminated with a newline:\n%q", c.name, out)
+		}
+	}
+}
+
+// TestStartGate pins the no-op path: no flags set, no RunLog.
+func TestStartGate(t *testing.T) {
+	rf := &RunLogFlags{}
+	rl, err := rf.Start("testtool", 1, runlog.Manifest{})
+	if err != nil || rl != nil {
+		t.Fatalf("Start with no flags = (%v, %v), want (nil, nil)", rl, err)
+	}
+	var nilRL *RunLog
+	nilRL.Cell(runlog.Cell{})
+	nilRL.CellEvent(runner.Event{})
+	nilRL.Alert(runlog.Alert{})
+	nilRL.Exemplar(runlog.Exemplar{})
+	if err := nilRL.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlertExemplarRoundTrip drives the full record set through a real log
+// file and validates it with the schema checker: alerts count into the
+// summary, exemplar ranks ascend, and the log passes runlog.Validate.
+func TestAlertExemplarRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	rf := &RunLogFlags{Out: path}
+	rl, err := rf.Start("testtool", 2, runlog.Manifest{Experiments: []string{"fig3a"}, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl.Cell(runlog.Cell{Index: 0, ID: "fig3a", Trial: 0, Status: "ok", WallMS: 4, VirtualMS: 900})
+	rl.Alert(runlog.Alert{Metric: "sim.virtual_ms", Rule: "p99_lt_ms",
+		Threshold: 500, Value: 900, CellIndex: 0, CellID: "fig3a", N: 1})
+	rl.Cell(runlog.Cell{Index: 1, ID: "fig3a", Trial: 1, Status: "ok", WallMS: 4, VirtualMS: 400})
+	for rank, idx := range []int{0, 1} {
+		rl.Exemplar(runlog.Exemplar{Rank: rank, Index: idx, ID: "fig3a", Trial: idx,
+			Metric: "sim.virtual_ms", Value: 900 - float64(rank)*500})
+	}
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	counts, err := runlog.Validate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Cells != 2 || counts.Alerts != 1 || counts.Exemplars != 2 {
+		t.Fatalf("counts = %+v, want 2 cells, 1 alert, 2 exemplars", counts)
+	}
+	if counts.Summary.SLOViolations != 1 {
+		t.Fatalf("summary slo_violations = %d, want 1", counts.Summary.SLOViolations)
+	}
+}
+
+// TestTelemetrySnapshotFromRegSrc pins the simple-CLI path: -telemetry with a
+// shared registry renders a lintable v0.0.4 snapshot holding both the registry
+// families and the run-health families.
+func TestTelemetrySnapshotFromRegSrc(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	reg := trace.NewMetricsMode(trace.HistBounded)
+	reg.Counter("sim.events").Add(7)
+	rf := &RunLogFlags{Telemetry: path, regSrc: func() *trace.Metrics { return reg }}
+	rl, err := rf.Start("testtool", 1, runlog.Manifest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl.Cell(runlog.Cell{Index: 0, ID: "cell", Status: "ok", WallMS: 3})
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.Lint(string(snap)); err != nil {
+		t.Fatalf("snapshot does not lint: %v\n%s", err, snap)
+	}
+	for _, want := range []string{"mobileqoe_sim_events 7\n", "mobileqoe_run_cells_done 1\n", "mobileqoe_run_cells_total 1\n"} {
+		if !strings.Contains(string(snap), want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+// TestTelemetryAggFold pins the qoesim path: with no regSrc, CellEvent folds
+// each cell's private registry into the exposed aggregate.
+func TestTelemetryAggFold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	rf := &RunLogFlags{Telemetry: path}
+	rl, err := rf.Start("qoesim", 2, runlog.Manifest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, virtual := range []float64{1200, 800} {
+		m := trace.NewMetricsMode(trace.HistBounded)
+		m.Counter("sim.virtual_ms").Add(virtual)
+		m.Histogram("browser.plt_ms").Observe(100 * float64(i+1))
+		rl.CellEvent(runner.Event{Index: i, ID: "fig3a", Trial: i,
+			Table: &experiments.Table{Metrics: m}})
+	}
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.Lint(string(snap)); err != nil {
+		t.Fatalf("snapshot does not lint: %v\n%s", err, snap)
+	}
+	if !strings.Contains(string(snap), "mobileqoe_sim_virtual_ms 2000\n") {
+		t.Fatalf("aggregate fold missing (want sim.virtual_ms = 2000):\n%s", snap)
+	}
+	if !strings.Contains(string(snap), "mobileqoe_browser_plt_ms_count 2\n") {
+		t.Fatalf("aggregate histogram fold missing:\n%s", snap)
+	}
+}
+
+// TestStdoutUntouched pins the observability contract: a run with every
+// observer enabled (-runlog, -progress=force, -telemetry) writes nothing to
+// stdout.
+func TestStdoutUntouched(t *testing.T) {
+	dir := t.TempDir()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdout := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = oldStdout }()
+
+	rf := &RunLogFlags{
+		Out:       filepath.Join(dir, "run.ndjson"),
+		Progress:  ProgressForce,
+		Telemetry: filepath.Join(dir, "metrics.prom"),
+	}
+	rl, err := rf.Start("testtool", 1, runlog.Manifest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl.meter = io.Discard
+	rl.Cell(runlog.Cell{Index: 0, ID: "cell", Status: "ok", WallMS: 2})
+	rl.Alert(runlog.Alert{Metric: "m", Rule: "max_lt_ms", Value: 1})
+	cerr := rl.Close()
+
+	w.Close()
+	os.Stdout = oldStdout
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	leaked, _ := io.ReadAll(r)
+	if len(leaked) != 0 {
+		t.Fatalf("observers wrote %d bytes to stdout: %q", len(leaked), leaked)
+	}
+}
+
+// TestMeterThrottleOverTime pins the redraw cadence: a second draw happens
+// only once meterEvery elapsed.
+func TestMeterThrottleOverTime(t *testing.T) {
+	rl, buf := startMeter(t, ProgressAuto, false, 3)
+	rl.Cell(runlog.Cell{Index: 0, Status: "ok"})
+	// Backdate the last draw beyond the throttle window; the next cell must
+	// draw again without real sleeping.
+	rl.mu.Lock()
+	rl.lastDraw = rl.lastDraw.Add(-2 * meterEvery)
+	rl.mu.Unlock()
+	rl.Cell(runlog.Cell{Index: 1, Status: "ok"})
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("got %d draws after backdating, want 2:\n%q", got, buf.String())
+	}
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlagsTelemetryForcesRegistry pins the obsflag plumbing: -telemetry
+// alone materializes a registry for the sink, but Flush keeps stdout clean
+// because the table still gates on -metrics.
+func TestFlagsTelemetryForcesRegistry(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, "")
+	if err := fs.Parse([]string{"-telemetry", filepath.Join(t.TempDir(), "m.prom")}); err != nil {
+		t.Fatal(err)
+	}
+	if opts := f.Options(); len(opts) != 1 {
+		t.Fatalf("Options() returned %d options, want 1 (metrics collection)", len(opts))
+	}
+	if f.Registry() == nil {
+		t.Fatal("-telemetry did not materialize a registry")
+	}
+	if f.RunLog.regSrc() != f.Registry() {
+		t.Fatal("regSrc does not expose the shared registry")
+	}
+	var out bytes.Buffer
+	if err := f.Flush(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("Flush printed the table without -metrics:\n%s", out.String())
+	}
+}
+
+// TestVisitedFlags pins the manifest's flag snapshot: only explicitly-set
+// flags appear, with their string spellings.
+func TestVisitedFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	RegisterRunLog(fs)
+	if err := fs.Parse([]string{"-progress=force", "-slo-exit"}); err != nil {
+		t.Fatal(err)
+	}
+	got := visitedFlags(fs)
+	want := map[string]string{"progress": "force", "slo-exit": "true"}
+	if len(got) != len(want) || got["progress"] != want["progress"] || got["slo-exit"] != want["slo-exit"] {
+		t.Fatalf("visitedFlags = %v, want %v", got, want)
+	}
+}

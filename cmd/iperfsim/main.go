@@ -9,6 +9,7 @@
 //	iperfsim -faults default          # throughput under the mixed fault plan
 //	iperfsim -trace sweep.json        # one Chrome trace of the whole sweep
 //	iperfsim -metrics                 # kernel metrics accumulated over the sweep
+//	iperfsim -telemetry :9090         # live Prometheus /metrics during the sweep
 package main
 
 import (
@@ -75,9 +76,11 @@ func main() {
 			WallMS:    float64(time.Since(stepStart)) / float64(time.Millisecond),
 			VirtualMS: float64(*duration) / float64(time.Millisecond)}
 		if m := ob.Registry(); m != nil {
-			virt := m.Counter("sim.virtual_ms").Value()
-			inj := m.Counter("fault.injected").Value()
-			rec := m.Counter("fault.recovered").Value()
+			// Non-creating lookups: mining must not grow the printable
+			// registry with zero rows for metrics the sweep never touched.
+			virt := m.LookupCounter("sim.virtual_ms").Value()
+			inj := m.LookupCounter("fault.injected").Value()
+			rec := m.LookupCounter("fault.recovered").Value()
 			cell.VirtualMS = virt - prevVirt
 			cell.FaultsInjected = int64(inj - prevInj)
 			cell.FaultsRecovered = int64(rec - prevRec)

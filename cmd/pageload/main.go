@@ -9,6 +9,7 @@
 //	pageload -mhz 384 -category sports         # pinned clock, category pick
 //	pageload -cores 1 -ram 512MB
 //	pageload -faults default                   # load under the mixed fault plan
+//	pageload -telemetry metrics.prom           # Prometheus snapshot of the load
 package main
 
 import (
@@ -101,9 +102,11 @@ func main() {
 		WallMS:    float64(time.Since(loadStart)) / float64(time.Millisecond),
 		VirtualMS: float64(res.PLT) / float64(time.Millisecond)}
 	if m := ob.Registry(); m != nil {
-		cell.VirtualMS = m.Counter("sim.virtual_ms").Value()
-		cell.FaultsInjected = int64(m.Counter("fault.injected").Value())
-		cell.FaultsRecovered = int64(m.Counter("fault.recovered").Value())
+		// Non-creating lookups: mining must not grow the printable registry
+		// with zero rows for metrics the load never touched.
+		cell.VirtualMS = m.LookupCounter("sim.virtual_ms").Value()
+		cell.FaultsInjected = int64(m.LookupCounter("fault.injected").Value())
+		cell.FaultsRecovered = int64(m.LookupCounter("fault.recovered").Value())
 	}
 	rl.Cell(cell)
 	if err := rl.Close(); err != nil {

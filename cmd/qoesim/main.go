@@ -17,6 +17,9 @@
 //	qoesim -run fig3a -faults default            # built-in mixed fault plan
 //	qoesim -run fig3a -faults plan.json -retries 2   # custom plan, cell retries
 //	qoesim -scenario sweep.json                  # declarative scenario file
+//	qoesim -scenario sweep.json -runlog run.ndjson -slo-exit  # SLO watchdog
+//	qoesim -run all -trials 4 -exemplars 3       # keep the 3 worst cells' traces
+//	qoesim -run all -telemetry :9090             # live /metrics + /healthz
 //
 // Tables go to stdout; progress and timing go to stderr, so table output is
 // byte-identical for a given seed regardless of -parallel.
@@ -115,6 +118,29 @@ func (s *traceSink) writeAll(out string, ids []string, trials int) error {
 	return nil
 }
 
+// writeExemplars writes the top-K worst-cell traces retained by -exemplars
+// and their references: one runlog exemplar record per file (ranks ascending,
+// before the summary — rl is nil-safe) plus a stderr tail line. Naming:
+// <stem>.exemplar.<id>.trial<N><ext>, stem/ext split from out at its last dot.
+func writeExemplars(ex *runner.Exemplars, out string, rl *obsflag.RunLog) int {
+	stem, ext := out, ".json"
+	if i := strings.LastIndexByte(out, '.'); i > strings.LastIndexByte(out, '/') {
+		stem, ext = out[:i], out[i:]
+	}
+	for rank, c := range ex.Kept() {
+		path := fmt.Sprintf("%s.exemplar.%s.trial%d%s", stem, c.ID, c.Trial, ext)
+		if err := writeTrace(path, c.Tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+			return 1
+		}
+		rl.Exemplar(runlog.Exemplar{Rank: rank, Index: c.Index, ID: c.ID, Trial: c.Trial,
+			Seed: c.Seed, Metric: ex.Metric(), Value: c.Value, Path: path})
+		fmt.Fprintf(os.Stderr, "qoesim: exemplar %d: %s trial %d %s=%g → %s\n",
+			rank, c.ID, c.Trial, ex.Metric(), c.Value, path)
+	}
+	return 0
+}
+
 // main defers to realMain so deferred profile writers (pprof) run before the
 // process exits.
 func main() { os.Exit(realMain()) }
@@ -145,12 +171,17 @@ func realMain() int {
 		check    = flag.Bool("checktrace", false, "run the trace invariant checker over the run (implies tracing and metrics; forces -parallel 1; violations exit nonzero)")
 		cpuProf  = flag.String("cpuprofile", "", "write a Go CPU profile of the qoesim process to this file")
 		memProf  = flag.String("memprofile", "", "write a Go heap profile (taken after the run) to this file")
+		exemK    = flag.Int("exemplars", 0, "retain full traces for the K worst cells by -exemplar-metric; files named <exemplar-out stem>.exemplar.<id>.trial<N>.json")
+		exemOut  = flag.String("exemplar-out", "out.json", "output stem for -exemplars trace files")
+		exemMet  = flag.String("exemplar-metric", "", "registry metric ranking -exemplars cells, worst = largest (default sim.virtual_ms)")
+		modeSet  bool
 	)
 	flag.Func("metricsmode",
 		"histogram mode for -metrics: scalar|bounded|full (bounded adds p50/p90/p99 columns in O(1) memory)",
 		func(s string) error {
 			m, err := trace.ParseHistMode(s)
 			histMode = m
+			modeSet = true
 			return err
 		})
 	rlf := obsflag.RegisterRunLog(flag.CommandLine)
@@ -217,10 +248,11 @@ func realMain() int {
 	cfg.Trials = *trials
 	cfg.Metrics = *metrics
 	cfg.MetricsMode = histMode
-	if rlf.Out != "" {
+	if rlf.Out != "" || rlf.Telemetry != "" {
 		// A run log mines per-cell registries for the deterministic fields
-		// (virtual time, fault counts), so collection must be on; printing
-		// is still gated on -metrics, so stdout is unchanged.
+		// (virtual time, fault counts), and -telemetry folds them into the
+		// exposed aggregate, so collection must be on; printing is still
+		// gated on -metrics, so stdout is unchanged.
 		cfg.Metrics = true
 	}
 	if *faults != "" {
@@ -260,6 +292,17 @@ func realMain() int {
 		// so it needs both channels on.
 		cfg.Metrics = true
 	}
+	var wd *scenario.Watchdog
+	if scn != nil && len(scn.SLO) > 0 {
+		wd = scenario.NewWatchdog(scn.SLO)
+		// The watchdog reads each cell's registry; quantile rules on histogram
+		// metrics additionally need the bounded sketches, so upgrade the
+		// default scalar mode (an explicit -metricsmode wins).
+		cfg.Metrics = true
+		if !modeSet && cfg.MetricsMode == trace.HistScalar {
+			cfg.MetricsMode = trace.HistBounded
+		}
+	}
 
 	// Trace wiring. Analysis flags (-profile/-folded/-checktrace) consume the
 	// whole run as one trace, so they run the cells sequentially on a shared
@@ -286,6 +329,21 @@ func realMain() int {
 		*parallel = 1
 		tracer = trace.New()
 		cfg.Trace = tracer
+	}
+	var ex *runner.Exemplars
+	if *exemK > 0 {
+		if tracer != nil {
+			fmt.Fprintln(os.Stderr, "qoesim: -exemplars needs per-cell tracers; it cannot combine with -profile/-folded/-checktrace or single-file -trace (use -trace with an explicit -parallel > 1)")
+			return 2
+		}
+		// The ranking metric is mined from each cell's registry.
+		cfg.Metrics = true
+		var inner func(string, int) *trace.Tracer
+		if sink != nil {
+			inner = sink.factory // -trace -parallel>1 composes: shared tracers, both planes
+		}
+		ex = runner.NewExemplars(*exemK, *exemMet, inner)
+		cfg.TraceFactory = ex.Factory
 	}
 	// A zero passed explicitly on the command line means "really zero", not
 	// "use the default"; map those flags to the Config sentinels.
@@ -360,19 +418,57 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
 		return 1
 	}
-	if rlf.Progress {
+	if rlf.Progress.Enabled() {
 		progress = nil // the live meter replaces the per-cell lines
+	}
+	if ex != nil {
+		// The exemplar collector observes completion order (bounding memory at
+		// K live traces) and still retains a deterministic set.
+		inner := progress
+		progress = func(ev runner.Event) {
+			ex.Observe(ev)
+			if inner != nil {
+				inner(ev)
+			}
+		}
 	}
 	ropts := runner.Options{Parallel: *parallel, Timeout: *timeout, Retries: *retries,
 		Progress: progress}
+	// Stream delivers cells in deterministic cell order, which is what gives
+	// the log its monotonic indexes and the watchdog its reproducible alerts.
 	if rl != nil {
-		// Stream delivers cells in deterministic cell order, which is what
-		// gives the log its monotonic indexes.
 		ropts.Stream = rl.CellEvent
+	}
+	if wd != nil {
+		innerStream := ropts.Stream
+		ropts.Stream = func(ev runner.Event) {
+			if innerStream != nil {
+				innerStream(ev) // cell record lands before any alert referencing it
+			}
+			if ev.Err != nil || ev.Table == nil || ev.Table.Metrics == nil {
+				return
+			}
+			for _, a := range wd.ObserveCell(ev.Index, ev.ID, ev.Trial, ev.Table.Metrics) {
+				rl.Alert(a)
+				fmt.Fprintf(os.Stderr, "qoesim: slo alert: %s %s threshold %g observed %g (cell %s trial %d, n=%d)\n",
+					a.Metric, a.Rule, a.Threshold, a.Value, a.CellID, a.Trial, a.N)
+			}
+		}
 	}
 	start := time.Now()
 	results, err := runner.Run(context.Background(), ids, cfg, ropts)
 	exit := 0
+	if ex != nil {
+		if code := writeExemplars(ex, *exemOut, rl); code != 0 {
+			exit = code
+		}
+	}
+	if wd != nil && wd.Violations() > 0 {
+		fmt.Fprintf(os.Stderr, "qoesim: slo: %d rule(s) violated\n", wd.Violations())
+		if rlf.SLOExit {
+			exit = 1
+		}
+	}
 	if cerr := rl.Close(); cerr != nil {
 		fmt.Fprintf(os.Stderr, "qoesim: runlog: %v\n", cerr)
 		exit = 1

@@ -6,6 +6,7 @@
 //
 //	regexdsp                                  # built-in workload suite
 //	regexdsp -pattern '(ads|track)/' -input 'https://x.com/ads/unit.js' -repeat 500
+//	regexdsp -telemetry metrics.prom          # Prometheus snapshot of the suite
 package main
 
 import (

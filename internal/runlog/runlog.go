@@ -1,9 +1,11 @@
 // Package runlog is the structured run log: a newline-delimited JSON (NDJSON)
 // stream describing one harness run — a manifest header identifying what ran,
 // one record per completed (experiment, trial) cell, periodic health
-// snapshots, and a closing summary. The log is an append-only observer: it is
-// written from the runner's progress path and never feeds back into results,
-// so a run with and without a log is byte-identical on stdout.
+// snapshots, typed alert records when an SLO watchdog trips, exemplar records
+// naming the retained worst-cell traces, and a closing summary. The log is an
+// append-only observer: it is written from the runner's progress path and
+// never feeds back into results, so a run with and without a log is
+// byte-identical on stdout.
 //
 // Determinism contract. Record fields split into two classes:
 //
@@ -44,7 +46,13 @@ import (
 // semantic change; additions that old readers can ignore do not require a
 // bump (Validate is strict for *writers in this tree*, but downstream readers
 // should tolerate unknown fields).
-const Schema = 1
+//
+// Schema history:
+//
+//	1  manifest/cell/health/summary
+//	2  adds "alert" (SLO watchdog trip) and "exemplar" (retained worst-cell
+//	   trace) record types plus summary.slo_violations
+const Schema = 2
 
 // Manifest is the first record of every log: enough to re-run the command
 // and to tell two archived logs apart.
@@ -143,6 +151,46 @@ type Health struct {
 	Runtime   RuntimeSnapshot `json:"runtime"`
 }
 
+// Alert is one SLO watchdog trip: a scenario's slo: block rule crossed its
+// threshold. Alerts are deterministic-class records — the watchdog evaluates
+// bounded sketches over deterministic per-cell values in cell-completion
+// stream order, and emits at most one alert per (metric, rule), so two runs
+// of the same configuration produce identical alert records.
+type Alert struct {
+	Type string `json:"type"` // "alert"
+	// Metric is the registry metric the rule watches ("sim.virtual_ms").
+	Metric string `json:"metric"`
+	// Rule is the violated clause's JSON key ("p99_lt_ms", "eq_injected").
+	Rule string `json:"rule"`
+	// Threshold is the configured bound (0 for equality rules); Value is the
+	// online estimate that crossed it.
+	Threshold float64 `json:"threshold,omitempty"`
+	Value     float64 `json:"value"`
+	// CellIndex/CellID/Trial name the cell whose arrival tripped the rule.
+	CellIndex int    `json:"cell_index"`
+	CellID    string `json:"cell_id,omitempty"`
+	Trial     int    `json:"trial"`
+	// N is the observation count behind the estimate at trip time.
+	N int64 `json:"n,omitempty"`
+}
+
+// Exemplar references one retained worst-cell trace: rank 0 is the worst
+// cell of the run by the configured metric. The referenced Path holds the
+// cell's full trace (Chrome trace-event JSON), replayable through tracediff
+// and the profile tooling. Deterministic class: the retained set is a pure
+// function of the configuration (top-K by value, ties to the lower index).
+type Exemplar struct {
+	Type   string  `json:"type"` // "exemplar"
+	Rank   int     `json:"rank"`
+	Index  int     `json:"index"`
+	ID     string  `json:"id"`
+	Trial  int     `json:"trial"`
+	Seed   uint64  `json:"seed"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Path   string  `json:"path,omitempty"`
+}
+
 // Summary closes the log.
 type Summary struct {
 	Type        string  `json:"type"` // "summary"
@@ -150,6 +198,8 @@ type Summary struct {
 	CellsFailed int     `json:"cells_failed"`
 	WallMS      float64 `json:"wall_ms"`
 	Status      string  `json:"status"` // "ok" | "failed"
+	// SLOViolations counts the distinct (metric, rule) pairs that tripped.
+	SLOViolations int `json:"slo_violations,omitempty"`
 }
 
 // ClassifyError buckets a cell error into a small stable vocabulary, so log
@@ -232,6 +282,35 @@ func (l *Writer) Cell(c Cell) error {
 	return l.emit(c)
 }
 
+// Alert writes an SLO watchdog trip record.
+func (l *Writer) Alert(a Alert) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.open(); err != nil {
+		return err
+	}
+	if a.Metric == "" || a.Rule == "" {
+		return errors.New("runlog: alert without metric/rule")
+	}
+	a.Type = "alert"
+	return l.emit(a)
+}
+
+// Exemplar writes one retained worst-cell trace reference. Exemplars are
+// written after the last cell, worst first (rank ascending).
+func (l *Writer) Exemplar(e Exemplar) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.open(); err != nil {
+		return err
+	}
+	if e.Metric == "" {
+		return errors.New("runlog: exemplar without metric")
+	}
+	e.Type = "exemplar"
+	return l.emit(e)
+}
+
 // Health writes a health snapshot.
 func (l *Writer) Health(h Health) error {
 	l.mu.Lock()
@@ -270,8 +349,11 @@ type Counts struct {
 	Cells, Health int
 	CellsOK       int
 	CellsFailed   int
+	Alerts        int
+	Exemplars     int
 	HasSummary    bool
 	Manifest      Manifest
+	Summary       Summary
 }
 
 // Validate strictly checks an NDJSON run log: one JSON object per line, a
@@ -346,6 +428,28 @@ func Validate(r io.Reader) (Counts, error) {
 				return c, fmt.Errorf("runlog: line %d: health: %v", line, err)
 			}
 			c.Health++
+		case "alert":
+			var a Alert
+			if err := strict(raw, &a); err != nil {
+				return c, fmt.Errorf("runlog: line %d: alert: %v", line, err)
+			}
+			if a.Metric == "" || a.Rule == "" {
+				return c, fmt.Errorf("runlog: line %d: alert without metric/rule", line)
+			}
+			c.Alerts++
+		case "exemplar":
+			var e Exemplar
+			if err := strict(raw, &e); err != nil {
+				return c, fmt.Errorf("runlog: line %d: exemplar: %v", line, err)
+			}
+			if e.Metric == "" {
+				return c, fmt.Errorf("runlog: line %d: exemplar without metric", line)
+			}
+			if e.Rank != c.Exemplars {
+				return c, fmt.Errorf("runlog: line %d: exemplar rank %d, want %d (ranks ascend from 0)",
+					line, e.Rank, c.Exemplars)
+			}
+			c.Exemplars++
 		case "summary":
 			var s Summary
 			if err := strict(raw, &s); err != nil {
@@ -355,6 +459,7 @@ func Validate(r io.Reader) (Counts, error) {
 				return c, fmt.Errorf("runlog: line %d: unknown summary status %q", line, s.Status)
 			}
 			c.HasSummary = true
+			c.Summary = s
 			done = true
 		default:
 			return c, fmt.Errorf("runlog: line %d: unknown record type %q", line, probe.Type)

@@ -45,7 +45,19 @@ func writeGoodLog(t *testing.T) *bytes.Buffer {
 			}
 		}
 	}
-	if err := w.Summary(Summary{CellsOK: 3, CellsFailed: 1, WallMS: 50, Status: "failed"}); err != nil {
+	if err := w.Alert(Alert{Metric: "sim.virtual_ms", Rule: "p99_lt_ms", Threshold: 5000,
+		Value: 30000, CellIndex: 3, CellID: "fig4a", Trial: 1, N: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for rank, idx := range []int{3, 0} {
+		if err := w.Exemplar(Exemplar{Rank: rank, Index: idx, ID: "fig3a", Trial: idx % 2,
+			Seed: uint64(1000000 + idx%2), Metric: "sim.virtual_ms", Value: 30000,
+			Path: fmt.Sprintf("out.exemplar.fig3a.trial%d.json", idx%2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Summary(Summary{CellsOK: 3, CellsFailed: 1, WallMS: 50, Status: "failed",
+		SLOViolations: 1}); err != nil {
 		t.Fatal(err)
 	}
 	return &buf
@@ -60,8 +72,14 @@ func TestRoundTrip(t *testing.T) {
 	if c.Cells != 4 || c.CellsOK != 3 || c.CellsFailed != 1 || c.Health != 1 || !c.HasSummary {
 		t.Fatalf("counts = %+v", c)
 	}
+	if c.Alerts != 1 || c.Exemplars != 2 {
+		t.Fatalf("alert/exemplar counts = %+v", c)
+	}
 	if c.Manifest.Tool != "qoesim" || c.Manifest.Schema != Schema || len(c.Manifest.Experiments) != 2 {
 		t.Fatalf("manifest = %+v", c.Manifest)
+	}
+	if c.Summary.SLOViolations != 1 || c.Summary.Status != "failed" {
+		t.Fatalf("summary = %+v", c.Summary)
 	}
 }
 
@@ -82,6 +100,12 @@ func TestWriterEnforcesStructure(t *testing.T) {
 	}
 	if err := w.Cell(Cell{Index: 1, Status: "ok"}); err == nil {
 		t.Fatal("non-increasing cell index should fail")
+	}
+	if err := w.Alert(Alert{Metric: "m"}); err == nil {
+		t.Fatal("alert without rule should fail")
+	}
+	if err := w.Exemplar(Exemplar{Rank: 0}); err == nil {
+		t.Fatal("exemplar without metric should fail")
 	}
 	if err := w.Summary(Summary{Status: "ok"}); err != nil {
 		t.Fatal(err)
@@ -110,6 +134,9 @@ func TestValidateRejectsMalformed(t *testing.T) {
 		{"after summary", good + lines[1] + "\n", "after summary"},
 		{"ok with error fields", lines[0] + "\n" + strings.Replace(lines[5], `"status":"error"`, `"status":"ok"`, 1) + "\n", "status ok with error fields"},
 		{"bad status", lines[0] + "\n" + strings.Replace(lines[1], `"status":"ok"`, `"status":"meh"`, 1) + "\n", "unknown cell status"},
+		{"alert without rule", lines[0] + "\n" + `{"type":"alert","metric":"m","rule":"","value":1,"cell_index":0,"trial":0}` + "\n", "alert without metric/rule"},
+		{"exemplar without metric", lines[0] + "\n" + `{"type":"exemplar","rank":0,"index":0,"id":"x","trial":0,"seed":1,"metric":"","value":1}` + "\n", "exemplar without metric"},
+		{"exemplar rank gap", lines[0] + "\n" + `{"type":"exemplar","rank":1,"index":0,"id":"x","trial":0,"seed":1,"metric":"m","value":1}` + "\n", "ranks ascend"},
 	}
 	for _, c := range cases {
 		_, err := Validate(strings.NewReader(c.log))

@@ -1,0 +1,120 @@
+package runner_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"mobileqoe/internal/runner"
+	"mobileqoe/internal/trace"
+)
+
+// runExemplars executes a small multi-experiment sweep with top-K trace
+// retention under the given worker count and returns the collector.
+func runExemplars(t *testing.T, k, parallel int) *runner.Exemplars {
+	t.Helper()
+	cfg := quick()
+	cfg.Trials = 2
+	cfg.Metrics = true
+	ex := runner.NewExemplars(k, "sim.virtual_ms", nil)
+	cfg.TraceFactory = ex.Factory
+	// fig99 is unknown: its cells fail, and failed cells must never be
+	// retained as exemplars.
+	_, err := runner.Run(context.Background(), []string{"fig3d", "fig99", "abl-hwdecoder"}, cfg,
+		runner.Options{Parallel: parallel, Progress: ex.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// TestExemplarsDeterministicAcrossParallel pins the tentpole contract: the
+// retained set — metadata and full trace bytes — is identical whether the run
+// used 1 worker or 8, because top-K by (value desc, index asc) is a pure
+// function of the observed set, not of completion order.
+func TestExemplarsDeterministicAcrossParallel(t *testing.T) {
+	const k = 3
+	seq := runExemplars(t, k, 1)
+	par := runExemplars(t, k, 8)
+	a, b := seq.Kept(), par.Kept()
+	if len(a) != k || len(b) != k {
+		t.Fatalf("kept %d and %d cells, want %d (4 ok cells ran)", len(a), len(b), k)
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index || a[i].ID != b[i].ID || a[i].Trial != b[i].Trial ||
+			a[i].Seed != b[i].Seed || a[i].Value != b[i].Value {
+			t.Fatalf("rank %d differs across worker counts:\nseq: %+v\npar: %+v", i, a[i], b[i])
+		}
+		if i > 0 && (a[i].Value > a[i-1].Value ||
+			(a[i].Value == a[i-1].Value && a[i].Index < a[i-1].Index)) {
+			t.Fatalf("rank order violated at %d: %+v after %+v", i, a[i], a[i-1])
+		}
+		var ja, jb bytes.Buffer
+		if err := a[i].Tracer.WriteJSON(&ja); err != nil {
+			t.Fatal(err)
+		}
+		if err := b[i].Tracer.WriteJSON(&jb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+			t.Fatalf("rank %d trace bytes differ across worker counts (%d vs %d bytes)",
+				i, ja.Len(), jb.Len())
+		}
+		if a[i].Tracer.Len() == 0 {
+			t.Fatalf("rank %d retained an empty trace", i)
+		}
+	}
+	// The sketch-bucket representatives agree too, so a quantile read off a
+	// merged sketch names the same cell under any worker count.
+	if ra, ok := seq.Nearest(a[0].Value); ok {
+		rb, ok2 := par.Nearest(a[0].Value)
+		if !ok2 || ra != rb {
+			t.Fatalf("Nearest differs: %+v vs %+v", ra, rb)
+		}
+	} else {
+		t.Fatal("Nearest found nothing for the worst cell's own value")
+	}
+}
+
+// TestExemplarsMemoryBoundedByK pins the memory bound: after the run drains,
+// the collector references at most K tracers — evicted and failed cells'
+// traces are released, not accumulated.
+func TestExemplarsMemoryBoundedByK(t *testing.T) {
+	ex := runExemplars(t, 1, 4)
+	if got := ex.Retained(); got != 1 {
+		t.Fatalf("retained %d tracers after the run, want 1", got)
+	}
+	kept := ex.Kept()
+	if len(kept) != 1 || kept[0].Value <= 0 {
+		t.Fatalf("kept = %+v, want the single worst cell", kept)
+	}
+}
+
+// TestExemplarsComposesWithInnerFactory checks the -trace + -exemplars
+// composition: the inner sink sees every cell's tracer, the exemplar plane
+// ranks the same shared tracers.
+func TestExemplarsComposesWithInnerFactory(t *testing.T) {
+	handed := 0
+	inner := func(id string, trial int) *trace.Tracer {
+		handed++
+		return trace.New()
+	}
+	cfg := quick()
+	cfg.Trials = 2
+	cfg.Metrics = true
+	ex := runner.NewExemplars(1, "", inner) // empty metric defaults to sim.virtual_ms
+	cfg.TraceFactory = ex.Factory
+	if _, err := runner.Run(context.Background(), []string{"fig3d"}, cfg,
+		runner.Options{Parallel: 1, Progress: ex.Observe}); err != nil {
+		t.Fatal(err)
+	}
+	if handed != 2 {
+		t.Fatalf("inner factory saw %d cells, want 2", handed)
+	}
+	if ex.Metric() != "sim.virtual_ms" {
+		t.Fatalf("default metric = %q", ex.Metric())
+	}
+	if kept := ex.Kept(); len(kept) != 1 || kept[0].Tracer.Len() == 0 {
+		t.Fatalf("kept = %+v, want one cell with a populated shared tracer", kept)
+	}
+}

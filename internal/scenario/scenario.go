@@ -61,6 +61,10 @@ type Scenario struct {
 	FaultPlan string `json:"fault_plan,omitempty"`
 	// Trials is the scenario's default trial count; 0 defers to the harness.
 	Trials int `json:"trials,omitempty"`
+	// SLO maps registry metric names to online alert rules, evaluated cell by
+	// cell against bounded aggregates (see Watchdog). A scenario without an
+	// slo: block runs byte-identically to one that never heard of SLOs.
+	SLO map[string]Rule `json:"slo,omitempty"`
 	// Notes are appended to the table verbatim.
 	Notes []string `json:"notes,omitempty"`
 
@@ -199,7 +203,7 @@ func (s *Scenario) Validate() error {
 	if s.fixedSets(s.Axis.Param) {
 		return fmt.Errorf("scenario %s: config fixes %q, which is also the swept axis", s.Name, s.Axis.Param)
 	}
-	return nil
+	return validateSLO(s.Name, s.SLO)
 }
 
 func (w Workload) validate(name string) error {

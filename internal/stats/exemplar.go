@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Bucket keys give every HistSketch bucket a stable integer identity, totally
+// ordered by the values the bucket covers: negative overflow is the smallest
+// key, then the negative geometric buckets, negative underflow, zero, positive
+// underflow, the positive geometric buckets, and positive overflow. NaN has no
+// bucket. The key of a value is a pure function of the value, so two shards
+// that observed the same sample agree on its bucket without coordination.
+const (
+	keyZero     = 0
+	keyPosUnder = 1
+	keyPosBin0  = 2 // positive bucket i has key keyPosBin0 + i
+	keyPosOver  = keyPosBin0 + sketchBins
+)
+
+// posBucket maps a positive magnitude to its geometric bucket index:
+// -1 for underflow, sketchBins for overflow, else [0, sketchBins).
+func posBucket(mag float64) int {
+	b := math.Float64bits(mag)
+	e := int(b>>52&0x7ff) - 1023 // subnormals: biased 0 → -1023 → underflow
+	switch {
+	case e < sketchMinExp:
+		return -1
+	case e >= sketchMaxExp:
+		return sketchBins
+	default:
+		sub := int(b>>(52-sketchSubBits)) & (sketchSubs - 1)
+		return (e-sketchMinExp)*sketchSubs + sub
+	}
+}
+
+// BucketKey returns the sketch bucket key of v, ordered ascending in value.
+// NaN returns ok=false.
+func BucketKey(v float64) (key int, ok bool) {
+	switch {
+	case math.IsNaN(v):
+		return 0, false
+	case v == 0:
+		return keyZero, true
+	case v > 0:
+		switch i := posBucket(v); i {
+		case -1:
+			return keyPosUnder, true
+		default:
+			return keyPosBin0 + i, true
+		}
+	default:
+		k, _ := BucketKey(-v)
+		return -k, true
+	}
+}
+
+// Rep is one bucket's representative observation: the label of the sample
+// that won the bucket under the deterministic update rule.
+type Rep struct {
+	Value float64
+	Label string
+}
+
+// Exemplars carries one representative label per occupied HistSketch bucket,
+// the link layer between a bounded histogram and replayable evidence: a tail
+// quantile read off a sketch names a concrete cell whose full trace was
+// retained. Memory is bounded by the occupied bucket count (≤ the fixed
+// bucket grid), never by the observation count.
+//
+// Determinism contract: a bucket's representative is the observation with
+// the largest value that landed in it; ties break to the lexicographically
+// smaller label. Both rules are order-insensitive, so Observe order and any
+// shard/Merge decomposition of the same labelled multiset produce identical
+// state — the same property HistSketch itself has.
+//
+// The zero Exemplars is empty and ready to use. Not safe for concurrent
+// writers, like the rest of the registry machinery.
+type Exemplars struct {
+	reps map[int]Rep
+}
+
+// Observe records the labelled observation v into its bucket's contest.
+// NaN observations are ignored (they have no bucket).
+func (e *Exemplars) Observe(v float64, label string) {
+	key, ok := BucketKey(v)
+	if !ok {
+		return
+	}
+	if e.reps == nil {
+		e.reps = map[int]Rep{}
+	}
+	cur, occupied := e.reps[key]
+	if !occupied || v > cur.Value || (v == cur.Value && label < cur.Label) {
+		e.reps[key] = Rep{Value: v, Label: label}
+	}
+}
+
+// Merge folds o into e under the same deterministic rule as Observe.
+func (e *Exemplars) Merge(o *Exemplars) {
+	if o == nil {
+		return
+	}
+	for _, r := range o.reps {
+		e.Observe(r.Value, r.Label)
+	}
+}
+
+// Len returns the number of occupied buckets.
+func (e *Exemplars) Len() int { return len(e.reps) }
+
+// Top returns the representatives of the n highest occupied buckets,
+// highest first — the tail the exemplar plane retains traces for.
+func (e *Exemplars) Top(n int) []Rep {
+	keys := e.sortedKeys()
+	out := make([]Rep, 0, n)
+	for i := len(keys) - 1; i >= 0 && len(out) < n; i-- {
+		out = append(out, e.reps[keys[i]])
+	}
+	return out
+}
+
+// Nearest returns the representative of v's bucket, or of the nearest
+// occupied bucket when v's own is empty (ties prefer the higher bucket, so a
+// quantile estimate that falls between occupied buckets names the worse
+// neighbor). ok is false when no bucket is occupied or v is NaN.
+func (e *Exemplars) Nearest(v float64) (Rep, bool) {
+	key, ok := BucketKey(v)
+	if !ok || len(e.reps) == 0 {
+		return Rep{}, false
+	}
+	if r, occupied := e.reps[key]; occupied {
+		return r, true
+	}
+	keys := e.sortedKeys()
+	// First occupied bucket at or above key, else the highest below.
+	i := sort.SearchInts(keys, key)
+	best := -1
+	switch {
+	case i == len(keys):
+		best = keys[i-1]
+	case i == 0:
+		best = keys[0]
+	default:
+		lo, hi := keys[i-1], keys[i]
+		if key-lo < hi-key {
+			best = lo
+		} else {
+			best = hi // equidistant prefers the higher bucket
+		}
+	}
+	return e.reps[best], true
+}
+
+func (e *Exemplars) sortedKeys() []int {
+	keys := make([]int, 0, len(e.reps))
+	for k := range e.reps {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBucketKeyTotalOrder(t *testing.T) {
+	// Keys must order exactly as values do (up to bucket granularity):
+	// v1 < v2 implies key(v1) <= key(v2).
+	vals := []float64{-1e12, -5, -1, -1e-12, 0, 1e-12, 0.5, 1, 1.0624, 2, 1e6, 5e9}
+	prev := math.Inf(-1)
+	prevKey := math.MinInt
+	for _, v := range vals {
+		k, ok := BucketKey(v)
+		if !ok {
+			t.Fatalf("BucketKey(%g) not ok", v)
+		}
+		if v <= prev || k < prevKey {
+			t.Fatalf("keys out of order: key(%g)=%d after key(%g)=%d", v, k, prev, prevKey)
+		}
+		prev, prevKey = v, k
+	}
+	if _, ok := BucketKey(math.NaN()); ok {
+		t.Fatal("NaN must have no bucket")
+	}
+}
+
+func TestBucketKeyMatchesSketchBinning(t *testing.T) {
+	// A value's bucket key must agree with where HistSketch tallies it, so an
+	// exemplar looked up for a sketch quantile lands in the right bucket.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		v := math.Exp(rng.Float64()*40 - 20)
+		idx := posBucket(v)
+		key, _ := BucketKey(v)
+		if idx >= 0 && idx < sketchBins && key != keyPosBin0+idx {
+			t.Fatalf("BucketKey(%g)=%d, posBucket=%d", v, key, idx)
+		}
+		var h HistSketch
+		h.Observe(v)
+		if idx >= 0 && idx < sketchBins && h.pos.bins[idx] != 1 {
+			t.Fatalf("Observe(%g) did not land in bin %d", v, idx)
+		}
+	}
+}
+
+func TestExemplarsDeterministicAcrossOrderAndSharding(t *testing.T) {
+	type obs struct {
+		v     float64
+		label string
+	}
+	rng := rand.New(rand.NewSource(42))
+	var all []obs
+	for i := 0; i < 500; i++ {
+		all = append(all, obs{v: rng.ExpFloat64() * 100, label: fmt.Sprintf("cell-%03d", i)})
+	}
+	// Duplicate some values so the tie-break rule is exercised.
+	for i := 0; i < 50; i++ {
+		all = append(all, obs{v: all[i].v, label: fmt.Sprintf("dup-%03d", i)})
+	}
+
+	var fwd Exemplars
+	for _, o := range all {
+		fwd.Observe(o.v, o.label)
+	}
+	var rev Exemplars
+	for i := len(all) - 1; i >= 0; i-- {
+		rev.Observe(all[i].v, all[i].label)
+	}
+	// 7-shard decomposition merged in a scrambled order.
+	shards := make([]*Exemplars, 7)
+	for i := range shards {
+		shards[i] = &Exemplars{}
+	}
+	for i, o := range all {
+		shards[i%7].Observe(o.v, o.label)
+	}
+	var merged Exemplars
+	for _, i := range []int{3, 0, 6, 2, 5, 1, 4} {
+		merged.Merge(shards[i])
+	}
+
+	for _, alt := range []*Exemplars{&rev, &merged} {
+		if alt.Len() != fwd.Len() {
+			t.Fatalf("bucket counts differ: %d vs %d", alt.Len(), fwd.Len())
+		}
+		for k, want := range fwd.reps {
+			if got := alt.reps[k]; got != want {
+				t.Fatalf("bucket %d representative differs: %+v vs %+v", k, got, want)
+			}
+		}
+	}
+}
+
+func TestExemplarsTopAndNearest(t *testing.T) {
+	var e Exemplars
+	var h HistSketch
+	for i, v := range []float64{1, 2, 4, 8, 1000} {
+		e.Observe(v, fmt.Sprintf("c%d", i))
+		h.Observe(v)
+	}
+	top := e.Top(2)
+	if len(top) != 2 || top[0].Label != "c4" || top[1].Label != "c3" {
+		t.Fatalf("Top(2) = %+v, want c4 then c3", top)
+	}
+	// Sketch tail estimates resolve to concrete cells: the p99 rank estimate
+	// interpolates inside the 8-bucket (rank 3.96 of 5), the max is exact.
+	rep, ok := e.Nearest(h.Quantile(0.99))
+	if !ok || rep.Label != "c3" {
+		t.Fatalf("Nearest(p99) = %+v ok=%v, want c3", rep, ok)
+	}
+	rep, ok = e.Nearest(h.Max())
+	if !ok || rep.Label != "c4" {
+		t.Fatalf("Nearest(max) = %+v ok=%v, want c4", rep, ok)
+	}
+	// A value between occupied buckets resolves to a neighbor, not nothing.
+	if _, ok := e.Nearest(100); !ok {
+		t.Fatal("Nearest between buckets found nothing")
+	}
+	var empty Exemplars
+	if _, ok := empty.Nearest(1); ok {
+		t.Fatal("empty Exemplars claimed a representative")
+	}
+}

@@ -77,16 +77,13 @@ func (h *HistSketch) Observe(v float64) {
 }
 
 func (s *sketchSide) observe(mag float64) {
-	b := math.Float64bits(mag)
-	e := int(b>>52&0x7ff) - 1023 // subnormals: biased 0 → -1023 → underflow
-	switch {
-	case e < sketchMinExp:
+	switch i := posBucket(mag); i {
+	case -1:
 		s.under++
-	case e >= sketchMaxExp:
+	case sketchBins:
 		s.over++
 	default:
-		sub := int(b>>(52-sketchSubBits)) & (sketchSubs - 1)
-		s.bins[(e-sketchMinExp)*sketchSubs+sub]++
+		s.bins[i]++
 	}
 }
 

@@ -170,6 +170,37 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Sum returns the sum of observations. In HistBounded mode it comes from the
+// sketch's exact integer-limb sum, so it is independent of shard grouping.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	if h.sketch != nil {
+		return h.sketch.Sum()
+	}
+	return h.sum
+}
+
+// Sketch exposes the histogram's bounded-sketch backing, nil outside
+// HistBounded mode (or after a cross-mode merge dropped it). Consumers that
+// aggregate across cells (the SLO watchdog) merge these instead of
+// re-observing, which keeps fleet quantiles exactly mergeable.
+func (h *Histogram) Sketch() *stats.HistSketch {
+	if h == nil {
+		return nil
+	}
+	return h.sketch
+}
+
 // Quantile estimates the q-th quantile (0 ≤ q ≤ 1). The second return is
 // false when the histogram has no quantile backing (HistScalar registries,
 // or a cross-mode merge that dropped it).
@@ -218,6 +249,26 @@ func (m *Metrics) Histogram(name string) *Histogram {
 		m.hists[name] = h
 	}
 	return h
+}
+
+// LookupCounter returns the named counter, or nil when it was never
+// registered. Unlike Counter it never creates the handle, so read-only
+// consumers (the SLO watchdog, the telemetry renderer) cannot grow a
+// registry they are only inspecting — a spurious empty row would change
+// rendered tables.
+func (m *Metrics) LookupCounter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	return m.counters[name]
+}
+
+// LookupHistogram is LookupCounter for histograms.
+func (m *Metrics) LookupHistogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.hists[name]
 }
 
 // Merge folds o into m: counters add, histograms combine (counts and sums

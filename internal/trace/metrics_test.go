@@ -139,3 +139,36 @@ func TestCrossModeMergeDropsQuantiles(t *testing.T) {
 		t.Fatalf("dropped backing should render '-':\n%s", a.Table())
 	}
 }
+
+// TestLookupNeverCreates: the non-creating lookups used by read-only
+// consumers must not grow the registry (a spurious empty row would change
+// rendered tables) and must report what Observe recorded.
+func TestLookupNeverCreates(t *testing.T) {
+	m := NewMetricsMode(HistBounded)
+	if m.LookupCounter("absent") != nil || m.LookupHistogram("absent") != nil {
+		t.Fatal("lookup of an absent metric returned a handle")
+	}
+	if len(m.Names()) != 0 {
+		t.Fatalf("lookups created metrics: %v", m.Names())
+	}
+	m.Counter("c").Add(2)
+	m.Histogram("h").Observe(5)
+	m.Histogram("h").Observe(1)
+	if c := m.LookupCounter("c"); c == nil || c.Value() != 2 {
+		t.Fatalf("LookupCounter = %v", c)
+	}
+	h := m.LookupHistogram("h")
+	if h == nil || h.Min() != 1 || h.Max() != 5 || h.Sum() != 6 {
+		t.Fatalf("LookupHistogram: min=%g max=%g sum=%g", h.Min(), h.Max(), h.Sum())
+	}
+	if h.Sketch() == nil {
+		t.Fatal("bounded histogram must expose its sketch")
+	}
+	if NewMetrics().Histogram("s").Sketch() != nil {
+		t.Fatal("scalar histogram must not expose a sketch")
+	}
+	var nilH *Histogram
+	if nilH.Min() != 0 || nilH.Sum() != 0 || nilH.Sketch() != nil {
+		t.Fatal("nil histogram accessors must be no-ops")
+	}
+}

@@ -4,22 +4,32 @@
 // downstream jq pipelines. Exits nonzero if any file is malformed.
 //
 //	go run ./scripts/runlogcheck out.ndjson [more.ndjson ...]
+//	go run ./scripts/runlogcheck -summary out.ndjson   # per-status/error/timing digest
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"mobileqoe/internal/runlog"
 )
 
+var summarize = flag.Bool("summary", false,
+	"after validating, print a digest per file: cell counts by status, error-class breakdown, wall/virtual-time quantiles")
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: runlogcheck <runlog.ndjson> [...]")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: runlogcheck [-summary] <runlog.ndjson> [...]")
 		os.Exit(2)
 	}
 	bad := false
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "runlogcheck: %v\n", err)
@@ -37,10 +47,99 @@ func main() {
 		if c.HasSummary {
 			summary = "complete"
 		}
-		fmt.Printf("%s: ok — tool=%s schema=%d cells=%d (ok=%d failed=%d) health=%d %s\n",
-			path, c.Manifest.Tool, c.Manifest.Schema, c.Cells, c.CellsOK, c.CellsFailed, c.Health, summary)
+		fmt.Printf("%s: ok — tool=%s schema=%d cells=%d (ok=%d failed=%d) health=%d alerts=%d exemplars=%d %s\n",
+			path, c.Manifest.Tool, c.Manifest.Schema, c.Cells, c.CellsOK, c.CellsFailed,
+			c.Health, c.Alerts, c.Exemplars, summary)
+		if *summarize {
+			if err := digest(path, c); err != nil {
+				fmt.Fprintf(os.Stderr, "runlogcheck: %s: %v\n", path, err)
+				bad = true
+			}
+		}
 	}
 	if bad {
 		os.Exit(1)
 	}
+}
+
+// digest re-reads an already-validated log and prints the -summary block:
+// cell counts by status, the error-class breakdown, and wall/virtual-time
+// quantiles over the cells.
+func digest(path string, c runlog.Counts) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	status := map[string]int{}
+	classes := map[string]int{}
+	var wall, virtual []float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var cell runlog.Cell
+		if err := json.Unmarshal(sc.Bytes(), &cell); err != nil || cell.Type != "cell" {
+			continue
+		}
+		status[cell.Status]++
+		if cell.ErrorClass != "" {
+			classes[cell.ErrorClass]++
+		}
+		wall = append(wall, cell.WallMS)
+		if cell.Status != "error" {
+			virtual = append(virtual, cell.VirtualMS)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("  cells by status: %s\n", countLine(status))
+	if len(classes) > 0 {
+		fmt.Printf("  error classes:   %s\n", countLine(classes))
+	}
+	fmt.Printf("  wall ms:         %s\n", quantileLine(wall))
+	fmt.Printf("  virtual ms:      %s\n", quantileLine(virtual))
+	if c.HasSummary && c.Summary.SLOViolations > 0 {
+		fmt.Printf("  slo violations:  %d\n", c.Summary.SLOViolations)
+	}
+	return nil
+}
+
+// countLine renders a map as "k=v" pairs in sorted key order.
+func countLine(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// quantileLine renders exact p50/p90/p99/max over vs (the digest has the
+// whole log in hand, so no sketch approximation is needed).
+func quantileLine(vs []float64) string {
+	if len(vs) == 0 {
+		return "(no cells)"
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	q := func(p float64) float64 {
+		// Continuous rank interpolation over n samples.
+		r := p * float64(len(sorted)-1)
+		lo := int(r)
+		if lo+1 >= len(sorted) {
+			return sorted[len(sorted)-1]
+		}
+		frac := r - float64(lo)
+		return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+	}
+	return fmt.Sprintf("p50=%.1f p90=%.1f p99=%.1f max=%.1f n=%d",
+		q(0.5), q(0.9), q(0.99), sorted[len(sorted)-1], len(sorted))
 }
