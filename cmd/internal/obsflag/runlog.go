@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime/debug"
 	"sync"
 	"time"
 
@@ -175,7 +174,7 @@ func (rf *RunLogFlags) Start(tool string, total int, m runlog.Manifest) (*RunLog
 			m.StartedAt = r.start.UTC().Format(time.RFC3339)
 		}
 		if m.CodeVersion == "" {
-			m.CodeVersion = codeVersion()
+			m.CodeVersion = runlog.CodeVersion()
 		}
 		if m.Flags == nil {
 			m.Flags = visitedFlags(flag.CommandLine)
@@ -187,30 +186,6 @@ func (rf *RunLogFlags) Start(tool string, total int, m runlog.Manifest) (*RunLog
 		}
 	}
 	return r, nil
-}
-
-// codeVersion extracts the build's identity from the binary itself: the VCS
-// revision when the toolchain stamped one, else the module version.
-func codeVersion() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return ""
-	}
-	rev, dirty := "", ""
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			if s.Value == "true" {
-				dirty = "+dirty"
-			}
-		}
-	}
-	if rev != "" {
-		return rev + dirty
-	}
-	return bi.Main.Version
 }
 
 // visitedFlags snapshots every flag explicitly set on the command line.
@@ -249,8 +224,13 @@ type RunLog struct {
 	agg    *trace.Metrics
 
 	done, ok, failed int
-	alerts           int
-	p50, p95         *stats.P2Quantile
+	// restored counts cells replayed from a checkpoint (fleet -resume):
+	// they advance done but carry no fresh timing, so the meter's rate/ETA
+	// and the wall-time quantiles exclude them — a resumed run's first
+	// seconds would otherwise report an absurd cells/s.
+	restored int
+	alerts   int
+	p50, p95 *stats.P2Quantile
 
 	lastDraw   time.Time
 	lastHealth time.Time
@@ -348,8 +328,12 @@ func (r *RunLog) Cell(c runlog.Cell) {
 	} else {
 		r.ok++
 	}
-	r.p50.Add(c.WallMS)
-	r.p95.Add(c.WallMS)
+	if c.Restored {
+		r.restored++
+	} else {
+		r.p50.Add(c.WallMS)
+		r.p95.Add(c.WallMS)
+	}
 	now := time.Now()
 	if r.w != nil {
 		if err := r.w.Cell(c); err != nil && r.err == nil {
@@ -403,8 +387,11 @@ func (r *RunLog) writeHealth(now time.Time) {
 		WallP95MS: r.p95.Value(),
 		Runtime:   runlog.CaptureRuntime(),
 	}
-	if elapsed > 0 && r.done > 0 {
-		h.CellsPerSec = float64(r.done) / elapsed.Seconds()
+	// Rate over cells actually executed here: restored cells completed in a
+	// previous process, so counting them would inflate the rate and report
+	// a near-zero ETA at the start of a resumed run.
+	if fresh := r.done - r.restored; elapsed > 0 && fresh > 0 {
+		h.CellsPerSec = float64(fresh) / elapsed.Seconds()
 		h.ETAMS = float64(r.total-r.done) / h.CellsPerSec * 1000
 	}
 	if err := r.w.Health(h); err != nil && r.err == nil {
@@ -420,8 +407,12 @@ func (r *RunLog) draw(now time.Time, final bool) {
 	r.lastDraw = now
 	elapsed := now.Sub(r.start)
 	line := fmt.Sprintf("%s: %d/%d cells ok=%d fail=%d", r.tool, r.done, r.total, r.ok, r.failed)
-	if elapsed > 0 && r.done > 0 {
-		rate := float64(r.done) / elapsed.Seconds()
+	if r.restored > 0 {
+		line += fmt.Sprintf(" restored=%d", r.restored)
+	}
+	// Rate/ETA from freshly-executed cells only (see the restored field).
+	if fresh := r.done - r.restored; elapsed > 0 && fresh > 0 {
+		rate := float64(fresh) / elapsed.Seconds()
 		eta := time.Duration(float64(r.total-r.done) / rate * float64(time.Second))
 		line += fmt.Sprintf(" | %.1f cells/s eta %v", rate, eta.Round(time.Second))
 		line += fmt.Sprintf(" | wall p50 %.0fms p95 %.0fms", r.p50.Value(), r.p95.Value())
@@ -438,6 +429,42 @@ func (r *RunLog) draw(now time.Time, final bool) {
 	}
 	r.lineLen = len(line)
 	fmt.Fprintf(r.meter, "\r%s%s", line, pad)
+}
+
+// CloseTruncated finishes an *interrupted* run's log without a closing
+// summary: a final health snapshot, flush, file close, meter line
+// terminated — but the NDJSON deliberately stays in the truncated shape a
+// crash leaves, so one reader path (runlog.ValidateTruncated, runlogcheck
+// -truncated) serves kills and crashes alike, and no one can mistake a
+// partial run's log for a complete one.
+func (r *RunLog) CloseTruncated() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	r.draw(now, true)
+	if r.show && r.cr {
+		fmt.Fprintln(r.meter)
+	}
+	if r.sink != nil {
+		r.updateTelemetry(now)
+		if err := r.sink.Close(); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	if r.w == nil {
+		return r.err
+	}
+	r.writeHealth(now)
+	if err := r.bw.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	if err := r.file.Close(); err != nil && r.err == nil {
+		r.err = err
+	}
+	return r.err
 }
 
 // Close finishes the log — a final health snapshot, the summary record

@@ -355,3 +355,80 @@ func TestVisitedFlags(t *testing.T) {
 		t.Fatalf("visitedFlags = %v, want %v", got, want)
 	}
 }
+
+// TestMeterRestoredCells pins resume-aware progress: restored cells advance
+// done and show a restored= count, but contribute neither to the rate/ETA
+// nor to the wall-time quantiles — a resumed run must not report an absurd
+// cells/s from instantly-replayed checkpoints.
+func TestMeterRestoredCells(t *testing.T) {
+	rl, buf := startMeter(t, ProgressAuto, false, 4)
+	for i := 0; i < 3; i++ {
+		rl.Cell(runlog.Cell{Index: i, ID: "fleet:x", Status: "ok", WallMS: 9999, Restored: true})
+	}
+	if rl.restored != 3 || rl.done != 3 {
+		t.Fatalf("restored=%d done=%d, want 3/3", rl.restored, rl.done)
+	}
+	if got := rl.p50.Value(); got != 0 {
+		t.Fatalf("restored wall times leaked into the quantiles: p50=%v", got)
+	}
+	// Only the first cell beat the redraw throttle; it already carries the
+	// restored count and — crucially — no rate line.
+	first := buf.String()
+	if !strings.Contains(first, "restored=1") {
+		t.Fatalf("meter line missing restored count:\n%q", first)
+	}
+	if strings.Contains(first, "cells/s") {
+		t.Fatalf("rate printed with zero fresh cells:\n%q", first)
+	}
+	// One fresh cell: rate now exists and is computed over fresh work only.
+	rl.Cell(runlog.Cell{Index: 3, ID: "fleet:x", Status: "ok", WallMS: 5})
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fresh := rl.done - rl.restored; fresh != 1 {
+		t.Fatalf("fresh = %d, want 1", fresh)
+	}
+	final := buf.String()
+	if !strings.Contains(final, "restored=3") || !strings.Contains(final, "cells/s") {
+		t.Fatalf("final meter line missing restored count or rate:\n%q", final)
+	}
+}
+
+// TestCloseTruncatedLeavesCrashShape pins the interrupted-run contract: the
+// log ends after a final health snapshot with no summary record, so strict
+// validation refuses it and truncated validation accepts it — exactly like
+// a log a kill -9 left behind.
+func TestCloseTruncatedLeavesCrashShape(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	rf := &RunLogFlags{Out: path}
+	rl, err := rf.Start("testtool", 3, runlog.Manifest{Experiments: []string{"fleet:x"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl.Cell(runlog.Cell{Index: 0, ID: "fleet:x", Status: "ok", WallMS: 5})
+	rl.Cell(runlog.Cell{Index: 1, ID: "fleet:x", Status: "error", ErrorClass: "canceled",
+		Error: "fleet: shard 1 aborted: context canceled"})
+	if err := rl.CloseTruncated(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runlog.Validate(bytes.NewReader(data)); err == nil {
+		t.Fatal("strict Validate accepted a truncated log")
+	}
+	c, err := runlog.ValidateTruncated(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ValidateTruncated: %v\nlog:\n%s", err, data)
+	}
+	if c.HasSummary || c.TornTail {
+		t.Fatalf("counts = %+v, want summary-less untorn log", c)
+	}
+	if c.Cells != 2 || c.Health == 0 {
+		t.Fatalf("counts = %+v, want 2 cells and a final health snapshot", c)
+	}
+	if c.LastOK == nil || c.LastOK.Index != 0 {
+		t.Fatalf("LastOK = %+v, want cell 0", c.LastOK)
+	}
+}

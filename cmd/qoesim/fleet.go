@@ -1,0 +1,242 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"mobileqoe/cmd/internal/obsflag"
+	"mobileqoe/internal/fleet"
+	"mobileqoe/internal/runlog"
+)
+
+// Exit codes for -fleet. 0 and 1 mean what they mean everywhere in qoesim;
+// 3 is distinct so wrappers can tell "interrupted, checkpointed, resumable"
+// from "failed" without parsing stderr.
+const (
+	exitOK          = 0
+	exitFailed      = 1
+	exitUsage       = 2
+	exitInterrupted = 3
+)
+
+// fleetOpts carries the -fleet flag group into runFleet, which is kept free
+// of flag.* and os.Exit so tests can drive it in-process (including the
+// real-signal interrupt test).
+type fleetOpts struct {
+	specPath     string
+	checkpoint   string
+	resume       bool
+	shards       int // -fleet-shards override (0: spec value / manifest on resume)
+	stopAfter    int // -fleet-stop-after: deterministic self-interrupt for CI
+	shardTimeout time.Duration
+	parallel     int
+	retries      int
+	timeout      time.Duration
+	csv          bool
+	rlf          *obsflag.RunLogFlags
+
+	stdout, stderr io.Writer
+}
+
+// runFleet executes one fleet run end to end: load and (re)validate the
+// spec, create or reopen the checkpoint, supervise the shards with
+// interrupt handling, and either print the merged table (complete) or a
+// resume hint (interrupted).
+func runFleet(parent context.Context, o fleetOpts) int {
+	if o.checkpoint == "" {
+		fmt.Fprintln(o.stderr, "qoesim: -fleet requires -checkpoint <dir> (every fleet run is resumable)")
+		return exitUsage
+	}
+	spec, err := fleet.Load(o.specPath)
+	if err != nil {
+		fmt.Fprintf(o.stderr, "qoesim: %v\n", err)
+		return exitUsage
+	}
+	if o.shards > 0 {
+		spec.Shards = o.shards
+	}
+	if o.resume && o.shards == 0 {
+		// A prior -fleet-shards override is recorded in the manifest; adopt
+		// it so plain -resume continues the original partition.
+		m, merr := fleet.ReadManifest(o.checkpoint)
+		if merr != nil {
+			fmt.Fprintf(o.stderr, "qoesim: %v\n", merr)
+			return exitFailed
+		}
+		spec.Shards = m.Shards
+	}
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(o.stderr, "qoesim: %v\n", err)
+		return exitUsage
+	}
+
+	var cp *fleet.Checkpoint
+	var restored map[int]*fleet.ShardResult
+	if o.resume {
+		var warnings []string
+		cp, restored, warnings, err = fleet.Open(o.checkpoint, spec)
+		if err != nil {
+			fmt.Fprintf(o.stderr, "qoesim: %v\n", err)
+			return exitFailed
+		}
+		for _, w := range warnings {
+			fmt.Fprintf(o.stderr, "qoesim: checkpoint: %s\n", w)
+		}
+		fmt.Fprintf(o.stderr, "qoesim: resuming fleet %s: %d/%d shards restored from %s\n",
+			spec.Name, len(restored), spec.Shards, o.checkpoint)
+	} else {
+		cp, err = fleet.Create(o.checkpoint, spec)
+		if err != nil {
+			fmt.Fprintf(o.stderr, "qoesim: %v\n", err)
+			return exitFailed
+		}
+	}
+	r, err := spec.Compile()
+	if err != nil {
+		fmt.Fprintf(o.stderr, "qoesim: %v\n", err)
+		return exitUsage
+	}
+
+	// First signal cancels the run context: the supervisor aborts between
+	// tuples, completed shards are already durable, and we exit 3 with a
+	// resume hint. A second signal kills immediately (NotifyContext restores
+	// the default handler after stop) — and even that loses nothing beyond
+	// the in-flight shards, which is the invariant the package tests.
+	ctx, stop := fleet.NotifyInterrupt(parent)
+	defer stop()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+
+	manifest := runlog.Manifest{
+		Experiments:    []string{"fleet:" + spec.Name},
+		Seed:           spec.Seed,
+		SeedSchedule:   fleet.SeedScheduleDoc,
+		Trials:         1,
+		Parallel:       o.parallel,
+		Scenario:       o.specPath,
+		ScenarioSHA256: spec.SourceSHA256,
+	}
+	rl, err := o.rlf.Start("qoesim", spec.Shards, manifest)
+	if err != nil {
+		fmt.Fprintf(o.stderr, "qoesim: %v\n", err)
+		return exitFailed
+	}
+
+	var progress func(fleet.Event)
+	if spec.Shards > 1 && !o.rlf.Progress.Enabled() {
+		progress = func(ev fleet.Event) {
+			status := ""
+			switch {
+			case ev.Err != nil:
+				status = " error: " + ev.Err.Error()
+			case ev.Restored:
+				status = " (restored)"
+			}
+			fmt.Fprintf(o.stderr, "qoesim: [%d/%d] shard %d tuples [%d,%d) (%v)%s\n",
+				ev.Done, ev.Total, ev.Shard, ev.Start, ev.End,
+				ev.Elapsed.Round(time.Millisecond), status)
+		}
+	}
+	opts := fleet.Options{
+		Parallel:     o.parallel,
+		ShardTimeout: o.shardTimeout,
+		Retries:      o.retries,
+		StopAfter:    o.stopAfter,
+		OnComplete:   cp.WriteShard,
+		Progress:     progress,
+	}
+	if rl != nil {
+		// One runlog cell per shard, delivered in shard order (Schema 2:
+		// restored cells carry Restored so readers and the ETA meter can
+		// tell replay from fresh execution).
+		opts.Stream = func(ev fleet.Event) {
+			c := runlog.Cell{
+				Index:    ev.Shard,
+				ID:       "fleet:" + spec.Name,
+				Trial:    ev.Shard,
+				Seed:     fleet.TupleSeed(spec.Seed, uint64(ev.Start)),
+				Attempt:  ev.Attempt,
+				Status:   "ok",
+				WallMS:   float64(ev.Elapsed) / float64(time.Millisecond),
+				Restored: ev.Restored,
+			}
+			if ev.Restored && ev.Result != nil {
+				c.WallMS = ev.Result.WallMS // wall time from the original process
+			}
+			if ev.Err != nil {
+				c.Status = "error"
+				c.ErrorClass = runlog.ClassifyError(ev.Err)
+				c.Error = ev.Err.Error()
+			}
+			rl.Cell(c)
+		}
+	}
+	if err := cp.WriteState(fleet.RunState{Status: "running", Restored: len(restored)}); err != nil {
+		fmt.Fprintf(o.stderr, "qoesim: %v\n", err)
+		return exitFailed
+	}
+
+	start := time.Now()
+	res := fleet.Run(ctx, r, restored, opts)
+
+	state := fleet.RunState{
+		Completed: res.Completed, Restored: res.Restored,
+		Failed: res.Failed, Skipped: res.Skipped,
+	}
+	if res.Interrupted {
+		state.Status = "interrupted"
+		if err := cp.WriteState(state); err != nil {
+			fmt.Fprintf(o.stderr, "qoesim: %v\n", err)
+		}
+		if cerr := rl.CloseTruncated(); cerr != nil {
+			fmt.Fprintf(o.stderr, "qoesim: runlog: %v\n", cerr)
+		}
+		fmt.Fprintf(o.stderr, "qoesim: fleet %s interrupted: %d/%d shards checkpointed in %s (%v); resume with: qoesim -fleet %s -checkpoint %s -resume\n",
+			spec.Name, res.Completed+res.Restored, spec.Shards, o.checkpoint,
+			time.Since(start).Round(time.Millisecond), o.specPath, o.checkpoint)
+		return exitInterrupted
+	}
+
+	exit := exitOK
+	if res.Failed > 0 || res.Skipped > 0 {
+		state.Status = "failed"
+		for _, f := range res.Failures {
+			fmt.Fprintf(o.stderr, "qoesim: fleet shard %d failed after %d attempts: %v\n", f.Shard, f.Attempts, f.Err)
+		}
+		if res.Skipped > 0 {
+			fmt.Fprintf(o.stderr, "qoesim: fleet: %d shards skipped by the circuit breaker\n", res.Skipped)
+		}
+		exit = exitFailed
+	} else {
+		state.Status = "complete"
+		if err := cp.WriteFinal(res.Merged); err != nil {
+			fmt.Fprintf(o.stderr, "qoesim: %v\n", err)
+			exit = exitFailed
+		}
+	}
+	if err := cp.WriteState(state); err != nil {
+		fmt.Fprintf(o.stderr, "qoesim: %v\n", err)
+		exit = exitFailed
+	}
+	if cerr := rl.Close(); cerr != nil {
+		fmt.Fprintf(o.stderr, "qoesim: runlog: %v\n", cerr)
+		exit = exitFailed
+	}
+
+	table := res.Merged.Table(spec)
+	if o.csv {
+		fmt.Fprint(o.stdout, table.CSV())
+	} else {
+		fmt.Fprint(o.stdout, table.String())
+		fmt.Fprintln(o.stdout)
+	}
+	fmt.Fprintf(o.stderr, "qoesim: fleet %s: %d tuples across %d shards (%d restored) in %v\n",
+		spec.Name, res.Merged.Tuples, spec.Shards, res.Restored,
+		time.Since(start).Round(time.Millisecond))
+	return exit
+}

@@ -20,9 +20,15 @@
 //	qoesim -scenario sweep.json -runlog run.ndjson -slo-exit  # SLO watchdog
 //	qoesim -run all -trials 4 -exemplars 3       # keep the 3 worst cells' traces
 //	qoesim -run all -telemetry :9090             # live /metrics + /healthz
+//	qoesim -fleet fleet.json -checkpoint ckpt/   # sharded population run
+//	qoesim -fleet fleet.json -checkpoint ckpt/ -resume   # continue after a kill
 //
 // Tables go to stdout; progress and timing go to stderr, so table output is
 // byte-identical for a given seed regardless of -parallel.
+//
+// Exit codes: 0 success, 1 failure (cell/shard failures, SLO trip with
+// -slo-exit, IO errors), 2 usage, 3 fleet interrupted (checkpointed and
+// resumable — see EXPERIMENTS.md "Running a fleet").
 //
 // Tracing and -parallel compose as follows: with -parallel 1 (the default
 // once -trace is given) the whole run shares one tracer and -trace writes a
@@ -34,6 +40,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -45,6 +52,7 @@ import (
 	"time"
 
 	"mobileqoe/cmd/internal/obsflag"
+	"mobileqoe/internal/atomicfile"
 	"mobileqoe/internal/experiments"
 	"mobileqoe/internal/fault"
 	"mobileqoe/internal/profile"
@@ -65,6 +73,17 @@ func writeTrace(path string, tr *trace.Tracer) error {
 		return err
 	}
 	return f.Close()
+}
+
+// writeTraceAtomic renders the trace in memory and lands it with a tmp+
+// rename, for files a monitoring pipeline may read while the run is live
+// (exemplar dumps referenced from the run log).
+func writeTraceAtomic(path string, tr *trace.Tracer) error {
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return atomicfile.Write(path, buf.Bytes(), 0o644)
 }
 
 // traceSink hands a fresh tracer to every (experiment, trial) cell, so a
@@ -129,7 +148,7 @@ func writeExemplars(ex *runner.Exemplars, out string, rl *obsflag.RunLog) int {
 	}
 	for rank, c := range ex.Kept() {
 		path := fmt.Sprintf("%s.exemplar.%s.trial%d%s", stem, c.ID, c.Trial, ext)
-		if err := writeTrace(path, c.Tracer); err != nil {
+		if err := writeTraceAtomic(path, c.Tracer); err != nil {
 			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
 			return 1
 		}
@@ -174,6 +193,12 @@ func realMain() int {
 		exemK    = flag.Int("exemplars", 0, "retain full traces for the K worst cells by -exemplar-metric; files named <exemplar-out stem>.exemplar.<id>.trial<N>.json")
 		exemOut  = flag.String("exemplar-out", "out.json", "output stem for -exemplars trace files")
 		exemMet  = flag.String("exemplar-metric", "", "registry metric ranking -exemplars cells, worst = largest (default sim.virtual_ms)")
+		flSpec   = flag.String("fleet", "", "run a fleet spec (JSON; see EXPERIMENTS.md \"Running a fleet\"): a sharded population run with checkpoint/resume")
+		flCkpt   = flag.String("checkpoint", "", "fleet checkpoint directory (required with -fleet; shards land here atomically as they complete)")
+		flResume = flag.Bool("resume", false, "resume an interrupted fleet from -checkpoint (merges byte-identically with an uninterrupted run)")
+		flShards = flag.Int("fleet-shards", 0, "override the spec's shard count (a fresh run only; resume keeps the original partition)")
+		flStop   = flag.Int("fleet-stop-after", 0, "interrupt the fleet after N freshly-completed shards, exactly like a signal (deterministic kill-mid-run for tests and CI)")
+		flShardT = flag.Duration("shard-timeout", 0, "per-shard-attempt wall-clock timeout for -fleet (0 = none; timed-out attempts retry per -retries)")
 		modeSet  bool
 	)
 	flag.Func("metricsmode",
@@ -221,8 +246,37 @@ func realMain() int {
 		}
 		return 0
 	}
+	if *flSpec != "" {
+		if *run != "" || *scen != "" || *report != "" {
+			fmt.Fprintln(os.Stderr, "qoesim: -fleet is mutually exclusive with -run, -scenario, and -report")
+			return 2
+		}
+		if *traceOut != "" || *profOut || *folded != "" || *check || *exemK > 0 || *faults != "" || *trials > 0 {
+			fmt.Fprintln(os.Stderr, "qoesim: -fleet composes with -parallel, -retries, -timeout, -shard-timeout, -runlog, -progress, -telemetry, and -csv only (workloads and fault plans come from the spec)")
+			return 2
+		}
+		return runFleet(context.Background(), fleetOpts{
+			specPath:     *flSpec,
+			checkpoint:   *flCkpt,
+			resume:       *flResume,
+			shards:       *flShards,
+			stopAfter:    *flStop,
+			shardTimeout: *flShardT,
+			parallel:     *parallel,
+			retries:      *retries,
+			timeout:      *timeout,
+			csv:          *csv,
+			rlf:          rlf,
+			stdout:       os.Stdout,
+			stderr:       os.Stderr,
+		})
+	}
+	if *flCkpt != "" || *flResume || *flShards > 0 || *flStop > 0 || *flShardT > 0 {
+		fmt.Fprintln(os.Stderr, "qoesim: -checkpoint/-resume/-fleet-shards/-fleet-stop-after/-shard-timeout require -fleet")
+		return 2
+	}
 	if *run == "" && *report == "" && *scen == "" {
-		fmt.Fprintln(os.Stderr, "qoesim: use -list to see experiments, -run <id> to execute one, -scenario <file>, or -report <file>")
+		fmt.Fprintln(os.Stderr, "qoesim: use -list to see experiments, -run <id> to execute one, -scenario <file>, -fleet <file>, or -report <file>")
 		return 2
 	}
 	if *run != "" && *scen != "" {

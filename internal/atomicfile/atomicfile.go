@@ -1,0 +1,60 @@
+// Package atomicfile writes whole files atomically. Content lands in a
+// temporary file in the destination directory, is flushed to stable storage,
+// and is renamed into place, so a concurrent reader — or a reader arriving
+// after a crash between any two syscalls — observes either the previous
+// complete file or the new complete file, never a torn half-write.
+//
+// This is the durability primitive shared by the telemetry file sink
+// (scrape targets re-read the file on their own schedule), fleet shard
+// checkpoints (a kill -9 mid-checkpoint must not corrupt the resume state),
+// and exemplar dumps.
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Write atomically replaces path with data. The temporary file is created
+// in path's directory (rename is only atomic within one filesystem) and is
+// removed on any failure, so aborted writes leave no debris besides an
+// unreferenced *.tmp* file in the worst crash window — readers must ignore
+// those.
+func Write(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	// Any failure from here on removes the temp file; the target is
+	// untouched until the final rename.
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return fail(err)
+	}
+	// Sync before rename: otherwise a crash can leave the new name
+	// pointing at zero-length content on some filesystems.
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

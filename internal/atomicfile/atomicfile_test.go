@@ -1,0 +1,68 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := Write(path, []byte("one"), 0o644); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "one" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := Write(path, []byte("two"), 0o644); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "two" {
+		t.Fatalf("after replace: %q", got)
+	}
+	// No temp debris after successful writes.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWritePerm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mode.txt")
+	if err := Write(path, []byte("x"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o600 {
+		t.Fatalf("perm = %v, want 0600", st.Mode().Perm())
+	}
+}
+
+func TestWriteFailureLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keep.json")
+	if err := Write(path, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Writing into a directory that no longer exists must fail without
+	// touching anything.
+	if err := Write(filepath.Join(dir, "gone", "x"), []byte("y"), 0o644); err == nil {
+		t.Fatal("expected error writing into missing directory")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "original" {
+		t.Fatalf("target changed: %q", got)
+	}
+}

@@ -1,0 +1,11 @@
+package fleet
+
+import "context"
+
+// SetShardHook installs a test seam that runs before each shard attempt and
+// may fail or panic in its place. Returns a restore func.
+func SetShardHook(fn func(ctx context.Context, shard, attempt int) error) func() {
+	old := shardHook
+	shardHook = fn
+	return func() { shardHook = old }
+}

@@ -1,0 +1,17 @@
+package fleet
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// NotifyInterrupt derives a context canceled on SIGINT or SIGTERM. The
+// first signal cancels (the supervisor then aborts between tuples, flushes
+// the final checkpoint, and exits cleanly); a second signal restores the
+// default handler's immediate kill via the returned stop func being driven
+// by signal.NotifyContext semantics — callers defer stop().
+func NotifyInterrupt(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

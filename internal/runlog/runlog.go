@@ -36,11 +36,41 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 
 	"mobileqoe/internal/core"
 )
+
+// CodeVersion extracts the build's identity from the binary itself: the VCS
+// revision (plus "+dirty") when stamped, else the module version. Manifest
+// writers record it, and fleet checkpoints compare it to refuse resuming
+// aggregates across code versions. Best effort: "devel" builds may return "".
+func CodeVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev, dirty := "", ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		return rev + dirty
+	}
+	if bi.Main.Version == "(devel)" {
+		return ""
+	}
+	return bi.Main.Version
+}
 
 // Schema is the run-log schema version. Bump on any field rename/removal or
 // semantic change; additions that old readers can ignore do not require a
@@ -107,6 +137,11 @@ type Cell struct {
 	// Fault counters from the cell's registry — deterministic.
 	FaultsInjected  int64 `json:"faults_injected,omitempty"`
 	FaultsRecovered int64 `json:"faults_recovered,omitempty"`
+	// Restored marks a cell whose outcome was loaded from a checkpoint
+	// rather than executed in this process (fleet -resume). WallMS then
+	// reports the original execution's wall time. Additive field: readers of
+	// schema 2 logs that predate it see it only as absent/false.
+	Restored bool `json:"restored,omitempty"`
 }
 
 // RuntimeSnapshot is the Go runtime block shared by health records and
@@ -354,115 +389,155 @@ type Counts struct {
 	HasSummary    bool
 	Manifest      Manifest
 	Summary       Summary
+	// LastCell is the last intact cell record, if any — what
+	// ValidateTruncated reports as the crash-time high-water mark.
+	LastCell *Cell
+	// LastOK is the last intact cell with status "ok" — the last provably
+	// healthy unit of work before a crash or interrupt.
+	LastOK *Cell
+	// TornTail is set by ValidateTruncated when the final line was a torn
+	// partial write (the shape a kill mid-append leaves).
+	TornTail bool
 }
 
 // Validate strictly checks an NDJSON run log: one JSON object per line, a
 // schema-compatible manifest first, only known record types with only known
 // fields (json.Decoder.DisallowUnknownFields), cell indexes strictly
-// increasing, and nothing after the summary. Errors name the 1-based line.
-func Validate(r io.Reader) (Counts, error) {
+// increasing, a closing summary, and nothing after it. Errors name the
+// 1-based line.
+func Validate(r io.Reader) (Counts, error) { return validate(r, false) }
+
+// ValidateTruncated checks a log the producing process never got to close —
+// a crash, a kill -9, or a fleet interrupt (which deliberately leaves the
+// same shape, so one reader path serves all three). Two relaxations over
+// Validate, both confined to the tail: the closing summary may be missing,
+// and the final line may be a torn partial write (Counts.TornTail). A
+// malformed line anywhere *before* the tail is still an error — truncation
+// damages the end of an append-only log, not the middle. Counts.LastCell
+// reports the last intact cell: the run's provable high-water mark.
+func ValidateTruncated(r io.Reader) (Counts, error) { return validate(r, true) }
+
+func validate(r io.Reader, truncated bool) (Counts, error) {
 	var c Counts
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
 	lastCell := -1
 	done := false
-	for sc.Scan() {
-		line++
-		raw := bytes.TrimSpace(sc.Bytes())
+	check := func(raw []byte) error {
 		if len(raw) == 0 {
-			return c, fmt.Errorf("runlog: line %d: empty line", line)
+			return fmt.Errorf("runlog: line %d: empty line", line)
 		}
 		var probe struct {
 			Type string `json:"type"`
 		}
 		if err := json.Unmarshal(raw, &probe); err != nil {
-			return c, fmt.Errorf("runlog: line %d: not a JSON object: %v", line, err)
+			return fmt.Errorf("runlog: line %d: not a JSON object: %v", line, err)
 		}
 		if done {
-			return c, fmt.Errorf("runlog: line %d: %q record after summary", line, probe.Type)
+			return fmt.Errorf("runlog: line %d: %q record after summary", line, probe.Type)
 		}
 		if line == 1 && probe.Type != "manifest" {
-			return c, fmt.Errorf("runlog: line 1: first record is %q, want manifest", probe.Type)
+			return fmt.Errorf("runlog: line 1: first record is %q, want manifest", probe.Type)
 		}
 		switch probe.Type {
 		case "manifest":
 			if line != 1 {
-				return c, fmt.Errorf("runlog: line %d: duplicate manifest", line)
+				return fmt.Errorf("runlog: line %d: duplicate manifest", line)
 			}
 			if err := strict(raw, &c.Manifest); err != nil {
-				return c, fmt.Errorf("runlog: line %d: manifest: %v", line, err)
+				return fmt.Errorf("runlog: line %d: manifest: %v", line, err)
 			}
 			if c.Manifest.Schema != Schema {
-				return c, fmt.Errorf("runlog: line %d: schema %d, this reader understands %d",
+				return fmt.Errorf("runlog: line %d: schema %d, this reader understands %d",
 					line, c.Manifest.Schema, Schema)
 			}
 		case "cell":
 			var cell Cell
 			if err := strict(raw, &cell); err != nil {
-				return c, fmt.Errorf("runlog: line %d: cell: %v", line, err)
+				return fmt.Errorf("runlog: line %d: cell: %v", line, err)
 			}
 			if cell.Index <= lastCell {
-				return c, fmt.Errorf("runlog: line %d: cell index %d not after %d",
+				return fmt.Errorf("runlog: line %d: cell index %d not after %d",
 					line, cell.Index, lastCell)
 			}
 			lastCell = cell.Index
 			switch cell.Status {
 			case "ok":
 				if cell.Error != "" || cell.ErrorClass != "" {
-					return c, fmt.Errorf("runlog: line %d: status ok with error fields", line)
+					return fmt.Errorf("runlog: line %d: status ok with error fields", line)
 				}
 				c.CellsOK++
 			case "error":
 				if cell.ErrorClass == "" {
-					return c, fmt.Errorf("runlog: line %d: status error without error_class", line)
+					return fmt.Errorf("runlog: line %d: status error without error_class", line)
 				}
 				c.CellsFailed++
 			default:
-				return c, fmt.Errorf("runlog: line %d: unknown cell status %q", line, cell.Status)
+				return fmt.Errorf("runlog: line %d: unknown cell status %q", line, cell.Status)
 			}
 			c.Cells++
+			c.LastCell = &cell
+			if cell.Status == "ok" {
+				c.LastOK = &cell
+			}
 		case "health":
 			var h Health
 			if err := strict(raw, &h); err != nil {
-				return c, fmt.Errorf("runlog: line %d: health: %v", line, err)
+				return fmt.Errorf("runlog: line %d: health: %v", line, err)
 			}
 			c.Health++
 		case "alert":
 			var a Alert
 			if err := strict(raw, &a); err != nil {
-				return c, fmt.Errorf("runlog: line %d: alert: %v", line, err)
+				return fmt.Errorf("runlog: line %d: alert: %v", line, err)
 			}
 			if a.Metric == "" || a.Rule == "" {
-				return c, fmt.Errorf("runlog: line %d: alert without metric/rule", line)
+				return fmt.Errorf("runlog: line %d: alert without metric/rule", line)
 			}
 			c.Alerts++
 		case "exemplar":
 			var e Exemplar
 			if err := strict(raw, &e); err != nil {
-				return c, fmt.Errorf("runlog: line %d: exemplar: %v", line, err)
+				return fmt.Errorf("runlog: line %d: exemplar: %v", line, err)
 			}
 			if e.Metric == "" {
-				return c, fmt.Errorf("runlog: line %d: exemplar without metric", line)
+				return fmt.Errorf("runlog: line %d: exemplar without metric", line)
 			}
 			if e.Rank != c.Exemplars {
-				return c, fmt.Errorf("runlog: line %d: exemplar rank %d, want %d (ranks ascend from 0)",
+				return fmt.Errorf("runlog: line %d: exemplar rank %d, want %d (ranks ascend from 0)",
 					line, e.Rank, c.Exemplars)
 			}
 			c.Exemplars++
 		case "summary":
 			var s Summary
 			if err := strict(raw, &s); err != nil {
-				return c, fmt.Errorf("runlog: line %d: summary: %v", line, err)
+				return fmt.Errorf("runlog: line %d: summary: %v", line, err)
 			}
 			if s.Status != "ok" && s.Status != "failed" {
-				return c, fmt.Errorf("runlog: line %d: unknown summary status %q", line, s.Status)
+				return fmt.Errorf("runlog: line %d: unknown summary status %q", line, s.Status)
 			}
 			c.HasSummary = true
 			c.Summary = s
 			done = true
 		default:
-			return c, fmt.Errorf("runlog: line %d: unknown record type %q", line, probe.Type)
+			return fmt.Errorf("runlog: line %d: unknown record type %q", line, probe.Type)
+		}
+		return nil
+	}
+	// In truncated mode a bad line is stashed rather than returned: it is
+	// tolerated only if nothing follows it (i.e. it is the torn tail).
+	var torn error
+	for sc.Scan() {
+		line++
+		if torn != nil {
+			return c, torn
+		}
+		if err := check(bytes.TrimSpace(sc.Bytes())); err != nil {
+			if !truncated {
+				return c, err
+			}
+			torn = err
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -470,6 +545,17 @@ func Validate(r io.Reader) (Counts, error) {
 	}
 	if line == 0 {
 		return c, errors.New("runlog: empty log (no manifest)")
+	}
+	if c.Manifest.Type != "manifest" {
+		// Only reachable in truncated mode (a torn sole line); a log whose
+		// manifest never landed intact identifies nothing.
+		return c, errors.New("runlog: no intact manifest record")
+	}
+	if torn != nil {
+		c.TornTail = true
+	}
+	if !c.HasSummary && !truncated {
+		return c, errors.New("runlog: missing closing summary (crashed or killed run? use runlogcheck -truncated)")
 	}
 	return c, nil
 }

@@ -171,3 +171,81 @@ func TestCaptureRuntime(t *testing.T) {
 		t.Fatalf("implausible runtime snapshot: %+v", s)
 	}
 }
+
+// truncLines returns the good log split into lines (manifest, cell0, cell1,
+// health, cell2, cell3, alert, exemplar, exemplar, summary).
+func truncLines(t *testing.T) []string {
+	t.Helper()
+	return strings.Split(strings.TrimRight(writeGoodLog(t).String(), "\n"), "\n")
+}
+
+func TestValidateDemandsSummary(t *testing.T) {
+	lines := truncLines(t)
+	crashed := strings.Join(lines[:len(lines)-1], "\n") + "\n"
+	_, err := Validate(strings.NewReader(crashed))
+	if err == nil || !strings.Contains(err.Error(), "-truncated") {
+		t.Fatalf("Validate on a summary-less log = %v, want an error pointing at runlogcheck -truncated", err)
+	}
+}
+
+func TestValidateTruncatedAcceptsCrashShapes(t *testing.T) {
+	lines := truncLines(t)
+	body := strings.Join(lines[:len(lines)-1], "\n") + "\n" // summary stripped
+
+	t.Run("missing summary", func(t *testing.T) {
+		c, err := ValidateTruncated(strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.HasSummary || c.TornTail || c.Cells != 4 {
+			t.Fatalf("counts = %+v", c)
+		}
+		if c.LastCell == nil || c.LastCell.Index != 3 || c.LastCell.Status != "error" {
+			t.Fatalf("LastCell = %+v, want the intact error cell at index 3", c.LastCell)
+		}
+		if c.LastOK == nil || c.LastOK.Index != 2 || c.LastOK.Status != "ok" {
+			t.Fatalf("LastOK = %+v, want the ok cell at index 2", c.LastOK)
+		}
+	})
+	t.Run("torn final line", func(t *testing.T) {
+		torn := body + lines[len(lines)-1][:20] // mid-record kill
+		c, err := ValidateTruncated(strings.NewReader(torn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.TornTail || c.Cells != 4 {
+			t.Fatalf("counts = %+v, want TornTail with 4 intact cells", c)
+		}
+	})
+	t.Run("complete log still passes", func(t *testing.T) {
+		c, err := ValidateTruncated(writeGoodLog(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.HasSummary || c.TornTail {
+			t.Fatalf("counts = %+v", c)
+		}
+	})
+	t.Run("torn line mid-log stays fatal", func(t *testing.T) {
+		midTorn := lines[0] + "\n" + lines[1][:15] + "\n" + lines[2] + "\n"
+		if _, err := ValidateTruncated(strings.NewReader(midTorn)); err == nil {
+			t.Fatal("a torn line followed by more records must fail: only the tail may be damaged")
+		}
+	})
+	t.Run("torn manifest alone is not a log", func(t *testing.T) {
+		if _, err := ValidateTruncated(strings.NewReader(lines[0][:25])); err == nil {
+			t.Fatal("a log with no intact manifest must fail even in truncated mode")
+		}
+	})
+	t.Run("restored cell accepted", func(t *testing.T) {
+		restored := lines[0] + "\n" +
+			`{"type":"cell","index":0,"id":"fleet:x","trial":0,"seed":9,"status":"ok","wall_ms":5,"restored":true}` + "\n"
+		c, err := ValidateTruncated(strings.NewReader(restored))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.LastOK == nil || !c.LastOK.Restored {
+			t.Fatalf("LastOK = %+v, want the restored cell", c.LastOK)
+		}
+	})
+}

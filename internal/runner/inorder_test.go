@@ -1,0 +1,49 @@
+package runner
+
+import "testing"
+
+// TestInorderFlushesContiguousPrefix drives the sequencer with a worst-case
+// completion order and checks emission is exactly 0..n-1.
+func TestInorderFlushesContiguousPrefix(t *testing.T) {
+	var got []int
+	q := NewInorder(5, func(v int) { got = append(got, v) })
+	order := []int{4, 2, 0, 3, 1} // 0 flushes alone; 1 releases 2,3,4
+	wantAfter := [][]int{
+		{},
+		{},
+		{0},
+		{0},
+		{0, 1, 2, 3, 4},
+	}
+	for i, idx := range order {
+		q.Put(idx, idx)
+		if len(got) != len(wantAfter[i]) {
+			t.Fatalf("after Put(%d): flushed %v, want %v", idx, got, wantAfter[i])
+		}
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("emission order %v", got)
+		}
+	}
+	if q.Flushed() != 5 {
+		t.Fatalf("Flushed = %d, want 5", q.Flushed())
+	}
+}
+
+// TestInorderFlushedDuringEmit pins the contract the runner relies on for
+// Event.Done: inside emit, Flushed() already counts the value being emitted.
+func TestInorderFlushedDuringEmit(t *testing.T) {
+	var positions []int
+	var q *Inorder[string]
+	q = NewInorder(3, func(string) { positions = append(positions, q.Flushed()) })
+	q.Put(2, "c")
+	q.Put(1, "b")
+	q.Put(0, "a")
+	want := []int{1, 2, 3}
+	for i := range want {
+		if positions[i] != want[i] {
+			t.Fatalf("positions = %v, want %v", positions, want)
+		}
+	}
+}

@@ -213,12 +213,16 @@ func Run(ctx context.Context, ids []string, cfg experiments.Config, opts Options
 		close(queue)
 	}()
 	// The collector serializes both callbacks: Progress fires in completion
-	// order as events arrive; Stream buffers completions and flushes the
-	// contiguous prefix in cell order (see Options.Stream for the contract).
-	var pending []*Event
-	next := 0
+	// order as events arrive; Stream re-sequences completions into cell
+	// order through an Inorder window (see Options.Stream for the contract).
+	var seq *Inorder[Event]
 	if opts.Stream != nil {
-		pending = make([]*Event, len(cells))
+		seq = NewInorder(len(cells), func(sev Event) {
+			// Flushed() is the 1-based stream position at emit time, so a
+			// streamed event's Done counts cells flushed in cell order.
+			sev.Done = seq.Flushed()
+			opts.Stream(sev)
+		})
 	}
 	for done := 1; done <= len(cells); done++ {
 		ev := <-events
@@ -226,16 +230,8 @@ func Run(ctx context.Context, ids []string, cfg experiments.Config, opts Options
 		if opts.Progress != nil {
 			opts.Progress(ev)
 		}
-		if opts.Stream != nil {
-			buffered := ev
-			pending[ev.Index] = &buffered
-			for next < len(cells) && pending[next] != nil {
-				sev := *pending[next]
-				pending[next] = nil
-				sev.Done = next + 1
-				opts.Stream(sev)
-				next++
-			}
+		if seq != nil {
+			seq.Put(ev.Index, ev)
 		}
 	}
 	wg.Wait()

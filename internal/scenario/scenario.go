@@ -130,6 +130,17 @@ var devices = map[string]func() device.Spec{
 	"s6edge": device.GalaxyS6Edge,
 }
 
+// DeviceSpec resolves a device key to its catalog spec. The key vocabulary
+// is shared by scenarios and fleet specs (internal/fleet), so both layers
+// validate against one catalog.
+func DeviceSpec(key string) (device.Spec, bool) {
+	fn, ok := devices[key]
+	if !ok {
+		return device.Spec{}, false
+	}
+	return fn(), true
+}
+
 // DeviceNames lists the accepted device keys, sorted, for error messages and
 // docs.
 func DeviceNames() []string {

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary encodings for the exactly-mergeable aggregates. The encodings are
+// canonical: MarshalBinary is a pure function of the observed multiset, not
+// of the order or grouping the observations arrived in. ExactSum reaches the
+// canonical form by carry-normalizing (the docs on normalize pin that the
+// canonical limb form depends only on the exact value), and every other
+// field is an integer tally or an order-insensitive min/max. Canonical bytes
+// are what make fleet checkpoint/resume provable by byte comparison: a
+// killed-and-resumed N-shard run serializes its merged aggregates to exactly
+// the bytes of an uninterrupted 1-shard run.
+//
+// The formats are versioned by a 4-byte magic ("xs1\x00", "hs1\x00") and are
+// fixed-length little-endian, so Unmarshal can validate with one length
+// check. They are a local persistence format, not a public interchange
+// format — bump the magic on any layout change.
+
+const (
+	exactSumMagic = "xs1\x00"
+	// magic + 68 limbs + nan + posInf + negInf (adds is always 0 after
+	// normalization and is not encoded).
+	exactSumWireSize = 4 + (exactLimbs+3)*8
+
+	histSketchMagic = "hs1\x00"
+	// magic + n/zero/nan + min/max bits + embedded ExactSum + two sides of
+	// (under, over, bins).
+	histSketchWireSize = 4 + 5*8 + exactSumWireSize + 2*(2+sketchBins)*8
+)
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+func takeU64(b []byte) ([]byte, uint64) {
+	return b[8:], binary.LittleEndian.Uint64(b)
+}
+
+func takeI64(b []byte) ([]byte, int64) {
+	return b[8:], int64(binary.LittleEndian.Uint64(b))
+}
+
+// MarshalBinary encodes the sum in canonical form. The receiver is not
+// mutated (normalization happens on a copy).
+func (s *ExactSum) MarshalBinary() ([]byte, error) {
+	n := *s
+	n.normalize()
+	b := make([]byte, 0, exactSumWireSize)
+	return n.appendBinary(b), nil
+}
+
+// appendBinary appends the canonical encoding of an already-normalized sum.
+func (s *ExactSum) appendBinary(b []byte) []byte {
+	b = append(b, exactSumMagic...)
+	for _, l := range s.limbs {
+		b = appendI64(b, l)
+	}
+	b = appendI64(b, s.nan)
+	b = appendI64(b, s.posInf)
+	b = appendI64(b, s.negInf)
+	return b
+}
+
+// UnmarshalBinary replaces s with the decoded sum.
+func (s *ExactSum) UnmarshalBinary(data []byte) error {
+	if len(data) != exactSumWireSize || string(data[:4]) != exactSumMagic {
+		return fmt.Errorf("stats: bad ExactSum encoding (len %d)", len(data))
+	}
+	var n ExactSum
+	b := data[4:]
+	for i := range n.limbs {
+		b, n.limbs[i] = takeI64(b)
+	}
+	b, n.nan = takeI64(b)
+	b, n.posInf = takeI64(b)
+	_, n.negInf = takeI64(b)
+	*s = n
+	return nil
+}
+
+// MarshalBinary encodes the sketch in canonical form (~17 KB, fixed). The
+// receiver is not mutated.
+func (h *HistSketch) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, histSketchWireSize)
+	b = append(b, histSketchMagic...)
+	b = appendI64(b, h.n)
+	b = appendI64(b, h.zero)
+	b = appendI64(b, h.nan)
+	// min/max as raw bits: exact round-trip, and an empty sketch's 0/0 is
+	// still canonical.
+	b = appendU64(b, math.Float64bits(h.min))
+	b = appendU64(b, math.Float64bits(h.max))
+	sum := h.sum
+	sum.normalize()
+	b = sum.appendBinary(b)
+	b = h.pos.appendBinary(b)
+	b = h.neg.appendBinary(b)
+	return b, nil
+}
+
+func (s *sketchSide) appendBinary(b []byte) []byte {
+	b = appendI64(b, s.under)
+	b = appendI64(b, s.over)
+	for _, c := range s.bins {
+		b = appendI64(b, c)
+	}
+	return b
+}
+
+func (s *sketchSide) unmarshal(b []byte) []byte {
+	b, s.under = takeI64(b)
+	b, s.over = takeI64(b)
+	for i := range s.bins {
+		b, s.bins[i] = takeI64(b)
+	}
+	return b
+}
+
+// UnmarshalBinary replaces h with the decoded sketch.
+func (h *HistSketch) UnmarshalBinary(data []byte) error {
+	if len(data) != histSketchWireSize || string(data[:4]) != histSketchMagic {
+		return fmt.Errorf("stats: bad HistSketch encoding (len %d)", len(data))
+	}
+	var n HistSketch
+	b := data[4:]
+	b, n.n = takeI64(b)
+	b, n.zero = takeI64(b)
+	b, n.nan = takeI64(b)
+	var bits uint64
+	b, bits = takeU64(b)
+	n.min = math.Float64frombits(bits)
+	b, bits = takeU64(b)
+	n.max = math.Float64frombits(bits)
+	if err := n.sum.UnmarshalBinary(b[:exactSumWireSize]); err != nil {
+		return err
+	}
+	b = b[exactSumWireSize:]
+	b = n.pos.unmarshal(b)
+	n.neg.unmarshal(b)
+	*h = n
+	return nil
+}

@@ -4,16 +4,18 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"os"
 	"strconv"
 	"strings"
 	"sync"
+
+	"mobileqoe/internal/atomicfile"
 )
 
 // Sink delivers rendered exposition snapshots to one of two targets:
 //
-//   - a file path: every Update atomically replaces the file (write to
-//     <path>.tmp, rename), so a concurrent reader never sees a torn snapshot;
+//   - a file path: every Update atomically replaces the file (tmp+rename
+//     via internal/atomicfile), so a concurrent reader never sees a torn
+//     snapshot;
 //   - a listen address (":9090", "127.0.0.1:9090"): a tiny HTTP server serves
 //     GET /metrics (Content-Type text/plain; version=0.0.4) and GET /healthz.
 //
@@ -100,11 +102,7 @@ func (s *Sink) Update(snapshot []byte) error {
 	if path == "" {
 		return nil
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, snapshot, 0o644); err != nil {
-		return fmt.Errorf("telemetry: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := atomicfile.Write(path, snapshot, 0o644); err != nil {
 		return fmt.Errorf("telemetry: %w", err)
 	}
 	return nil

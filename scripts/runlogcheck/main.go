@@ -3,8 +3,15 @@
 // sweep produced so schema drift fails the build instead of breaking
 // downstream jq pipelines. Exits nonzero if any file is malformed.
 //
+// Default mode demands a complete log (closing summary record); a log from
+// a crashed, killed, or interrupted run fails with a hint to re-check it
+// with -truncated, which accepts a missing summary and a torn final line
+// and reports the last healthy cell instead — the triage entry point after
+// a fleet kill (see EXPERIMENTS.md "Running a fleet").
+//
 //	go run ./scripts/runlogcheck out.ndjson [more.ndjson ...]
-//	go run ./scripts/runlogcheck -summary out.ndjson   # per-status/error/timing digest
+//	go run ./scripts/runlogcheck -summary out.ndjson     # per-status/error/timing digest
+//	go run ./scripts/runlogcheck -truncated crashed.ndjson   # accept crash-shaped logs
 package main
 
 import (
@@ -19,13 +26,17 @@ import (
 	"mobileqoe/internal/runlog"
 )
 
-var summarize = flag.Bool("summary", false,
-	"after validating, print a digest per file: cell counts by status, error-class breakdown, wall/virtual-time quantiles")
+var (
+	summarize = flag.Bool("summary", false,
+		"after validating, print a digest per file: cell counts by status, error-class breakdown, wall/virtual-time quantiles")
+	truncated = flag.Bool("truncated", false,
+		"accept crash/kill-shaped logs: missing closing summary and a torn final line pass, and the last healthy cell is reported")
+)
 
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: runlogcheck [-summary] <runlog.ndjson> [...]")
+		fmt.Fprintln(os.Stderr, "usage: runlogcheck [-summary] [-truncated] <runlog.ndjson> [...]")
 		os.Exit(2)
 	}
 	bad := false
@@ -36,20 +47,40 @@ func main() {
 			bad = true
 			continue
 		}
-		c, err := runlog.Validate(f)
+		var c runlog.Counts
+		if *truncated {
+			c, err = runlog.ValidateTruncated(f)
+		} else {
+			c, err = runlog.Validate(f)
+		}
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "runlogcheck: %s: %v\n", path, err)
 			bad = true
 			continue
 		}
-		summary := "no summary record"
+		summary := "truncated (no summary)"
 		if c.HasSummary {
 			summary = "complete"
+		}
+		if c.TornTail {
+			summary += ", torn final line"
 		}
 		fmt.Printf("%s: ok — tool=%s schema=%d cells=%d (ok=%d failed=%d) health=%d alerts=%d exemplars=%d %s\n",
 			path, c.Manifest.Tool, c.Manifest.Schema, c.Cells, c.CellsOK, c.CellsFailed,
 			c.Health, c.Alerts, c.Exemplars, summary)
+		if *truncated && !c.HasSummary {
+			if lc := c.LastOK; lc != nil {
+				fmt.Printf("  last healthy cell: index=%d id=%s trial=%d wall_ms=%.0f\n",
+					lc.Index, lc.ID, lc.Trial, lc.WallMS)
+			} else {
+				fmt.Println("  last healthy cell: (none recorded before the crash)")
+			}
+			if lc := c.LastCell; lc != nil && (c.LastOK == nil || lc.Index != c.LastOK.Index) {
+				fmt.Printf("  last intact cell:  index=%d id=%s trial=%d status=%s\n",
+					lc.Index, lc.ID, lc.Trial, lc.Status)
+			}
+		}
 		if *summarize {
 			if err := digest(path, c); err != nil {
 				fmt.Fprintf(os.Stderr, "runlogcheck: %s: %v\n", path, err)
