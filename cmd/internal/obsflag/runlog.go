@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"mobileqoe/internal/buildinfo"
 	"mobileqoe/internal/runlog"
 	"mobileqoe/internal/runner"
 	"mobileqoe/internal/stats"
@@ -174,7 +175,7 @@ func (rf *RunLogFlags) Start(tool string, total int, m runlog.Manifest) (*RunLog
 			m.StartedAt = r.start.UTC().Format(time.RFC3339)
 		}
 		if m.CodeVersion == "" {
-			m.CodeVersion = runlog.CodeVersion()
+			m.CodeVersion = buildinfo.CodeVersion()
 		}
 		if m.Flags == nil {
 			m.Flags = visitedFlags(flag.CommandLine)

@@ -53,8 +53,8 @@ import (
 
 	"mobileqoe/cmd/internal/obsflag"
 	"mobileqoe/internal/atomicfile"
+	"mobileqoe/internal/engine"
 	"mobileqoe/internal/experiments"
-	"mobileqoe/internal/fault"
 	"mobileqoe/internal/profile"
 	"mobileqoe/internal/runlog"
 	"mobileqoe/internal/runner"
@@ -294,12 +294,35 @@ func realMain() int {
 		return 2
 	}
 
-	cfg := experiments.Config{Seed: *seed, Pages: *pages, ClipDuration: *clip, CallDuration: *call}
-	if *full {
-		cfg = experiments.Full()
-		cfg.Seed = *seed
+	// Compose the run through the engine layer — the same id resolution,
+	// config assembly, seed schedule, and manifest the qoesimd service uses,
+	// so CLI and server runs can never drift. The CLI then layers its
+	// impure extras (tracing, watchdogs, registry printing) onto the plan;
+	// that is exactly why this path never touches the engine's result cache.
+	req := engine.Request{
+		Experiment:   *run,
+		ScenarioPath: *scen,
+		Seed:         *seed,
+		Trials:       *trials,
+		Pages:        *pages,
+		Full:         *full,
+		CSV:          *csv,
 	}
-	cfg.Trials = *trials
+	if *report != "" && *run == "" && *scen == "" {
+		req.Experiment = "all" // -report alone still needs a composed config
+	}
+	plan, err := engine.Compose(req, engine.ComposeOptions{AllowLocalFiles: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
+		return 2
+	}
+	cfg := &plan.Cfg
+	if *clip != 0 {
+		cfg.ClipDuration = *clip
+	}
+	if *call != 0 {
+		cfg.CallDuration = *call
+	}
 	cfg.Metrics = *metrics
 	cfg.MetricsMode = histMode
 	if rlf.Out != "" || rlf.Telemetry != "" {
@@ -310,37 +333,16 @@ func realMain() int {
 		cfg.Metrics = true
 	}
 	if *faults != "" {
-		plan, err := obsflag.LoadFaultPlan(*faults)
+		// -faults wins over a scenario's fault_plan (already loaded by
+		// Compose), matching the general rule that flags override the file.
+		fp, err := obsflag.LoadFaultPlan(*faults)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
 			return 2
 		}
-		cfg.Faults = plan
+		cfg.Faults = fp
 	}
-	var scn *scenario.Scenario // loaded scenario, kept for the run-log manifest
-	if *scen != "" {
-		sc, err := scenario.Load(*scen)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
-			return 2
-		}
-		scn = sc
-		// The scenario registers as "scenario:<name>" and runs through the
-		// same registry/runner path as a built-in id, so every other flag
-		// (-trials, -trace, -metrics, -parallel, ...) composes unchanged.
-		*run = sc.Register()
-		if cfg.Trials == 0 && sc.Trials > 0 {
-			cfg.Trials = sc.Trials
-		}
-		if sc.FaultPlan != "" && cfg.Faults == nil {
-			plan, err := fault.LoadPlan(sc.FaultPlan)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
-				return 2
-			}
-			cfg.Faults = plan
-		}
-	}
+	scn := plan.Scenario // non-nil for -scenario runs: SLO rules, manifest
 	if *check {
 		// The checker cross-validates the trace against the metrics registry,
 		// so it needs both channels on.
@@ -405,7 +407,7 @@ func realMain() int {
 		switch f.Name {
 		case "seed":
 			if *seed == 0 {
-				cfg = cfg.WithSeed(0)
+				*cfg = cfg.WithSeed(0)
 			}
 		case "clip":
 			if *clip == 0 {
@@ -419,20 +421,17 @@ func realMain() int {
 	})
 
 	if *report != "" {
-		if err := writeReport(*report, cfg); err != nil {
+		if err := writeReport(*report, *cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "qoesim: %v\n", err)
 			return 1
 		}
 		fmt.Printf("wrote %s\n", *report)
-		if *run == "" {
+		if *run == "" && *scen == "" {
 			return 0
 		}
 	}
 
-	ids := []string{*run}
-	if *run == "all" {
-		ids = experiments.IDs()
-	}
+	ids := plan.IDs
 	norm := cfg.WithDefaults()
 	totalCells := len(ids) * norm.Trials
 	var progress func(runner.Event)
@@ -452,20 +451,15 @@ func realMain() int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	manifest := runlog.Manifest{
-		Experiments:  ids,
-		Seed:         norm.Seed,
-		SeedSchedule: "trial t of a multi-trial run uses seed*1e6+t (experiments.TrialSeed); retry attempt a remixes the trial seed via experiments.AttemptSeed",
-		Trials:       norm.Trials,
-		Parallel:     workers,
-		Scenario:     *scen,
-		FaultPlan:    *faults,
-	}
-	if scn != nil {
-		manifest.ScenarioSHA256 = scn.SourceSHA256
-		if manifest.FaultPlan == "" {
-			manifest.FaultPlan = scn.FaultPlan
-		}
+	// The composed manifest carries ids, seed schedule, and the scenario
+	// fingerprint; re-stamp seed/trials because the post-compose sentinel
+	// flags (-seed 0, explicit zeros) may have changed the normalized view.
+	manifest := plan.Manifest
+	manifest.Seed = norm.Seed
+	manifest.Trials = norm.Trials
+	manifest.Parallel = workers
+	if *faults != "" {
+		manifest.FaultPlan = *faults
 	}
 	rl, err := rlf.Start("qoesim", totalCells, manifest)
 	if err != nil {
@@ -486,7 +480,7 @@ func realMain() int {
 			}
 		}
 	}
-	ropts := runner.Options{Parallel: *parallel, Timeout: *timeout, Retries: *retries,
+	ropts := engine.ExecOpts{Parallel: *parallel, Timeout: *timeout, Retries: *retries,
 		Progress: progress}
 	// Stream delivers cells in deterministic cell order, which is what gives
 	// the log its monotonic indexes and the watchdog its reproducible alerts.
@@ -510,7 +504,7 @@ func realMain() int {
 		}
 	}
 	start := time.Now()
-	results, err := runner.Run(context.Background(), ids, cfg, ropts)
+	results, err := engine.ExecutePlan(context.Background(), plan, ropts)
 	exit := 0
 	if ex != nil {
 		if code := writeExemplars(ex, *exemOut, rl); code != 0 {

@@ -1,0 +1,52 @@
+// Package buildinfo is the single source of the running build's identity.
+//
+// Three subsystems stamp or compare a code version: run-log manifests
+// (cmd/internal/obsflag), fleet checkpoints (which refuse to resume
+// aggregates across builds), and the engine's result cache (whose keys
+// must rotate when the simulator changes). They used to derive it
+// independently via runlog.CodeVersion; deriving it in one memoized place
+// guarantees the three can never disagree within a process.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	once    sync.Once
+	version string
+)
+
+// CodeVersion extracts the build's identity from the binary itself: the VCS
+// revision (plus "+dirty") when stamped, else the module version. Best
+// effort: "devel" builds (go run, go test) may return "".
+func CodeVersion() string {
+	once.Do(func() { version = read() })
+	return version
+}
+
+func read() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev, dirty := "", ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		return rev + dirty
+	}
+	if bi.Main.Version == "(devel)" {
+		return ""
+	}
+	return bi.Main.Version
+}

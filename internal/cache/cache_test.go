@@ -1,0 +1,279 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetOrLoadBasic(t *testing.T) {
+	c := New[int, string](Config{MaxEntries: 4})
+	calls := 0
+	load := func(k int) func() (string, int64, error) {
+		return func() (string, int64, error) {
+			calls++
+			return fmt.Sprintf("v%d", k), 1, nil
+		}
+	}
+	if v, err := c.GetOrLoad(1, load(1)); err != nil || v != "v1" {
+		t.Fatalf("GetOrLoad(1) = %q, %v", v, err)
+	}
+	if v, err := c.GetOrLoad(1, load(1)); err != nil || v != "v1" {
+		t.Fatalf("second GetOrLoad(1) = %q, %v", v, err)
+	}
+	if calls != 1 {
+		t.Fatalf("loader ran %d times, want 1", calls)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Loads != 1 || s.Entries != 1 || s.Bytes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestGetPeek(t *testing.T) {
+	c := New[string, int](Config{})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Get on empty cache reported a value")
+	}
+	if _, err := c.GetOrLoad("a", func() (int, int64, error) { return 7, 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get("a"); !ok || v != 7 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats after peek = %+v", s)
+	}
+}
+
+func TestEntryCapLRU(t *testing.T) {
+	c := New[int, int](Config{MaxEntries: 2})
+	one := func(k int) func() (int, int64, error) {
+		return func() (int, int64, error) { return k * 10, 1, nil }
+	}
+	c.GetOrLoad(1, one(1))
+	c.GetOrLoad(2, one(2))
+	c.GetOrLoad(1, one(1)) // touch 1: LRU order is now [1, 2]
+	c.GetOrLoad(3, one(3)) // evicts 2
+	if _, ok := c.Get(2); ok {
+		t.Fatal("key 2 survived eviction; LRU order not respected")
+	}
+	if v, ok := c.Get(1); !ok || v != 10 {
+		t.Fatalf("key 1 evicted (got %d, %v); LRU order not respected", v, ok)
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", s)
+	}
+}
+
+func TestByteCap(t *testing.T) {
+	c := New[int, string](Config{MaxBytes: 100})
+	sized := func(n int64) func() (string, int64, error) {
+		return func() (string, int64, error) { return "x", n, nil }
+	}
+	c.GetOrLoad(1, sized(40))
+	c.GetOrLoad(2, sized(40))
+	c.GetOrLoad(3, sized(40)) // 120 > 100: evicts 1
+	s := c.Stats()
+	if s.Bytes != 80 || s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats = %+v, want bytes 80, entries 2, evictions 1", s)
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("oldest entry survived byte-cap eviction")
+	}
+	// A single value over the cap still caches, evicting everything else.
+	c.GetOrLoad(4, sized(500))
+	s = c.Stats()
+	if s.Entries != 1 || s.Bytes != 500 {
+		t.Fatalf("oversized entry: stats = %+v, want 1 entry of 500 bytes", s)
+	}
+	if _, ok := c.Get(4); !ok {
+		t.Fatal("oversized value was not cached")
+	}
+}
+
+func TestSingleflightExactlyOnce(t *testing.T) {
+	c := New[string, int](Config{MaxEntries: 8})
+	var loads atomic.Int64
+	release := make(chan struct{})
+	const n = 32
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrLoad("k", func() (int, int64, error) {
+				loads.Add(1)
+				<-release // hold the load open so every goroutine attaches
+				return 42, 1, nil
+			})
+			if err != nil {
+				t.Errorf("GetOrLoad: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Wait until one loader is in flight, then let it finish.
+	for loads.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if got := loads.Load(); got != 1 {
+		t.Fatalf("loader ran %d times under %d concurrent gets, want exactly 1", got, n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("goroutine %d saw %d, want 42", i, v)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != n-1 || s.Loads != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, %d hits, 1 load", s, n-1)
+	}
+}
+
+func TestFailedLoadNotCached(t *testing.T) {
+	c := New[string, int](Config{MaxEntries: 8})
+	boom := errors.New("boom")
+	if _, err := c.GetOrLoad("k", func() (int, int64, error) { return 0, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure must not be cached: the next load retries and succeeds.
+	v, err := c.GetOrLoad("k", func() (int, int64, error) { return 9, 1, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("retry after failed load = %d, %v", v, err)
+	}
+	s := c.Stats()
+	if s.LoadErrors != 1 || s.Loads != 2 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFailedLoadPropagatesToWaiters(t *testing.T) {
+	c := New[string, int](Config{})
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.GetOrLoad("k", func() (int, int64, error) {
+			close(started)
+			<-release
+			return 0, 0, boom
+		})
+	}()
+	<-started
+	const waiters = 8
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.GetOrLoad("k", func() (int, int64, error) {
+				t.Error("waiter ran the loader during an in-flight load")
+				return 0, 0, nil
+			}); errors.Is(err, boom) {
+				errs.Add(1)
+			}
+		}()
+	}
+	// Give waiters a chance to attach to the in-flight load, then fail it.
+	for c.Stats().Hits < waiters {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if errs.Load() != waiters {
+		t.Fatalf("%d of %d waiters saw the load error", errs.Load(), waiters)
+	}
+}
+
+func TestLoaderPanicUnblocksWaiters(t *testing.T) {
+	c := New[string, int](Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer func() {
+			recover()
+			close(done)
+		}()
+		c.GetOrLoad("k", func() (int, int64, error) {
+			close(started)
+			<-release
+			panic("loader exploded")
+		})
+	}()
+	<-started
+	waiter := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrLoad("k", func() (int, int64, error) { return 0, 0, nil })
+		waiter <- err
+	}()
+	for c.Stats().Hits == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	<-done
+	if err := <-waiter; err == nil {
+		t.Fatal("waiter got nil error from a panicked load")
+	}
+	// The key is usable again.
+	if v, err := c.GetOrLoad("k", func() (int, int64, error) { return 5, 1, nil }); err != nil || v != 5 {
+		t.Fatalf("key poisoned after loader panic: %d, %v", v, err)
+	}
+}
+
+// TestConcurrentChurn hammers a tiny cache from many goroutines; run under
+// -race this exercises every lock path. Values are pure functions of keys,
+// so every result must be exact regardless of hit/miss/eviction timing —
+// the determinism guarantee at the cache layer.
+func TestConcurrentChurn(t *testing.T) {
+	c := New[int, int](Config{MaxEntries: 4, MaxBytes: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := (g + i) % 13
+				v, err := c.GetOrLoad(k, func() (int, int64, error) { return k * k, 8, nil })
+				if err != nil {
+					t.Errorf("GetOrLoad(%d): %v", k, err)
+					return
+				}
+				if v != k*k {
+					t.Errorf("GetOrLoad(%d) = %d, want %d", k, v, k*k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Entries > 4 || s.Bytes > 64 {
+		t.Fatalf("caps violated after churn: %+v", s)
+	}
+	if s.Hits+s.Misses != 8*300 {
+		t.Fatalf("lost lookups: %+v", s)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate cache name did not panic")
+		}
+	}()
+	New[int, int](Config{Name: "test.dup"})
+	New[int, int](Config{Name: "test.dup"})
+}

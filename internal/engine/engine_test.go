@@ -1,0 +1,611 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mobileqoe/internal/runlog"
+	"mobileqoe/internal/telemetry"
+	"mobileqoe/internal/trace"
+)
+
+// scenarioDoc builds a tiny two-point clock sweep (distinct per name so
+// tests can generate distinct cache keys at will).
+func scenarioDoc(name string) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{
+		"name": %q,
+		"title": "engine test sweep",
+		"device": "nexus4",
+		"workload": {"kind": "page"},
+		"axis": {"param": "clock_mhz", "values": [594, 1512]}
+	}`, name))
+}
+
+var fleetDoc = json.RawMessage(`{
+	"name": "engtest",
+	"population": 6,
+	"seed": 11,
+	"pages": 2,
+	"device_mix": [{"device": "pixel2", "weight": 1}],
+	"workloads": [{"kind": "page", "weight": 1}]
+}`)
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	if cfg.Tool == "" {
+		cfg.Tool = "engine-test"
+	}
+	e := New(cfg)
+	t.Cleanup(e.Close)
+	return e
+}
+
+// sequentialReference renders a request the way a direct, cache-free,
+// single-worker run would — the byte-identity oracle for engine outputs.
+func sequentialReference(t *testing.T, req Request) []byte {
+	t.Helper()
+	p, err := Compose(req, ComposeOptions{})
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	results, err := ExecutePlan(context.Background(), p, ExecOpts{Parallel: 1})
+	if err != nil {
+		t.Fatalf("ExecutePlan: %v", err)
+	}
+	out, err := RenderResults(results, req.CSV)
+	if err != nil {
+		t.Fatalf("RenderResults: %v", err)
+	}
+	return out
+}
+
+func TestParseRequestStrict(t *testing.T) {
+	if _, err := ParseRequest([]byte(`{"experiment": "all", "bogus": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseRequest([]byte(`{"experiment": "all"} {}`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+	r, err := ParseRequest([]byte(`{"experiment": "fig3a", "seed": 7, "csv": true}`))
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	if r.Experiment != "fig3a" || r.Seed != 7 || !r.CSV {
+		t.Fatalf("decoded %+v", r)
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		opt  ComposeOptions
+		want string
+	}{
+		{"no kind", Request{}, ComposeOptions{}, "exactly one"},
+		{"two kinds", Request{Experiment: "fig3a", Scenario: scenarioDoc("x")}, ComposeOptions{}, "exactly one"},
+		{"unknown experiment", Request{Experiment: "fig99"}, ComposeOptions{}, "unknown experiment"},
+		{"path without local files", Request{ScenarioPath: "web.json"}, ComposeOptions{}, "server-local"},
+		{"fleet path without local files", Request{FleetPath: "fleet.json"}, ComposeOptions{}, "server-local"},
+		{"bad scenario json", Request{Scenario: json.RawMessage(`{"name": 3}`)}, ComposeOptions{}, ""},
+	}
+	for _, tc := range cases {
+		_, err := Compose(tc.req, tc.opt)
+		if err == nil {
+			t.Fatalf("%s: composed without error", tc.name)
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestComposeRejectsFaultPlanFileWhenServing(t *testing.T) {
+	doc := json.RawMessage(`{
+		"name": "faulty",
+		"title": "t",
+		"device": "nexus4",
+		"workload": {"kind": "page"},
+		"axis": {"param": "clock_mhz", "values": [594]},
+		"fault_plan": "plan.json"
+	}`)
+	if _, err := Compose(Request{Scenario: doc}, ComposeOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "fault plan file") {
+		t.Fatalf("fault-plan file reference not rejected: %v", err)
+	}
+}
+
+func TestComposeKeyDeterministic(t *testing.T) {
+	req := Request{Scenario: scenarioDoc("keyed"), Seed: 5, Pages: 2}
+	a, err := Compose(req, ComposeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compose(req, ComposeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key != b.Key {
+		t.Fatalf("same request produced keys %s and %s", a.Key, b.Key)
+	}
+	// TimeoutS is policy, not identity.
+	c, _ := Compose(Request{Scenario: scenarioDoc("keyed"), Seed: 5, Pages: 2, TimeoutS: 9}, ComposeOptions{})
+	if c.Key != a.Key {
+		t.Fatal("timeout_s changed the cache key")
+	}
+	for name, other := range map[string]Request{
+		"seed":     {Scenario: scenarioDoc("keyed"), Seed: 6, Pages: 2},
+		"pages":    {Scenario: scenarioDoc("keyed"), Seed: 5, Pages: 3},
+		"csv":      {Scenario: scenarioDoc("keyed"), Seed: 5, Pages: 2, CSV: true},
+		"document": {Scenario: scenarioDoc("keyed2"), Seed: 5, Pages: 2},
+	} {
+		o, err := Compose(other, ComposeOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.Key == a.Key {
+			t.Fatalf("%s variation did not change the cache key", name)
+		}
+	}
+}
+
+func TestComposeManifest(t *testing.T) {
+	p, err := Compose(Request{Scenario: scenarioDoc("mani"), Seed: 3, Trials: 2, Pages: 2}, ComposeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Manifest
+	if len(m.Experiments) != 1 || m.Experiments[0] != "scenario:mani" {
+		t.Fatalf("manifest experiments = %v", m.Experiments)
+	}
+	if m.Seed != 3 || m.Trials != 2 || m.SeedSchedule != SeedSchedule {
+		t.Fatalf("manifest seed/trials/schedule = %d/%d/%q", m.Seed, m.Trials, m.SeedSchedule)
+	}
+	if m.ScenarioSHA256 == "" || m.ScenarioSHA256 != p.DocSHA256 {
+		t.Fatalf("manifest sha %q vs plan sha %q", m.ScenarioSHA256, p.DocSHA256)
+	}
+}
+
+func TestExecutePlanRejectsFleet(t *testing.T) {
+	p, err := Compose(Request{Fleet: fleetDoc}, ComposeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExecutePlan(context.Background(), p, ExecOpts{}); err == nil {
+		t.Fatal("fleet plan accepted by ExecutePlan")
+	}
+}
+
+// TestColdCachedConcurrentByteIdentical is the acceptance pin: a cold run, a
+// cache-served rerun, and a burst of concurrent identical submissions all
+// return byte-identical output, with the loader executing exactly once.
+func TestColdCachedConcurrentByteIdentical(t *testing.T) {
+	req := Request{Scenario: scenarioDoc("ident"), Seed: 4, Pages: 2}
+	want := sequentialReference(t, req)
+	if len(want) == 0 {
+		t.Fatal("empty reference output")
+	}
+
+	e := newTestEngine(t, Config{Workers: 2, QueueDepth: 16, Parallel: 2})
+	ctx := context.Background()
+
+	cold, err := e.Run(ctx, req)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	out, err := cold.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("cold output differs from sequential reference:\n%s\n---\n%s", out, want)
+	}
+	if cold.Cached() {
+		t.Fatal("cold run reported cached")
+	}
+
+	warm, err := e.Run(ctx, req)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if !warm.Cached() {
+		t.Fatal("identical rerun was not served from the result cache")
+	}
+	wout, _ := warm.Output()
+	if !bytes.Equal(wout, want) {
+		t.Fatal("cached output differs from cold output")
+	}
+
+	// Concurrent identical submissions on a fresh engine: exactly one load.
+	e2 := newTestEngine(t, Config{Workers: 2, QueueDepth: 64, Parallel: 2})
+	const n = 8
+	outs := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := e2.Run(ctx, req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i], errs[i] = j.Output()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent submission %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(outs[i], want) {
+			t.Fatalf("concurrent submission %d output differs from reference", i)
+		}
+	}
+	if loads := e2.Stats().CacheStats.Loads; loads != 1 {
+		t.Fatalf("concurrent identical submissions loaded %d times, want 1", loads)
+	}
+	st := e2.Stats()
+	if st.Deduped+st.CacheServed != n-1 {
+		t.Fatalf("deduped=%d cacheServed=%d, want them to cover %d duplicate submissions",
+			st.Deduped, st.CacheServed, n-1)
+	}
+}
+
+// TestConcurrentDistinctScenarios runs different documents concurrently and
+// checks each against its own sequential reference.
+func TestConcurrentDistinctScenarios(t *testing.T) {
+	reqs := []Request{
+		{Scenario: scenarioDoc("mix_a"), Seed: 1, Pages: 2},
+		{Scenario: scenarioDoc("mix_b"), Seed: 2, Pages: 2},
+		{Experiment: "fig3a", Seed: 1, Pages: 2, CSV: true},
+	}
+	want := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		want[i] = sequentialReference(t, r)
+	}
+	e := newTestEngine(t, Config{Workers: 3, QueueDepth: 16, Parallel: 2})
+	var wg sync.WaitGroup
+	errs := make([]error, len(reqs))
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r Request) {
+			defer wg.Done()
+			j, err := e.Run(context.Background(), r)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out, err := j.Output()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !bytes.Equal(out, want[i]) {
+				errs[i] = fmt.Errorf("request %d output differs from its sequential reference", i)
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestFleetJobByteIdenticalAndCached(t *testing.T) {
+	req := Request{Fleet: fleetDoc}
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 4, Parallel: 2})
+	cold, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	out, err := cold.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "engtest") {
+		t.Fatalf("fleet table missing spec name:\n%s", out)
+	}
+	warm, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached() {
+		t.Fatal("identical fleet rerun not cache-served")
+	}
+	wout, _ := warm.Output()
+	if !bytes.Equal(out, wout) {
+		t.Fatal("cached fleet output differs")
+	}
+	// Fleet logs validate too: manifest names the fleet, cells cover shards.
+	counts, err := runlog.Validate(bytes.NewReader(cold.Log().Bytes()))
+	if err != nil {
+		t.Fatalf("fleet run log invalid: %v", err)
+	}
+	if len(counts.Manifest.Experiments) != 1 || counts.Manifest.Experiments[0] != "fleet:engtest" {
+		t.Fatalf("fleet manifest experiments = %v", counts.Manifest.Experiments)
+	}
+	if counts.Cells == 0 || !counts.HasSummary || counts.Summary.Status != "ok" {
+		t.Fatalf("fleet log counts = %+v", counts)
+	}
+}
+
+func TestJobLogIsValidNDJSON(t *testing.T) {
+	req := Request{Scenario: scenarioDoc("logged"), Seed: 2, Trials: 2, Pages: 2}
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 4, Parallel: 2, Tool: "engine-test"})
+	j, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := runlog.Validate(bytes.NewReader(j.Log().Bytes()))
+	if err != nil {
+		t.Fatalf("run log invalid: %v", err)
+	}
+	if counts.Cells != 2 || counts.CellsOK != 2 || counts.CellsFailed != 0 {
+		t.Fatalf("cells = %+v", counts)
+	}
+	if !counts.HasSummary || counts.Summary.Status != "ok" || counts.Summary.CellsOK != 2 {
+		t.Fatalf("summary = %+v", counts.Summary)
+	}
+	m := counts.Manifest
+	if m.Tool != "engine-test" || m.Trials != 2 || m.SeedSchedule != SeedSchedule {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.ScenarioSHA256 == "" {
+		t.Fatal("manifest missing scenario sha")
+	}
+
+	// Cache-served jobs still produce a valid (manifest + summary) log.
+	warm, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := runlog.Validate(bytes.NewReader(warm.Log().Bytes()))
+	if err != nil {
+		t.Fatalf("cached job log invalid: %v", err)
+	}
+	if wc.Cells != 0 || !wc.HasSummary {
+		t.Fatalf("cached job log counts = %+v", wc)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	testHookRunning = func(*Job) {
+		started <- struct{}{}
+		<-release
+	}
+	defer func() { testHookRunning = nil }()
+
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 1, Parallel: 1})
+	defer close(release)
+
+	if _, err := e.Submit(Request{Scenario: scenarioDoc("bp_run"), Pages: 2}); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	<-started // worker is now held busy
+	if _, err := e.Submit(Request{Scenario: scenarioDoc("bp_queued"), Pages: 2}); err != nil {
+		t.Fatalf("second submit (fills queue): %v", err)
+	}
+	if _, err := e.Submit(Request{Scenario: scenarioDoc("bp_reject"), Pages: 2}); err != ErrBusy {
+		t.Fatalf("third submit: got %v, want ErrBusy", err)
+	}
+	if got := e.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d", got)
+	}
+	// Duplicates of the queued job still dedup instead of rejecting.
+	if _, err := e.Submit(Request{Scenario: scenarioDoc("bp_queued"), Pages: 2}); err != nil {
+		t.Fatalf("duplicate of queued job: %v", err)
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	e := New(Config{Workers: 1, QueueDepth: 4, Parallel: 1})
+	req := Request{Scenario: scenarioDoc("drain"), Pages: 2}
+	j, err := e.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if j.State() != Done {
+		t.Fatalf("in-flight job state after drain = %s", j.State())
+	}
+	if _, err := e.Submit(req); err != ErrDraining {
+		t.Fatalf("post-drain submit: got %v, want ErrDraining", err)
+	}
+}
+
+func TestJobHistoryBounded(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 8, Parallel: 1, JobHistory: 2})
+	ctx := context.Background()
+	var last *Job
+	for i := 0; i < 4; i++ {
+		j, err := e.Run(ctx, Request{Scenario: scenarioDoc(fmt.Sprintf("hist_%d", i)), Pages: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = j
+	}
+	jobs := e.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("retained %d jobs, want 2", len(jobs))
+	}
+	if _, ok := e.Job(last.ID); !ok {
+		t.Fatal("newest job evicted from history")
+	}
+}
+
+func TestFailedRunNotCached(t *testing.T) {
+	// An unknown-in-registry id inside an otherwise valid plan: build one by
+	// hand so Compose's validation doesn't catch it first.
+	p, err := Compose(Request{Scenario: scenarioDoc("failer"), Pages: 2}, ComposeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.IDs = []string{"scenario:not_resolved"} // Resolve declines, registry misses
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 4, Parallel: 1})
+	j := e.submitPlan(t, p)
+	if err := j.Wait(context.Background()); err == nil {
+		t.Fatal("job with unresolvable id succeeded")
+	}
+	if j.State() != Failed {
+		t.Fatalf("state = %s", j.State())
+	}
+	if _, err := j.Output(); err == nil {
+		t.Fatal("failed job returned output")
+	}
+	s := e.Stats().CacheStats
+	if s.Entries != 0 {
+		t.Fatalf("failed run was cached: %+v", s)
+	}
+	if e.Stats().Failed != 1 {
+		t.Fatalf("failed counter = %d", e.Stats().Failed)
+	}
+	// The log still closes with a failed summary.
+	counts, err := runlog.Validate(bytes.NewReader(j.Log().Bytes()))
+	if err != nil {
+		t.Fatalf("failed job log invalid: %v", err)
+	}
+	if counts.Summary.Status != "failed" {
+		t.Fatalf("summary status = %q", counts.Summary.Status)
+	}
+}
+
+// submitPlan enqueues a hand-built plan, bypassing Compose — test-only.
+func (e *Engine) submitPlan(t *testing.T, p *Plan) *Job {
+	t.Helper()
+	e.mu.Lock()
+	j := e.newJobLocked(p, Request{}, 0)
+	select {
+	case e.queue <- j:
+		e.live[p.Key] = j
+	default:
+		e.mu.Unlock()
+		t.Fatal("queue full")
+	}
+	e.mu.Unlock()
+	return j
+}
+
+func TestPublishMetricsRendersClean(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 4, Parallel: 1})
+	if _, err := e.Run(context.Background(), Request{Scenario: scenarioDoc("pubm"), Pages: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background(), Request{Scenario: scenarioDoc("pubm"), Pages: 2}); err != nil {
+		t.Fatal(err)
+	}
+	reg := trace.NewMetrics()
+	e.PublishMetrics(reg)
+	var buf bytes.Buffer
+	if err := telemetry.Render(&buf, "mobileqoe", reg); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"mobileqoe_engine_requests 2",
+		"mobileqoe_engine_cache_served 1",
+		"mobileqoe_engine_completed 1",
+		"mobileqoe_cache_engine_results_hits 1",
+		"mobileqoe_cache_engine_results_loads 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := telemetry.Lint(text); err != nil {
+		t.Fatalf("exposition fails lint: %v", err)
+	}
+}
+
+func TestFollowBufReplayAndFollow(t *testing.T) {
+	b := NewFollowBuf()
+	b.Write([]byte("line1\n"))
+
+	var got bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- b.Follow(context.Background(), func(p []byte) error {
+			got.Write(p)
+			return nil
+		})
+	}()
+
+	b.Write([]byte("line2\n"))
+	b.Write([]byte("line3\n"))
+	b.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+	if got.String() != "line1\nline2\nline3\n" {
+		t.Fatalf("followed %q", got.String())
+	}
+	if !bytes.Equal(b.Bytes(), got.Bytes()) {
+		t.Fatal("Bytes() and followed stream differ")
+	}
+}
+
+func TestFollowBufContextCancel(t *testing.T) {
+	b := NewFollowBuf()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- b.Follow(ctx, func([]byte) error { return nil })
+	}()
+	runtime.Gosched()
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Follow returned %v, want context.Canceled", err)
+	}
+}
+
+func TestFollowBufEmitError(t *testing.T) {
+	b := NewFollowBuf()
+	b.Write([]byte("x"))
+	wantErr := fmt.Errorf("client gone")
+	err := b.Follow(context.Background(), func([]byte) error { return wantErr })
+	if err != wantErr {
+		t.Fatalf("Follow returned %v", err)
+	}
+}
+
+// TestStreamedLogMatchesFinalLog pins the streaming contract: following a
+// job's log live yields exactly the bytes a post-hoc read returns.
+func TestStreamedLogMatchesFinalLog(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 4, Parallel: 2})
+	j, err := e.Submit(Request{Scenario: scenarioDoc("streamed"), Trials: 2, Pages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	if err := j.Log().Follow(context.Background(), func(p []byte) error {
+		streamed.Write(p)
+		return nil
+	}); err != nil {
+		t.Fatalf("Follow: %v", err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), j.Log().Bytes()) {
+		t.Fatal("live-followed log differs from final log bytes")
+	}
+	if _, err := runlog.Validate(bytes.NewReader(streamed.Bytes())); err != nil {
+		t.Fatalf("streamed log invalid: %v", err)
+	}
+}

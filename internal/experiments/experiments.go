@@ -294,6 +294,21 @@ func RunTrialAttempt(id string, cfg Config, trial, attempt int) (*Table, error) 
 	if !ok {
 		return nil, unknownErr(id)
 	}
+	return RunTrialAttemptFn(id, e.fn, cfg, trial, attempt)
+}
+
+// RunTrialAttemptFn is RunTrialAttempt for a runner that is not in the
+// global registry. Long-lived processes (internal/engine, cmd/qoesimd)
+// compose scenario runners per request; registering those globally would
+// panic on repeated names and race against concurrent registry readers, so
+// they resolve ids privately and execute through this entry point. The
+// seed-derivation and per-trial setup discipline is identical to the
+// registry path — that is the whole point: one implementation of "run one
+// cell".
+func RunTrialAttemptFn(id string, fn Runner, cfg Config, trial, attempt int) (*Table, error) {
+	if fn == nil {
+		return nil, unknownErr(id)
+	}
 	c := cfg.WithDefaults()
 	if trial < 0 || trial >= c.Trials {
 		return nil, fmt.Errorf("experiments: trial %d out of range [0,%d)", trial, c.Trials)
@@ -314,7 +329,7 @@ func RunTrialAttempt(id string, cfg Config, trial, attempt int) (*Table, error) 
 	if c.Faults != nil {
 		c.faultSeq = new(uint64)
 	}
-	tab, err := e.fn(c)
+	tab, err := fn(c)
 	if err != nil {
 		return nil, err
 	}

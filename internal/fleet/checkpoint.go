@@ -12,7 +12,7 @@ import (
 	"time"
 
 	"mobileqoe/internal/atomicfile"
-	"mobileqoe/internal/runlog"
+	"mobileqoe/internal/buildinfo"
 )
 
 // Checkpoint layout — one directory per fleet run:
@@ -53,7 +53,7 @@ type Manifest struct {
 	Population   int    `json:"population"`
 	Shards       int    `json:"shards"`
 	SeedSchedule string `json:"seed_schedule"`
-	// CodeVersion is the creating build's identity (runlog.CodeVersion).
+	// CodeVersion is the creating build's identity (buildinfo.CodeVersion).
 	// Aggregates are only guaranteed mergeable within one build, so resume
 	// refuses a mismatch when both sides are stamped.
 	CodeVersion string `json:"code_version,omitempty"`
@@ -148,7 +148,7 @@ func Create(dir string, spec *Spec) (*Checkpoint, error) {
 		Population:   spec.Population,
 		Shards:       spec.Shards,
 		SeedSchedule: SeedScheduleDoc,
-		CodeVersion:  runlog.CodeVersion(),
+		CodeVersion:  buildinfo.CodeVersion(),
 		CreatedAt:    time.Now().UTC().Format(time.RFC3339),
 	}
 	b, err := json.Marshal(m)
@@ -200,7 +200,7 @@ func Open(dir string, spec *Spec) (*Checkpoint, map[int]*ShardResult, []string, 
 	case m.SeedSchedule != SeedScheduleDoc:
 		return nil, nil, nil, fmt.Errorf("fleet: %s was written under a different seed schedule — its shards cannot be merged with this build's; start a fresh checkpoint", dir)
 	}
-	if cv := runlog.CodeVersion(); cv != "" && m.CodeVersion != "" && cv != m.CodeVersion {
+	if cv := buildinfo.CodeVersion(); cv != "" && m.CodeVersion != "" && cv != m.CodeVersion {
 		return nil, nil, nil, fmt.Errorf("fleet: %s was written by build %.12s, this is %.12s — aggregates are only mergeable within one build; start a fresh checkpoint", dir, m.CodeVersion, cv)
 	}
 	c := &Checkpoint{dir: dir, spec: spec}

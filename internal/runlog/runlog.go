@@ -36,41 +36,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"runtime/debug"
 	"strings"
 	"sync"
 
 	"mobileqoe/internal/core"
 )
-
-// CodeVersion extracts the build's identity from the binary itself: the VCS
-// revision (plus "+dirty") when stamped, else the module version. Manifest
-// writers record it, and fleet checkpoints compare it to refuse resuming
-// aggregates across code versions. Best effort: "devel" builds may return "".
-func CodeVersion() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return ""
-	}
-	rev, dirty := "", ""
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			if s.Value == "true" {
-				dirty = "+dirty"
-			}
-		}
-	}
-	if rev != "" {
-		return rev + dirty
-	}
-	if bi.Main.Version == "(devel)" {
-		return ""
-	}
-	return bi.Main.Version
-}
 
 // Schema is the run-log schema version. Bump on any field rename/removal or
 // semantic change; additions that old readers can ignore do not require a

@@ -63,6 +63,14 @@ type Options struct {
 	// a cell's Progress call happens before its Stream call, and neither
 	// feeds back into results.
 	Stream func(Event)
+	// Resolve, when non-nil, maps an experiment id to its runner before the
+	// global registry is consulted; ids it declines (ok == false) fall back
+	// to the registry. This is how long-lived servers (internal/engine) run
+	// per-request scenario runners without mutating the process-global
+	// registry — Register panics on duplicates and is not synchronized
+	// against concurrent lookups. Resolve is called from worker goroutines
+	// and must be safe for concurrent use.
+	Resolve func(id string) (experiments.Runner, bool)
 }
 
 // Event describes one completed (experiment, trial) cell.
@@ -111,12 +119,15 @@ var cellFn = experiments.RunTrialAttempt
 // core.ErrDeadline through the ordinary error path, so a deadlined cell is
 // recorded (and retried under its attempt seed, which may dodge a
 // fault-induced wedge) without ever tripping this recover.
-func runCellAttempt(id string, cfg experiments.Config, trial, attempt int) (tab *experiments.Table, err error) {
+func runCellAttempt(id string, fn experiments.Runner, cfg experiments.Config, trial, attempt int) (tab *experiments.Table, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			tab, err = nil, fmt.Errorf("attempt %d: panic: %v", attempt, r)
 		}
 	}()
+	if fn != nil {
+		return experiments.RunTrialAttemptFn(id, fn, cfg, trial, attempt)
+	}
 	return cellFn(id, cfg, trial, attempt)
 }
 
@@ -124,7 +135,7 @@ func runCellAttempt(id string, cfg experiments.Config, trial, attempt int) (tab 
 // each under its derived attempt seed. Every returned error names the cell,
 // so a timed-out run reports which trials never started instead of a bare
 // context.DeadlineExceeded.
-func runCell(ctx context.Context, id string, cfg experiments.Config, trial, retries int) (*experiments.Table, int, error) {
+func runCell(ctx context.Context, id string, fn experiments.Runner, cfg experiments.Config, trial, retries int) (*experiments.Table, int, error) {
 	var err error
 	for attempt := 0; ; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
@@ -134,7 +145,7 @@ func runCell(ctx context.Context, id string, cfg experiments.Config, trial, retr
 			return nil, attempt, fmt.Errorf("%s trial %d: not started: %w", id, trial, cerr)
 		}
 		var tab *experiments.Table
-		tab, err = runCellAttempt(id, cfg, trial, attempt)
+		tab, err = runCellAttempt(id, fn, cfg, trial, attempt)
 		if err == nil {
 			return tab, attempt, nil
 		}
@@ -196,10 +207,14 @@ func Run(ctx context.Context, ids []string, cfg experiments.Config, opts Options
 			for i := range queue {
 				c := cells[i]
 				start := time.Now()
+				var fn experiments.Runner
+				if opts.Resolve != nil {
+					fn, _ = opts.Resolve(c.id)
+				}
 				// Pass the caller's un-normalized cfg: RunTrialAttempt
 				// normalizes once, exactly like experiments.Run.
 				var attempt int
-				tables[i], attempt, errs[i] = runCell(ctx, c.id, cfg, c.trial, opts.Retries)
+				tables[i], attempt, errs[i] = runCell(ctx, c.id, fn, cfg, c.trial, opts.Retries)
 				took[i] = time.Since(start)
 				events <- Event{Index: i, ID: c.id, Trial: c.trial, Seed: trialSeed(norm, c.trial),
 					Attempt: attempt, Err: errs[i], Table: tables[i], Elapsed: took[i]}

@@ -21,8 +21,8 @@ package webpage
 import (
 	"fmt"
 	"strings"
-	"sync"
 
+	"mobileqoe/internal/cache"
 	"mobileqoe/internal/script"
 	"mobileqoe/internal/stats"
 	"mobileqoe/internal/units"
@@ -159,31 +159,55 @@ func Generate(name string, cat Category, seed uint64) *Page {
 }
 
 // Corpus generation is deterministic and moderately expensive (every script
-// is executed once), so the standard corpora are memoized per seed. The
-// cache locks per seed, not globally: parallel trials use disjoint seeds and
-// must be able to generate their corpora concurrently. Pages are read-only
-// after generation; callers must not mutate them.
-var (
-	top50Cache  sync.Map // uint64 seed -> *corpusEntry
-	sportsCache sync.Map
-)
-
-type corpusEntry struct {
-	once  sync.Once
-	pages []*Page
+// is executed once), so the standard corpora are memoized through a shared
+// bounded cache. Loads run outside the cache lock, so parallel trials with
+// disjoint seeds still generate their corpora concurrently, and the byte
+// cap keeps a long-running server's working set bounded no matter how many
+// distinct seeds it sees. Pages are read-only after generation; callers
+// must not mutate them. Eviction cannot change output: a corpus is a pure
+// function of (kind, seed), pinned by TestCorpusIdenticalAcrossEviction.
+type corpusKey struct {
+	kind string // "top50" or "sports20"
+	seed uint64
 }
 
-func cachedCorpus(cache *sync.Map, seed uint64, build func() []*Page) []*Page {
-	v, _ := cache.LoadOrStore(seed, &corpusEntry{})
-	e := v.(*corpusEntry)
-	e.once.Do(func() { e.pages = build() })
-	return e.pages
+var corpusCache = cache.New[corpusKey, []*Page](cache.Config{
+	Name:       "webpage.corpus",
+	MaxEntries: 64,
+	MaxBytes:   256 << 20,
+})
+
+func cachedCorpus(key corpusKey, build func() []*Page) []*Page {
+	pages, err := corpusCache.GetOrLoad(key, func() ([]*Page, int64, error) {
+		p := build()
+		var bytes int64
+		for _, pg := range p {
+			bytes += corpusPageBytes(pg)
+		}
+		return p, bytes, nil
+	})
+	if err != nil { // build never errors; loader failures cannot happen
+		panic(err)
+	}
+	return pages
+}
+
+// corpusPageBytes estimates a page's resident footprint for the cache's
+// byte cap: the HTML body plus per-resource strings. Profiles and programs
+// are shared through their own caches, so they are not charged here.
+func corpusPageBytes(p *Page) int64 {
+	n := int64(len(p.HTMLBody))
+	for i := range p.Resources {
+		r := &p.Resources[i]
+		n += int64(len(r.URL) + len(r.Domain) + len(r.ScriptSrc))
+	}
+	return n
 }
 
 // Top50 generates (or returns the cached) Alexa-like corpus used by the PLT
 // experiments: 10 pages from each of the 5 categories.
 func Top50(seed uint64) []*Page {
-	return cachedCorpus(&top50Cache, seed, func() []*Page {
+	return cachedCorpus(corpusKey{kind: "top50", seed: seed}, func() []*Page {
 		var pages []*Page
 		for _, cat := range Categories() {
 			for i := 0; i < 10; i++ {
@@ -197,7 +221,7 @@ func Top50(seed uint64) []*Page {
 // SportsTop20 generates (or returns the cached) 20 sports pages used in the
 // §4.2 offload evaluation (Fig. 7).
 func SportsTop20(seed uint64) []*Page {
-	return cachedCorpus(&sportsCache, seed, func() []*Page {
+	return cachedCorpus(corpusKey{kind: "sports20", seed: seed}, func() []*Page {
 		var pages []*Page
 		for i := 0; i < 20; i++ {
 			pages = append(pages, Generate(fmt.Sprintf("sports-top-%02d.example", i), Sports, seed+uint64(i)))
@@ -410,31 +434,32 @@ func (g *generator) filler() string {
 // scripts differ only in a handful of integer parameters, so distinct seeds
 // and trials frequently produce identical source; executing each distinct
 // program once and sharing the immutable *Profile makes corpus builds for
-// later seeds substantially cheaper. The striped sync.Map + per-entry Once
-// idiom matches the corpus caches: concurrent builders for the same source
-// block on one execution instead of racing or duplicating work.
-var profileCache sync.Map // string source -> *profileEntry
-
-type profileEntry struct {
-	once sync.Once
-	prof *Profile
-}
+// later seeds substantially cheaper. Concurrent builders for the same
+// source collapse onto one execution via the cache's singleflight loader.
+var profileCache = cache.New[string, *Profile](cache.Config{
+	Name:       "webpage.profiles",
+	MaxEntries: 8192,
+	MaxBytes:   64 << 20,
+})
 
 // profileScript parses and executes a script once per distinct source,
 // recording its cost. The returned Profile is shared and must be treated as
 // immutable by callers (all current consumers only read it).
 func profileScript(src string) *Profile {
-	v, _ := profileCache.LoadOrStore(src, &profileEntry{})
-	e := v.(*profileEntry)
-	e.once.Do(func() {
-		prog := script.MustParse(src)
+	prof, err := profileCache.GetOrLoad(src, func() (*Profile, int64, error) {
+		prog := script.MustParseShared(src)
 		host := script.NewCountingHost()
 		in := script.New(script.Config{Host: host})
 		if err := in.Run(prog); err != nil {
 			panic(fmt.Sprintf("webpage: generated script failed: %v\n%s", err, src))
 		}
 		st := in.Stats()
-		e.prof = &Profile{Ops: st.Ops, StrBytes: st.StrBytes, Calls: host.Calls}
+		p := &Profile{Ops: st.Ops, StrBytes: st.StrBytes, Calls: host.Calls}
+		bytes := int64(64 + 24*len(host.Calls))
+		return p, bytes, nil
 	})
-	return e.prof
+	if err != nil {
+		panic(err)
+	}
+	return prof
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"mobileqoe/internal/cache"
 	"mobileqoe/internal/script"
 
 	"mobileqoe/internal/dsp"
@@ -263,6 +264,55 @@ func TestGeneratedScriptsAgreeAcrossEngines(t *testing.T) {
 			if host.Calls[i] != r.Profile.Calls[i] {
 				t.Fatalf("%s: regex call %d diverges: %+v vs %+v",
 					r.URL, i, host.Calls[i], r.Profile.Calls[i])
+			}
+		}
+	}
+}
+
+// TestCorpusIdenticalAcrossEviction pins the cache determinism guarantee:
+// a corpus rebuilt after being evicted is identical — page bytes, resource
+// plans, and script profiles — to the one originally served. Cache state
+// (hit, miss, evict-and-rebuild) can never affect simulation input.
+func TestCorpusIdenticalAcrossEviction(t *testing.T) {
+	old := corpusCache
+	corpusCache = cache.New[corpusKey, []*Page](cache.Config{MaxEntries: 1})
+	defer func() { corpusCache = old }()
+
+	a := SportsTop20(7)
+	SportsTop20(8) // evicts seed 7 from the single-entry cache
+	if s := corpusCache.Stats(); s.Evictions == 0 {
+		t.Fatalf("expected an eviction with MaxEntries=1, stats %+v", s)
+	}
+	b := SportsTop20(7) // cold rebuild
+	if s := corpusCache.Stats(); s.Loads != 3 {
+		t.Fatalf("expected 3 cold builds, stats %+v", s)
+	}
+
+	if len(a) != len(b) {
+		t.Fatalf("rebuilt corpus has %d pages, want %d", len(b), len(a))
+	}
+	for i := range a {
+		pa, pb := a[i], b[i]
+		if pa.HTMLBody != pb.HTMLBody {
+			t.Fatalf("page %d (%s): HTML differs after eviction", i, pa.Name)
+		}
+		if len(pa.Resources) != len(pb.Resources) {
+			t.Fatalf("page %d (%s): resource count differs", i, pa.Name)
+		}
+		for j := range pa.Resources {
+			ra, rb := &pa.Resources[j], &pb.Resources[j]
+			if ra.URL != rb.URL || ra.Size != rb.Size || ra.ScriptSrc != rb.ScriptSrc ||
+				ra.Blocking != rb.Blocking || ra.Segment != rb.Segment || ra.InjectedBy != rb.InjectedBy {
+				t.Fatalf("page %d resource %d differs after eviction", i, j)
+			}
+			if (ra.Profile == nil) != (rb.Profile == nil) {
+				t.Fatalf("page %d resource %d: profile presence differs", i, j)
+			}
+			if ra.Profile != nil {
+				if ra.Profile.Ops != rb.Profile.Ops || ra.Profile.StrBytes != rb.Profile.StrBytes ||
+					len(ra.Profile.Calls) != len(rb.Profile.Calls) {
+					t.Fatalf("page %d resource %d: profile differs after eviction", i, j)
+				}
 			}
 		}
 	}

@@ -1,0 +1,292 @@
+// Command loadtest drives self-traffic at a running qoesimd and reports
+// throughput and cache behavior:
+//
+//	qoesimd -addr :8080 &
+//	go run ./scripts/loadtest -addr http://127.0.0.1:8080 -n 30 -c 4 -out LOADTEST.json
+//
+// It submits -n scenario requests from -c concurrent clients, drawn from
+// -distinct request variants (distinct seeds over one scenario document), so
+// the mix exercises both the cold path and the deterministic result cache.
+// Every client polls its job to completion and records the result body;
+// bodies within one variant must be byte-identical — any divergence fails
+// the run, because it would mean the cache or the engine broke determinism.
+//
+// /metrics is scraped before and after the burst; the report carries the
+// result-cache hit/load delta and the request-rate trajectory (one sample
+// per completed request). -require-hit exits nonzero unless at least one
+// result-cache hit occurred — CI uses it to assert the cache actually
+// served traffic.
+//
+// Exit codes: 0 ok, 1 failures (request errors, divergent bodies, missing
+// required cache hit), 2 usage.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mobileqoe/internal/atomicfile"
+)
+
+const scenarioDoc = `{
+	"name": "loadtest",
+	"title": "loadtest sweep",
+	"device": "nexus4",
+	"workload": {"kind": "page"},
+	"axis": {"param": "clock_mhz", "values": [594, 1512]}
+}`
+
+// report is the JSON document -out writes, published alongside BENCH files.
+type report struct {
+	StartedAt  string  `json:"started_at"`
+	Addr       string  `json:"addr"`
+	Requests   int     `json:"requests"`
+	Concurrent int     `json:"concurrency"`
+	Distinct   int     `json:"distinct_variants"`
+	DurationS  float64 `json:"duration_s"`
+	ReqPerSec  float64 `json:"req_per_sec"`
+	OK         int     `json:"ok"`
+	Failed     int     `json:"failed"`
+	// Trajectory samples the run as it progresses: after each completed
+	// request, the running req/s and the result-cache hit rate so far.
+	Trajectory []trajPoint `json:"trajectory"`
+	Cache      cacheDelta  `json:"result_cache"`
+	LatencyMS  latency     `json:"latency_ms"`
+}
+
+type trajPoint struct {
+	Done      int     `json:"done"`
+	ElapsedS  float64 `json:"elapsed_s"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	HitRate   float64 `json:"cache_hit_rate"`
+}
+
+type cacheDelta struct {
+	HitsBefore  float64 `json:"hits_before"`
+	HitsAfter   float64 `json:"hits_after"`
+	LoadsBefore float64 `json:"loads_before"`
+	LoadsAfter  float64 `json:"loads_after"`
+	HitRate     float64 `json:"hit_rate"`
+}
+
+type latency struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	Max float64 `json:"max"`
+}
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "qoesimd base URL")
+		n          = flag.Int("n", 30, "total requests to submit")
+		c          = flag.Int("c", 4, "concurrent clients")
+		distinct   = flag.Int("distinct", 3, "distinct request variants (seeds); n/distinct submissions repeat per variant")
+		out        = flag.String("out", "", "write the JSON report to this file (atomic)")
+		requireHit = flag.Bool("require-hit", false, "exit nonzero unless the result cache served at least one hit")
+	)
+	flag.Parse()
+	if *n <= 0 || *c <= 0 || *distinct <= 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: -n, -c, -distinct must be positive")
+		return 2
+	}
+
+	rep := report{
+		StartedAt:  time.Now().UTC().Format(time.RFC3339),
+		Addr:       *addr,
+		Requests:   *n,
+		Concurrent: *c,
+		Distinct:   *distinct,
+	}
+	hits0, loads0, err := scrapeCache(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadtest: initial /metrics scrape: %v\n", err)
+		return 1
+	}
+	rep.Cache.HitsBefore, rep.Cache.LoadsBefore = hits0, loads0
+
+	type outcome struct {
+		variant int
+		body    []byte
+		took    time.Duration
+		err     error
+	}
+	jobs := make(chan int)
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				variant := i % *distinct
+				t0 := time.Now()
+				body, err := runOne(*addr, variant)
+				results <- outcome{variant, body, time.Since(t0), err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < *n; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	bodies := map[int][]byte{}
+	var took []float64
+	exit := 0
+	for o := range results {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: variant %d: %v\n", o.variant, o.err)
+			rep.Failed++
+			exit = 1
+		} else {
+			rep.OK++
+			took = append(took, float64(o.took)/float64(time.Millisecond))
+			if prev, ok := bodies[o.variant]; ok {
+				if !bytes.Equal(prev, o.body) {
+					fmt.Fprintf(os.Stderr, "loadtest: variant %d returned divergent bodies — determinism broken\n", o.variant)
+					exit = 1
+				}
+			} else {
+				bodies[o.variant] = o.body
+			}
+		}
+		done := rep.OK + rep.Failed
+		elapsed := time.Since(start).Seconds()
+		hits, loads, serr := scrapeCache(*addr)
+		hitRate := 0.0
+		if serr == nil && hits+loads > hits0+loads0 {
+			hitRate = (hits - hits0) / ((hits - hits0) + (loads - loads0))
+		}
+		rep.Trajectory = append(rep.Trajectory, trajPoint{
+			Done: done, ElapsedS: elapsed,
+			ReqPerSec: float64(done) / elapsed, HitRate: hitRate,
+		})
+	}
+	rep.DurationS = time.Since(start).Seconds()
+	rep.ReqPerSec = float64(*n) / rep.DurationS
+
+	hits1, loads1, err := scrapeCache(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadtest: final /metrics scrape: %v\n", err)
+		return 1
+	}
+	rep.Cache.HitsAfter, rep.Cache.LoadsAfter = hits1, loads1
+	if d := (hits1 - hits0) + (loads1 - loads0); d > 0 {
+		rep.Cache.HitRate = (hits1 - hits0) / d
+	}
+	if len(took) > 0 {
+		sort.Float64s(took)
+		rep.LatencyMS = latency{
+			P50: took[len(took)/2],
+			P90: took[len(took)*9/10],
+			Max: took[len(took)-1],
+		}
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"loadtest: %d ok, %d failed in %.1fs (%.2f req/s); result cache %g hits / %g loads (hit rate %.2f)\n",
+		rep.OK, rep.Failed, rep.DurationS, rep.ReqPerSec,
+		hits1-hits0, loads1-loads0, rep.Cache.HitRate)
+	if *requireHit && hits1-hits0 < 1 {
+		fmt.Fprintln(os.Stderr, "loadtest: no result-cache hit observed (-require-hit)")
+		exit = 1
+	}
+	if *out != "" {
+		data, merr := json.MarshalIndent(rep, "", "  ")
+		if merr == nil {
+			merr = atomicfile.Write(*out, append(data, '\n'), 0o644)
+		}
+		if merr != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: write report: %v\n", merr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "loadtest: wrote %s\n", *out)
+	}
+	return exit
+}
+
+// runOne submits one request variant and polls it to completion, returning
+// the rendered result body.
+func runOne(addr string, variant int) ([]byte, error) {
+	reqDoc := fmt.Sprintf(`{"scenario": %s, "seed": %d, "pages": 2}`, scenarioDoc, variant+1)
+	var id string
+	for {
+		resp, err := http.Post(addr+"/v1/runs", "application/json", strings.NewReader(reqDoc))
+		if err != nil {
+			return nil, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			var st struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &st); err != nil {
+				return nil, fmt.Errorf("decode submit response: %w", err)
+			}
+			id = st.ID
+		case http.StatusTooManyRequests:
+			// Backpressure is part of the contract: honor it and retry.
+			time.Sleep(200 * time.Millisecond)
+			continue
+		default:
+			return nil, fmt.Errorf("submit: status %d: %s", resp.StatusCode, body)
+		}
+		break
+	}
+	for {
+		resp, err := http.Get(addr + "/v1/runs/" + id + "/result")
+		if err != nil {
+			return nil, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return body, nil
+		case http.StatusAccepted:
+			time.Sleep(100 * time.Millisecond)
+		default:
+			return nil, fmt.Errorf("result: status %d: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// scrapeCache reads the engine result-cache hit/load counters from /metrics.
+func scrapeCache(addr string) (hits, loads float64, err error) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if v, ok := strings.CutPrefix(line, "mobileqoe_cache_engine_results_hits "); ok {
+			fmt.Sscanf(v, "%g", &hits)
+		}
+		if v, ok := strings.CutPrefix(line, "mobileqoe_cache_engine_results_loads "); ok {
+			fmt.Sscanf(v, "%g", &loads)
+		}
+	}
+	return hits, loads, nil
+}
